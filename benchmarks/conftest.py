@@ -1,0 +1,25 @@
+"""Benchmark-suite configuration.
+
+Every paper figure has one benchmark that *regenerates* it and records the
+headline numbers as ``extra_info`` (so ``--benchmark-json`` output carries
+the paper-vs-measured data).  Simulation benches run exactly once
+(``pedantic(rounds=1)``): they are deterministic given the seed, so
+repetition would only burn time.
+
+Scale: ``REPRO_SCALE=quick`` (default) or ``paper`` — see
+``repro.experiments.common``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a deterministic simulation exactly once under the benchmark."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

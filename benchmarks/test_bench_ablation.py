@@ -1,0 +1,87 @@
+"""Ablation benches for the design choices DESIGN.md §4 calls out."""
+
+import math
+
+from repro.experiments import ablations
+
+
+def _by_label(points):
+    return {p.label: p.metrics for p in points}
+
+
+def test_prevote_ablation(once, benchmark):
+    points = once(ablations.prevote_ablation)
+    m = _by_label(points)
+    benchmark.extra_info["results"] = {k: v for k, v in m.items()}
+    # With pre-vote: the spike causes zero OTS (Fig. 6b).  Without it, the
+    # first false detection deposes the leader.
+    assert m["prevote-on"]["ots_ms"] == 0.0
+    assert m["prevote-on"]["unnecessary_elections"] == 0.0
+    assert m["prevote-off"]["unnecessary_elections"] > 0.0
+    assert m["prevote-off"]["leader_changes"] > m["prevote-on"]["leader_changes"]
+
+
+def test_safety_factor_sweep(once, benchmark):
+    points = once(ablations.safety_factor_sweep)
+    benchmark.extra_info["results"] = {p.label: p.metrics for p in points}
+    by_s = {p.value: p.metrics for p in points}
+    # The tuned Et widens monotonically with s (Et = mu + s*sigma).
+    ets = [by_s[s]["mean_tuned_et_ms"] for s in (0.0, 1.0, 2.0, 4.0)]
+    assert ets == sorted(ets)
+    assert ets[-1] > ets[0] + 15.0
+    # Detection slows accordingly (allow sample noise between neighbours).
+    assert by_s[4.0]["mean_detection_ms"] > by_s[0.0]["mean_detection_ms"]
+    # Every configuration still resolves every failure.
+    for p in points:
+        assert p.metrics["resolved_episodes"] > 0
+
+
+def test_arrival_probability_sweep(once, benchmark):
+    points = once(ablations.arrival_probability_sweep)
+    benchmark.extra_info["results"] = {p.label: p.metrics for p in points}
+    by_x = {p.value: p.metrics for p in points}
+    # Higher x -> more redundancy -> higher heartbeat rate...
+    rates = [by_x[x]["leader_heartbeats_per_s"] for x in (0.9, 0.99, 0.999, 0.9999)]
+    assert rates == sorted(rates)
+    # ...and fewer missed-window fallbacks.
+    assert by_x[0.9999]["fallbacks"] < by_x[0.9]["fallbacks"]
+    # No configuration loses the leader to loss-induced elections.
+    for p in points:
+        assert p.metrics["unnecessary_elections"] == 0.0
+
+
+def test_min_list_size_sweep(once, benchmark):
+    points = once(ablations.min_list_size_sweep)
+    benchmark.extra_info["results"] = {p.label: p.metrics for p in points}
+    by_m = {p.value: p.metrics for p in points}
+    for p in points:
+        assert p.metrics["all_tuned"] == 1.0
+    # Warm-up time grows with minListSize.
+    assert by_m[100.0]["time_to_tuned_ms"] > by_m[2.0]["time_to_tuned_ms"]
+
+
+def test_window_sweep(once, benchmark):
+    points = once(ablations.window_sweep)
+    benchmark.extra_info["results"] = {p.label: p.metrics for p in points}
+    by_w = {p.value: p.metrics for p in points}
+    for p in points:
+        assert not math.isinf(p.metrics["adaptation_lag_ms"])
+    # Larger windows adapt more slowly to an RTT step.
+    assert by_w[1000.0]["adaptation_lag_ms"] > by_w[30.0]["adaptation_lag_ms"]
+
+
+def test_fallback_ablation(once, benchmark):
+    points = once(ablations.fallback_ablation)
+    m = _by_label(points)
+    benchmark.extra_info["results"] = m
+    # The discard rule costs re-warm-up: more untuned follower-time.
+    assert (
+        m["fallback-on"]["untuned_follower_seconds"]
+        > m["fallback-off"]["untuned_follower_seconds"]
+    )
+    # The rule actually fires (measurements are discarded on timeouts).
+    assert m["fallback-on"]["fallbacks"] > 0
+    assert m["fallback-off"]["fallbacks"] == 0
+    # Neither variant loses availability here (pre-vote still protects).
+    assert m["fallback-on"]["ots_ms"] == 0.0
+    assert m["fallback-off"]["ots_ms"] == 0.0

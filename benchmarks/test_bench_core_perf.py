@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+These are classic pytest-benchmark timing runs (multiple rounds) rather
+than one-shot experiment regenerations: they track the cost of the event
+loop, the estimator, and a full simulated heartbeat round — the quantities
+that determine how big an N and how long a dwell the figure benches can
+afford.
+"""
+
+import numpy as np
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.dynatune.estimators import WindowedMeanStd
+from repro.dynatune.measurement import PathMeasurement
+from repro.dynatune.policy import DynatunePolicy
+from repro.sim.loop import EventLoop
+
+
+def test_event_loop_schedule_execute(benchmark):
+    """Throughput of schedule+execute cycles (the simulator's unit cost)."""
+
+    def run():
+        loop = EventLoop()
+        for i in range(10_000):
+            loop.schedule(float(i % 100), lambda: None)
+        loop.run()
+        return loop.executed
+
+    executed = benchmark(run)
+    assert executed == 10_000
+
+
+def test_timer_reset_storm(benchmark):
+    """Heartbeat-style timer resets: the dominant Raft follower operation."""
+    loop = EventLoop()
+    from repro.sim.timers import Timer
+
+    t = Timer(loop, "el", lambda: None)
+    t.start(1e12)
+
+    def run():
+        for _ in range(10_000):
+            t.reset(1e12)
+
+    benchmark(run)
+
+
+def test_estimator_push(benchmark):
+    """O(1) windowed mean/std push at the paper's maxListSize."""
+    w = WindowedMeanStd(1000)
+    rng = np.random.default_rng(0)
+    samples = rng.normal(100.0, 2.0, size=10_000).tolist()
+
+    def run():
+        for v in samples:
+            w.push(v)
+        return w.mean_std()
+
+    mu, sigma = benchmark(run)
+    assert 99.0 < mu < 101.0
+
+
+def test_measurement_record_and_tune(benchmark):
+    """Full follower-side per-heartbeat work: id + rtt + retune."""
+    from repro.dynatune.metadata import HeartbeatMeta
+
+    policy = DynatunePolicy()
+    policy.on_leader_change("L", 0.0)
+
+    def run():
+        for i in range(1, 5_001):
+            meta = HeartbeatMeta(
+                seq=i, send_ts=float(i), rtt_sample_ms=100.0, rtt_sample_seq=i
+            )
+            policy.on_heartbeat("L", meta, float(i))
+        return policy.tuned_et_ms
+
+    et = benchmark(run)
+    assert et is not None
+
+
+def test_loss_rate_with_sliding_window(benchmark):
+    m = PathMeasurement(min_list_size=1, max_list_size=1000)
+
+    def run():
+        for i in range(1, 20_001, 2):  # every other heartbeat lost
+            m.record_id(i)
+        return m.loss_rate()
+
+    p = benchmark(run)
+    assert 0.45 < p < 0.55
+
+
+def test_simulated_cluster_second(benchmark):
+    """Wall cost of one virtual second of a 5-node Dynatune cluster."""
+    cluster = build_cluster(
+        ClusterConfig(n_nodes=5, seed=1, rtt_ms=100.0),
+        lambda name: DynatunePolicy(),
+    )
+    cluster.start()
+    cluster.run_until_leader()
+
+    def run():
+        cluster.run_for(1_000.0)
+
+    benchmark(run)

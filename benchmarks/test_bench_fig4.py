@@ -1,0 +1,35 @@
+"""Fig. 4 bench: stable-network election performance (detection/OTS CDFs).
+
+Regenerates the paper's headline numbers — detection 1205 → 237 ms (−80 %),
+OTS 1449 → 797 ms (−45 %) — at the scale selected by ``REPRO_SCALE``.
+"""
+
+from repro.experiments import fig4_election
+
+
+def test_fig4_election_performance(once, benchmark):
+    """Both systems in one run so the reduction factors can be asserted."""
+    cfg = fig4_election.Fig4Config.quick()
+    result = once(fig4_election.run, cfg)
+    raft = result.systems["raft"]
+    dyn = result.systems["dynatune"]
+    benchmark.extra_info["n_failures"] = cfg.n_failures
+    benchmark.extra_info["raft_detection_ms"] = round(raft.mean_detection_ms, 1)
+    benchmark.extra_info["raft_ots_ms"] = round(raft.mean_ots_ms, 1)
+    benchmark.extra_info["dynatune_detection_ms"] = round(dyn.mean_detection_ms, 1)
+    benchmark.extra_info["dynatune_ots_ms"] = round(dyn.mean_ots_ms, 1)
+    benchmark.extra_info["detection_reduction"] = round(result.reduction("detection"), 3)
+    benchmark.extra_info["ots_reduction"] = round(result.reduction("ots"), 3)
+    benchmark.extra_info["paper"] = fig4_election.PAPER_NUMBERS
+
+    # Shape assertions (paper: −80 % detection, −45 % OTS).
+    assert result.reduction("detection") > 0.6
+    assert result.reduction("ots") > 0.15
+    # Raft baseline magnitudes match the paper's measurements closely.
+    assert 1000.0 < raft.mean_detection_ms < 1450.0
+    assert 1200.0 < raft.mean_ots_ms < 1750.0
+    # randomizedTimeout means: ~1.45 s (Raft) vs ~0.15 s (Dynatune).
+    assert 1300.0 < raft.mean_randomized_timeout_ms < 1600.0
+    assert dyn.mean_randomized_timeout_ms < 300.0
+    # §IV-E: Dynatune's election phase is longer (split votes).
+    assert dyn.mean_election_ms > raft.mean_election_ms

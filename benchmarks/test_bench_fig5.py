@@ -1,0 +1,32 @@
+"""Fig. 5 bench: peak throughput and the latency/throughput curve.
+
+Paper: Raft 13 678 req/s vs Dynatune 12 800 req/s (−6.4 %), latency rising
+from ≈ 200 ms toward ≈ 700 ms at the knee.
+"""
+
+import numpy as np
+
+from repro.experiments import fig5_throughput
+
+
+def test_fig5_throughput_staircase(once, benchmark):
+    cfg = fig5_throughput.Fig5Config.quick()
+    result = once(fig5_throughput.run, cfg)
+    raft = result.systems["raft"]
+    dyn = result.systems["dynatune"]
+    benchmark.extra_info["raft_peak_rps"] = round(raft.peak_rps)
+    benchmark.extra_info["dynatune_peak_rps"] = round(dyn.peak_rps)
+    benchmark.extra_info["peak_gap"] = round(result.peak_gap, 4)
+    benchmark.extra_info["paper"] = fig5_throughput.PAPER_NUMBERS
+
+    assert 13_000 < raft.peak_rps < 14_500  # paper: 13 678
+    assert 12_200 < dyn.peak_rps < 13_500  # paper: 12 800
+    assert 0.04 < result.peak_gap < 0.09  # paper: 6.4 %
+    # Latency curve: flat-ish plateau near 200 ms, then the knee.
+    assert raft.mean_latency_ms[0] < 230.0
+    assert raft.mean_latency_ms[-1] > 500.0
+    assert np.all(np.diff(raft.mean_latency_ms) > -1e-6)
+    # Dynatune's knee sits to the left of Raft's.
+    knee_raft = np.argmax(raft.throughput_rps >= raft.peak_rps * 0.999)
+    knee_dyn = np.argmax(dyn.throughput_rps >= dyn.peak_rps * 0.999)
+    assert knee_dyn <= knee_raft

@@ -1,0 +1,59 @@
+"""Fig. 6 benches: RTT-fluctuation adaptivity (gradual 6a, radical 6b)."""
+
+import numpy as np
+
+from repro.experiments import fig6_rtt
+
+
+def test_fig6a_gradual_rtt(once, benchmark):
+    cfg = fig6_rtt.Fig6Config.quick("gradual")
+    result = once(fig6_rtt.run, cfg)
+    dyn = result.systems["dynatune"]
+    raft = result.systems["raft"]
+    low = result.systems["raft-low"]
+    benchmark.extra_info["dwell_s"] = cfg.dwell_ms / 1000.0
+    benchmark.extra_info["dynatune_ots_s"] = round(dyn.ots_total_ms / 1000.0, 1)
+    benchmark.extra_info["raft_ots_s"] = round(raft.ots_total_ms / 1000.0, 1)
+    benchmark.extra_info["raftlow_ots_s"] = round(low.ots_total_ms / 1000.0, 1)
+    benchmark.extra_info["raftlow_elections"] = low.unnecessary_elections
+    benchmark.extra_info["dynatune_elections"] = dyn.unnecessary_elections
+
+    # Dynatune tracks the RTT: the f+1-smallest randomizedTimeout stays a
+    # small multiple of the RTT once warmed up.
+    warmed = dyn.times_ms > 30_000.0
+    ratio = dyn.kth_randomized_timeout_ms[warmed] / dyn.rtt_ms[warmed]
+    assert np.nanmedian(ratio) < 4.0
+    # Raft: flat near 1.5 × 1000 ms, never disturbed.
+    assert 1200.0 < np.nanmedian(raft.kth_randomized_timeout_ms) < 1800.0
+    assert raft.ots_total_ms == 0.0
+    assert raft.unnecessary_elections == 0
+    # Dynatune: no service loss either.
+    assert dyn.ots_total_ms == 0.0
+    assert dyn.unnecessary_elections == 0
+    # Raft-Low: unnecessary elections and OTS episodes at elevated RTT.
+    assert low.unnecessary_elections > 0
+    assert low.ots_total_ms > 0.0
+
+
+def test_fig6b_radical_rtt(once, benchmark):
+    cfg = fig6_rtt.Fig6Config.quick("radical")
+    result = once(fig6_rtt.run, cfg)
+    dyn = result.systems["dynatune"]
+    raft = result.systems["raft"]
+    low = result.systems["raft-low"]
+    benchmark.extra_info["dynatune_false_detections"] = dyn.false_detections
+    benchmark.extra_info["dynatune_elections"] = dyn.unnecessary_elections
+    benchmark.extra_info["dynatune_ots_s"] = round(dyn.ots_total_ms / 1000.0, 1)
+    benchmark.extra_info["raftlow_ots_s"] = round(low.ots_total_ms / 1000.0, 1)
+
+    # The paper's §IV-C1 radical narrative:
+    # Dynatune false-detects during the spike but pre-vote aborts: no OTS.
+    assert dyn.false_detections > 0
+    assert dyn.unnecessary_elections == 0
+    assert dyn.ots_total_ms == 0.0
+    # Raft rides it out entirely.
+    assert raft.ots_total_ms == 0.0
+    # Raft-Low cannot elect while RTT > its randomizedTimeout: OTS roughly
+    # the whole spike dwell.
+    assert low.unnecessary_elections > 0
+    assert low.ots_total_ms > 0.5 * cfg.dwell_ms

@@ -1,0 +1,50 @@
+"""Fig. 7 bench: packet-loss adaptivity — h tuning (7a) and CPU (7b)."""
+
+import numpy as np
+
+from repro.experiments import fig7_loss
+
+
+def test_fig7_loss_staircase(once, benchmark):
+    cfg = fig7_loss.Fig7Config.quick()
+    result = once(fig7_loss.run, cfg)
+    peak = max(cfg.loss_levels)
+    for n in cfg.sizes:
+        dyn = result.runs[("dynatune", n)]
+        fix = result.runs[("fix-k", n)]
+        h0 = float(np.mean(dyn.h_at_loss(0.0)))
+        hpk_arr = dyn.h_at_loss(peak)
+        hpk = float(np.mean(hpk_arr)) if hpk_arr.size else float("nan")
+        benchmark.extra_info[f"N{n}_dynatune_h0_ms"] = round(h0, 1)
+        benchmark.extra_info[f"N{n}_dynatune_hpeak_ms"] = round(hpk, 1)
+        benchmark.extra_info[f"N{n}_fixk_h_ms"] = round(float(np.nanmean(fix.h_ms)), 1)
+        benchmark.extra_info[f"N{n}_dynatune_leader_cpu"] = round(
+            float(dyn.leader_cpu.mean()), 1
+        )
+        benchmark.extra_info[f"N{n}_fixk_leader_cpu"] = round(
+            float(fix.leader_cpu.mean()), 1
+        )
+
+        # Fig. 7a: Dynatune lowers h as loss rises (K: 1 -> 6 at 30 %);
+        # Fix-K stays pinned at Et/10 ≈ 20 ms.
+        assert hpk < 0.45 * h0
+        assert np.nanstd(fix.h_ms) < 4.0
+        assert 15.0 < np.nanmean(fix.h_ms) < 30.0
+        # Fig. 7b: Fix-K's leader burns multiples of Dynatune's CPU, and the
+        # follower load is far below the leader's.
+        assert fix.leader_cpu.mean() > 2.0 * dyn.leader_cpu.mean()
+        assert fix.follower_cpu.mean() < 0.2 * fix.leader_cpu.mean()
+        # Dynatune's CPU peaks with the loss rate (the "peak pattern").
+        mid = len(dyn.leader_cpu) // 2
+        assert dyn.leader_cpu[mid - 2 : mid + 3].mean() > dyn.leader_cpu[:3].mean()
+        # §IV-C2: no unnecessary elections for either system.
+        assert dyn.unnecessary_elections == 0
+        assert fix.unnecessary_elections == 0
+
+    # Leader CPU grows with cluster size for Fix-K (the scalability story).
+    if len(cfg.sizes) >= 2:
+        small, large = min(cfg.sizes), max(cfg.sizes)
+        assert (
+            result.runs[("fix-k", large)].leader_cpu.mean()
+            > 2.0 * result.runs[("fix-k", small)].leader_cpu.mean()
+        )

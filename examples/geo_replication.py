@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Geo-replicated SMR across five continents (the paper's §IV-D scenario).
+
+Five replicas in Tokyo, London, California, Sydney and São Paulo, with a
+realistic inter-region RTT matrix (105–310 ms).  The example contrasts
+static Raft timeouts against Dynatune's per-path tuning:
+
+* with static parameters, every path shares one conservative Et = 1000 ms;
+* with Dynatune, *each leader-follower pair* tunes to its own RTT — the
+  Tokyo–California follower detects in ~110 ms while Sydney–São Paulo
+  tolerates its 310 ms path, something no single static value can do.
+
+Run:  python examples/geo_replication.py
+"""
+
+from repro import ClusterConfig, DynatunePolicy, StaticPolicy, build_cluster
+from repro.cluster.faults import pause_for
+from repro.cluster.measurements import LEADER_FAILURE_KIND, extract_failure_episodes
+from repro.net.topology import region_rtt
+
+
+def run_system(label: str, policy_factory) -> None:
+    cluster = build_cluster(
+        ClusterConfig(n_nodes=5, seed=7, topology="aws"),
+        policy_factory,
+    )
+    cluster.start()
+    leader = cluster.run_until_leader()
+    placement = cluster.placement or {}
+    print(f"\n=== {label} ===")
+    print(f"leader: {leader} ({placement.get(leader)})")
+    cluster.run_for(10_000)  # warm up / tune
+
+    # Show the per-path election timeouts now in force.
+    for name in cluster.names:
+        if name == leader:
+            continue
+        node = cluster.node(name)
+        rtt = region_rtt(placement[name], placement[leader])
+        tuned = getattr(node.policy, "tuned_et_ms", None)
+        et = tuned if tuned is not None else node.policy.election_timeout_ms(leader)
+        print(
+            f"  {name} ({placement[name]:<10}) RTT to leader {rtt:5.0f} ms"
+            f" -> election timeout {et:7.1f} ms"
+        )
+
+    # Kill the leader and measure recovery.
+    pause_for(cluster.loop, cluster.node(leader), 10_000.0, kind=LEADER_FAILURE_KIND)
+    new = cluster.run_until_leader(exclude=leader, timeout_ms=60_000)
+    ep = extract_failure_episodes(cluster.trace, cluster_size=5)[0]
+    print(
+        f"  leader {leader} failed -> {new} ({placement.get(new)}) took over: "
+        f"detection {ep.detection_latency_ms:7.0f} ms, OTS {ep.ots_ms:7.0f} ms"
+    )
+
+
+def main() -> None:
+    run_system("Raft (static Et=1000ms, h=100ms)", lambda name: StaticPolicy.raft_default())
+    run_system("Dynatune (per-path tuning)", lambda name: DynatunePolicy())
+    print(
+        "\nDynatune detects geo-failures several times faster because each"
+        "\npath's timeout sits just above that path's RTT instead of at a"
+        "\none-size-fits-all constant (paper Fig. 8: 1137 ms -> 213 ms)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs on environments without
+the `wheel` package (this machine is offline; setuptools < 70 cannot build
+PEP 660 editable wheels without it)."""
+from setuptools import setup
+
+setup()

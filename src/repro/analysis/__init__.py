@@ -1,0 +1,17 @@
+"""Numeric post-processing: CDFs, summary stats, time series, ASCII charts."""
+
+from repro.analysis.asciiplot import cdf_chart, line_chart
+from repro.analysis.cdf import empirical_cdf
+from repro.analysis.stats import SummaryStats, bootstrap_mean_ci, summarize
+from repro.analysis.timeseries import bin_series, interval_coverage
+
+__all__ = [
+    "SummaryStats",
+    "bin_series",
+    "bootstrap_mean_ci",
+    "cdf_chart",
+    "empirical_cdf",
+    "interval_coverage",
+    "line_chart",
+    "summarize",
+]

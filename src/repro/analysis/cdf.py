@@ -1,0 +1,20 @@
+"""Empirical CDFs (Figs. 4 and 8 are CDF plots)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["empirical_cdf"]
+
+
+def empirical_cdf(values: list[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(xs, ps)`` with ``ps[i] = P(X <= xs[i])``.
+
+    ``xs`` is the sorted sample; ``ps`` ranges over ``(0, 1]`` with the
+    standard ``i/n`` convention.  An empty input yields two empty arrays.
+    """
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        return arr, arr.copy()
+    ps = np.arange(1, arr.size + 1, dtype=np.float64) / arr.size
+    return arr, ps

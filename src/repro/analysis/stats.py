@@ -1,0 +1,74 @@
+"""Summary statistics with bootstrap confidence intervals."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["SummaryStats", "summarize", "bootstrap_mean_ci"]
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class SummaryStats:
+    """Standard location/percentile summary of one sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.1f} std={self.std:.1f} "
+            f"min={self.minimum:.1f} p50={self.p50:.1f} p95={self.p95:.1f} "
+            f"p99={self.p99:.1f} max={self.maximum:.1f}"
+        )
+
+
+def summarize(values: list[float] | np.ndarray) -> SummaryStats:
+    """Vectorised summary of a sample.
+
+    Raises:
+        ValueError: on an empty sample — an experiment that produced no
+            observations is a bug, not a zero.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return SummaryStats(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        p50=float(p50),
+        p95=float(p95),
+        p99=float(p99),
+        maximum=float(arr.max()),
+    )
+
+
+def bootstrap_mean_ci(
+    values: list[float] | np.ndarray,
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI for the mean (fully vectorised)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must be in (0,1), got {confidence!r}")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.percentile(means, [100 * alpha, 100 * (1 - alpha)])
+    return float(lo), float(hi)

@@ -1,0 +1,69 @@
+"""Time-series helpers for the Fig. 6/7 plots."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bin_series", "interval_coverage"]
+
+
+def bin_series(
+    times_ms: np.ndarray | list[float],
+    values: np.ndarray | list[float],
+    *,
+    bin_ms: float,
+    t_start: float = 0.0,
+    t_end: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average ``values`` into fixed-width time bins.
+
+    Returns ``(bin_centers_ms, bin_means)``; empty bins are NaN.
+    """
+    t = np.asarray(times_ms, dtype=np.float64)
+    v = np.asarray(values, dtype=np.float64)
+    if t.shape != v.shape:
+        raise ValueError("times and values must have matching shapes")
+    if bin_ms <= 0:
+        raise ValueError(f"bin_ms must be > 0, got {bin_ms!r}")
+    if t_end is None:
+        t_end = float(t.max()) if t.size else t_start + bin_ms
+    edges = np.arange(t_start, t_end + bin_ms, bin_ms)
+    if len(edges) < 2:
+        edges = np.array([t_start, t_start + bin_ms])
+    which = np.digitize(t, edges) - 1
+    n_bins = len(edges) - 1
+    sums = np.zeros(n_bins)
+    counts = np.zeros(n_bins)
+    mask = (which >= 0) & (which < n_bins)
+    np.add.at(sums, which[mask], v[mask])
+    np.add.at(counts, which[mask], 1.0)
+    with np.errstate(invalid="ignore"):
+        means = np.where(counts > 0, sums / np.maximum(counts, 1.0), np.nan)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, means
+
+
+def interval_coverage(
+    intervals: list[tuple[float, float]],
+    *,
+    t_start: float,
+    t_end: float,
+    bin_ms: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fraction of each time bin covered by ``intervals``.
+
+    Used to rasterise the OTS shading of Fig. 6 into a plottable series
+    (1.0 = the whole bin was leaderless).
+    """
+    if bin_ms <= 0:
+        raise ValueError(f"bin_ms must be > 0, got {bin_ms!r}")
+    edges = np.arange(t_start, t_end + bin_ms, bin_ms)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    coverage = np.zeros(len(centers))
+    for a, b in intervals:
+        if b <= t_start or a >= t_end:
+            continue
+        lo = np.clip(edges[:-1], a, b)
+        hi = np.clip(edges[1:], a, b)
+        coverage += np.maximum(hi - lo, 0.0)
+    return centers, coverage / bin_ms

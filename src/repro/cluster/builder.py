@@ -1,0 +1,268 @@
+"""Cluster assembly: wire sim + net + raft + policy into a runnable system.
+
+``build_cluster`` is the single entry point every experiment, example and
+integration test uses.  The *only* thing that differs between the paper's
+four systems is the ``policy_factory`` argument:
+
+====================  =====================================================
+System                policy_factory
+====================  =====================================================
+Raft (baseline)       ``lambda name: StaticPolicy.raft_default()``
+Raft-Low              ``lambda name: StaticPolicy.raft_low()``
+Dynatune              ``lambda name: DynatunePolicy(DynatuneConfig())``
+Fix-K                 ``lambda name: DynatunePolicy(DynatuneConfig(fixed_k=10))``
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.cluster.capacity import CostModel
+from repro.dynatune.policy import TuningPolicy
+from repro.net.delay_models import NormalJitterDelay
+from repro.net.link import Link
+from repro.net.loss_models import BernoulliLoss
+from repro.net.network import Network
+from repro.net.topology import ClockModel, aws_geo_topology, uniform_topology
+from repro.raft.client import RaftClient
+from repro.raft.node import RaftNode
+from repro.raft.state_machine import KVStore
+from repro.raft.types import RaftConfig
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import TraceLog
+
+__all__ = ["ClusterConfig", "Cluster", "build_cluster"]
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class ClusterConfig:
+    """Shape and environment of a simulated cluster.
+
+    Attributes:
+        n_nodes: cluster size (paper uses 5, 17, 65).
+        seed: experiment seed — every random stream derives from it.
+        rtt_ms: uniform pairwise RTT (ignored for the AWS topology).
+        jitter_sigma_ms: Gaussian one-way jitter; 0 disables.  Default
+            0.1 ms matches a netem constant-delay path (§IV-B injects no
+            intentional jitter; kernel queueing leaves ~0.1 ms).  This
+            matters: Dynatune at zero loss sends exactly one heartbeat per
+            election timeout (K = 1, h = Et), so the false-timeout rate is
+            roughly ``jitter / Et`` per heartbeat — 1 ms of jitter would be
+            an order of magnitude noisier than the paper's testbed.
+        loss: initial per-direction loss rate.
+        duplicate_p: UDP duplication probability.
+        raft: protocol configuration shared by all nodes.
+        topology: ``"uniform"`` (single-host testbed) or ``"aws"``
+            (five-region geo deployment, §IV-D).
+        cores_per_node: container CPU allocation (4 in §IV-A, 2 in §IV-C2).
+        with_cost_model: enable CPU accounting (small overhead; the
+            election-focused experiments leave it off).
+    """
+
+    n_nodes: int = 5
+    seed: int = 1
+    rtt_ms: float = 100.0
+    jitter_sigma_ms: float = 0.1
+    loss: float = 0.0
+    duplicate_p: float = 0.0
+    raft: RaftConfig = dataclasses.field(default_factory=RaftConfig)
+    topology: str = "uniform"
+    cores_per_node: float = 4.0
+    with_cost_model: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes!r}")
+        if self.topology not in ("uniform", "aws"):
+            raise ValueError(f"topology must be 'uniform' or 'aws', got {self.topology!r}")
+
+
+class Cluster:
+    """A wired, runnable cluster (returned by :func:`build_cluster`)."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        loop: EventLoop,
+        rngs: RngRegistry,
+        trace: TraceLog,
+        network: Network,
+        nodes: dict[str, RaftNode],
+        cost_model: CostModel | None,
+        placement: dict[str, str] | None,
+    ) -> None:
+        self.config = config
+        self.loop = loop
+        self.rngs = rngs
+        self.trace = trace
+        self.network = network
+        self.nodes = nodes
+        self.cost_model = cost_model
+        #: node → AWS region (``None`` for the uniform topology).
+        self.placement = placement
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------- #
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.nodes)
+
+    def start(self) -> None:
+        """Arm every node's initial election timer."""
+        if self._started:
+            raise RuntimeError("cluster already started")
+        self._started = True
+        for node in self.nodes.values():
+            node.start()
+
+    def run_until(self, t_ms: float) -> None:
+        self.loop.run_until(t_ms)
+
+    def run_for(self, duration_ms: float) -> None:
+        self.loop.run_until(self.loop.now + duration_ms)
+
+    # -- queries ----------------------------------------------------------------- #
+
+    def node(self, name: str) -> RaftNode:
+        return self.nodes[name]
+
+    def add_client(
+        self,
+        name: str,
+        *,
+        rtt_ms: float | None = None,
+        retry_timeout_ms: float = 1000.0,
+    ) -> RaftClient:
+        """Attach a client endpoint with links to every cluster node.
+
+        Args:
+            rtt_ms: client↔server RTT; defaults to the cluster's pairwise
+                RTT (clients co-located with the service, as in §IV-B2).
+        """
+        rtt = self.config.rtt_ms if rtt_ms is None else rtt_ms
+        client = RaftClient(
+            self.loop,
+            name,
+            self.network,
+            self.names,
+            retry_timeout_ms=retry_timeout_ms,
+            trace=self.trace,
+        )
+        for peer in self.names:
+            for src, dst in ((name, peer), (peer, name)):
+                self.network.add_link(
+                    Link(
+                        src,
+                        dst,
+                        delay=NormalJitterDelay(
+                            rtt / 2.0, self.config.jitter_sigma_ms
+                        ),
+                        loss=BernoulliLoss(self.config.loss),
+                        rng=self.rngs.stream(f"net/{src}->{dst}"),
+                    )
+                )
+        self.network.attach(client)
+        return client
+
+    def leader(self) -> str | None:
+        """The live leader with the highest term, or ``None``.
+
+        Transiently two nodes can believe they lead (a deposed leader that
+        has not yet heard of its successor); the higher term is the real
+        one by election safety.
+        """
+        leaders = [n for n in self.nodes.values() if n.is_leader]
+        if not leaders:
+            return None
+        return max(leaders, key=lambda n: n.current_term).name
+
+    def alive_nodes(self) -> list[RaftNode]:
+        return [n for n in self.nodes.values() if n.alive]
+
+    def run_until_leader(
+        self, *, timeout_ms: float = 60_000.0, exclude: str | None = None
+    ) -> str:
+        """Advance the simulation until a leader (≠ ``exclude``) exists.
+
+        Raises:
+            TimeoutError: if no leader emerges within ``timeout_ms``.
+        """
+        deadline = self.loop.now + timeout_ms
+        while self.loop.now < deadline:
+            leader = self.leader()
+            if leader is not None and leader != exclude:
+                return leader
+            if not self.loop.step():
+                break
+            # step() may overshoot many events at the same instant; the
+            # loop above re-checks after every single event for precision.
+        leader = self.leader()
+        if leader is not None and leader != exclude:
+            return leader
+        raise TimeoutError(
+            f"no leader (excluding {exclude!r}) within {timeout_ms} ms "
+            f"(t={self.loop.now})"
+        )
+
+
+def build_cluster(
+    config: ClusterConfig,
+    policy_factory: Callable[[str], TuningPolicy],
+    *,
+    node_prefix: str = "n",
+) -> Cluster:
+    """Construct a cluster per ``config`` with one policy per node."""
+    loop = EventLoop()
+    rngs = RngRegistry(config.seed)
+    trace = TraceLog()
+    network = Network(loop, rngs)
+    names = [f"{node_prefix}{i}" for i in range(1, config.n_nodes + 1)]
+
+    placement: dict[str, str] | None = None
+    if config.topology == "uniform":
+        uniform_topology(
+            network,
+            names,
+            rtt_ms=config.rtt_ms,
+            jitter_sigma_ms=config.jitter_sigma_ms,
+            loss=config.loss,
+            duplicate_p=config.duplicate_p,
+        )
+    else:
+        placement = aws_geo_topology(network, names, loss=config.loss)
+
+    cost_model = (
+        CostModel(cores=config.cores_per_node) if config.with_cost_model else None
+    )
+
+    nodes: dict[str, RaftNode] = {}
+    for name in names:
+        node = RaftNode(
+            loop=loop,
+            name=name,
+            peers=names,
+            network=network,
+            config=config.raft,
+            policy=policy_factory(name),
+            state_machine=KVStore(),
+            trace=trace,
+            rng=rngs.stream(f"raft/{name}"),
+            cost_model=cost_model,
+        )
+        network.attach(node)
+        nodes[name] = node
+
+    return Cluster(
+        config=config,
+        loop=loop,
+        rngs=rngs,
+        trace=trace,
+        network=network,
+        nodes=nodes,
+        cost_model=cost_model,
+        placement=placement,
+    )

@@ -1,0 +1,9 @@
+"""The paper's primary contribution, re-exported under the canonical name.
+
+The implementation lives in :mod:`repro.dynatune`; this alias package
+exists so the repository layout exposes the contribution at
+``repro.core`` as well.
+"""
+
+from repro.dynatune import *  # noqa: F401,F403
+from repro.dynatune import __all__  # noqa: F401

@@ -1,0 +1,93 @@
+"""Dynatune runtime configuration (§III-E's runtime arguments).
+
+The paper exposes four runtime arguments — ``σ`` (safety factor ``s``),
+``x`` (arrival probability), ``minListSize`` and ``maxListSize`` — plus the
+defaults it shares with the Raft baseline (``Et = 1000 ms``,
+``h = 100 ms``, §IV-A).  :class:`DynatuneConfig` carries those and the
+clamps the formulas need; the extra knobs beyond the paper's four are
+documented inline and keep their paper-faithful defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["DynatuneConfig"]
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class DynatuneConfig:
+    """Parameters of the Dynatune tuning layer.
+
+    Attributes:
+        safety_factor: ``s`` in ``Et = μ + s·σ`` (paper: 2).
+        arrival_probability: ``x`` in ``1 − p^K ≥ x`` (paper: 0.999).
+        min_list_size: RTT samples required before tuning starts (paper: 10).
+        max_list_size: bound on the RTTs/ids lists (paper: 1000).
+        default_election_timeout_ms: fallback ``Et`` used during Step 0 and
+            after an election timeout (paper: 1000 ms, same as Raft).
+        default_heartbeat_interval_ms: fallback ``h`` (paper: 100 ms).
+        et_floor_ms: lower clamp on the tuned ``Et`` — a zero-length timer
+            would fire before any heartbeat could possibly arrive.
+        et_ceiling_ms: optional upper clamp on tuned ``Et`` (``None`` =
+            unclamped, the paper's behaviour).
+        h_floor_ms: lower clamp on the tuned ``h``; guards against the
+            §II-B resource-exhaustion regime if measured loss approaches 1.
+        k_max: upper clamp on heartbeat redundancy ``K``.
+        fixed_k: if set, disables ``h`` auto-tuning and pins ``K`` — this is
+            the paper's **Fix-K** comparison variant (§IV-C2, ``K = 10``).
+        heartbeat_channel: transport for heartbeats; Dynatune uses UDP so
+            losses are observable rather than masked by TCP retransmission
+            (§III-E).
+        fallback_on_timeout: the §III-B rule — discard measurements and
+            revert to defaults when the election timer expires.  ``False``
+            is an **ablation** (keep the tuned parameters through
+            suspected failures); DESIGN.md §4 motivates measuring it.
+    """
+
+    safety_factor: float = 2.0
+    arrival_probability: float = 0.999
+    min_list_size: int = 10
+    max_list_size: int = 1000
+    default_election_timeout_ms: float = 1000.0
+    default_heartbeat_interval_ms: float = 100.0
+    et_floor_ms: float = 10.0
+    et_ceiling_ms: float | None = None
+    h_floor_ms: float = 1.0
+    k_max: int = 50
+    fixed_k: int | None = None
+    heartbeat_channel: str = "udp"
+    fallback_on_timeout: bool = True
+
+    def __post_init__(self) -> None:
+        if self.safety_factor < 0.0:
+            raise ValueError(f"safety_factor must be >= 0, got {self.safety_factor!r}")
+        if not (0.0 < self.arrival_probability < 1.0):
+            raise ValueError(
+                f"arrival_probability must be in (0, 1), got {self.arrival_probability!r}"
+            )
+        if self.min_list_size < 1:
+            raise ValueError(f"min_list_size must be >= 1, got {self.min_list_size!r}")
+        if self.max_list_size < self.min_list_size:
+            raise ValueError(
+                "max_list_size must be >= min_list_size "
+                f"({self.max_list_size!r} < {self.min_list_size!r})"
+            )
+        if self.default_election_timeout_ms <= 0.0:
+            raise ValueError("default_election_timeout_ms must be > 0")
+        if self.default_heartbeat_interval_ms <= 0.0:
+            raise ValueError("default_heartbeat_interval_ms must be > 0")
+        if self.et_floor_ms <= 0.0:
+            raise ValueError("et_floor_ms must be > 0")
+        if self.et_ceiling_ms is not None and self.et_ceiling_ms < self.et_floor_ms:
+            raise ValueError("et_ceiling_ms must be >= et_floor_ms")
+        if self.h_floor_ms <= 0.0:
+            raise ValueError("h_floor_ms must be > 0")
+        if self.k_max < 1:
+            raise ValueError(f"k_max must be >= 1, got {self.k_max!r}")
+        if self.fixed_k is not None and self.fixed_k < 1:
+            raise ValueError(f"fixed_k must be >= 1, got {self.fixed_k!r}")
+        if self.heartbeat_channel not in ("udp", "tcp"):
+            raise ValueError(
+                f"heartbeat_channel must be 'udp' or 'tcp', got {self.heartbeat_channel!r}"
+            )

@@ -1,0 +1,127 @@
+"""Follower-side path measurement: the ``RTTs`` and ``ids`` lists (§III-C).
+
+Each follower keeps, for its current leader:
+
+* ``RTTs`` — the leader-measured RTT samples echoed back in heartbeats,
+  held in a bounded window (:class:`~repro.dynatune.estimators.
+  WindowedMeanStd`);
+* ``ids`` — the heartbeat sequence IDs received, held sorted and
+  de-duplicated (§III-C2: "inserts the IDs into the list in ascending
+  order and ignores subsequent receptions when duplicate").
+
+The loss rate is ``p = 1 − received / expected`` with
+``expected = ids[-1] − ids[0] + 1`` — i.e. the fraction of the ID span that
+never arrived.  Out-of-order arrival shrinks neither count (the insert is
+positional), and duplicates are ignored, exactly as the paper specifies for
+partially synchronous networks.
+
+``minListSize`` gates tuning (Step 0 → Step 1 transition, §III-E):
+:attr:`PathMeasurement.ready` only becomes true once enough RTT samples
+exist.  ``maxListSize`` bounds both lists; the oldest datum is evicted.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.dynatune.estimators import WindowedMeanStd
+
+__all__ = ["PathMeasurement"]
+
+
+class PathMeasurement:
+    """Measurement state for one leader→follower path.
+
+    Args:
+        min_list_size: samples required before tuning may start
+            (``minListSize``, paper default 10).
+        max_list_size: bound on both lists (``maxListSize``, paper
+            default 1000).
+    """
+
+    __slots__ = ("min_list_size", "max_list_size", "_rtts", "_ids", "duplicates_ignored")
+
+    def __init__(self, min_list_size: int = 10, max_list_size: int = 1000) -> None:
+        if min_list_size < 1:
+            raise ValueError(f"min_list_size must be >= 1, got {min_list_size!r}")
+        if max_list_size < min_list_size:
+            raise ValueError(
+                f"max_list_size ({max_list_size!r}) must be >= "
+                f"min_list_size ({min_list_size!r})"
+            )
+        self.min_list_size = int(min_list_size)
+        self.max_list_size = int(max_list_size)
+        self._rtts = WindowedMeanStd(self.max_list_size)
+        self._ids: list[int] = []
+        #: Count of duplicate heartbeat receptions ignored (diagnostics).
+        self.duplicates_ignored = 0
+
+    # -- recording --------------------------------------------------------- #
+
+    def record_rtt(self, rtt_ms: float) -> None:
+        """Store one RTT sample (echoed by the leader, Fig. 3a)."""
+        if rtt_ms < 0.0:
+            raise ValueError(f"RTT cannot be negative, got {rtt_ms!r}")
+        self._rtts.push(rtt_ms)
+
+    def record_id(self, seq: int) -> bool:
+        """Store one heartbeat ID (Fig. 3b).
+
+        Returns:
+            ``False`` if the ID was a duplicate and was ignored.
+        """
+        ids = self._ids
+        pos = bisect.bisect_left(ids, seq)
+        if pos < len(ids) and ids[pos] == seq:
+            self.duplicates_ignored += 1
+            return False
+        ids.insert(pos, seq)
+        if len(ids) > self.max_list_size:
+            # Evict the oldest (smallest) ID so the loss window slides.
+            ids.pop(0)
+        return True
+
+    def reset(self) -> None:
+        """Discard everything (fallback on election timeout, §III-B)."""
+        self._rtts.reset()
+        self._ids.clear()
+
+    # -- derived measurements ----------------------------------------------- #
+
+    @property
+    def ready(self) -> bool:
+        """Whether Step 1 (tuning) may run: enough RTT samples collected."""
+        return len(self._rtts) >= self.min_list_size
+
+    @property
+    def rtt_count(self) -> int:
+        return len(self._rtts)
+
+    @property
+    def id_count(self) -> int:
+        return len(self._ids)
+
+    def rtt_mean_std(self) -> tuple[float, float]:
+        """``(μ_RTT, σ_RTT)`` over the current window."""
+        return self._rtts.mean_std()
+
+    def loss_rate(self) -> float:
+        """``p = 1 − received/expected`` over the current ID window.
+
+        Returns 0.0 with fewer than two IDs — a single observation defines
+        no span, and "no evidence of loss" must not inflate ``K``.
+        """
+        ids = self._ids
+        if len(ids) < 2:
+            return 0.0
+        expected = ids[-1] - ids[0] + 1
+        if expected <= 0:  # defensive; cannot happen with sorted unique ids
+            return 0.0
+        p = 1.0 - len(ids) / expected
+        return p if p > 0.0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PathMeasurement(rtts={self.rtt_count}, ids={self.id_count}, "
+            f"ready={self.ready}, p={self.loss_rate():.4f})"
+        )

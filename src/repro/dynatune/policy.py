@@ -1,0 +1,360 @@
+"""Tuning policies: how a node chooses its election parameters.
+
+A :class:`TuningPolicy` is attached to each Raft node and consulted at
+every point where an election parameter matters:
+
+* arming the election timer (``election_timeout_ms``),
+* scheduling the next heartbeat to a given follower
+  (``heartbeat_interval_ms``),
+* building/consuming heartbeat metadata (``heartbeat_meta`` /
+  ``on_heartbeat`` / ``on_heartbeat_response``),
+* reacting to election timeouts and leader changes (the fallback rule of
+  §III-B: discard measurements, revert to defaults).
+
+Implementations:
+
+* :class:`StaticPolicy` — plain Raft.  Constant parameters, no metadata.
+  Instantiate with 1/10 of the defaults for the paper's **Raft-Low**
+  baseline.
+* :class:`DynatunePolicy` — the paper's system; also covers the **Fix-K**
+  variant via ``DynatuneConfig(fixed_k=10)``.
+
+One policy object serves both roles a node can play: its *follower half*
+measures the path from its current leader and tunes ``Et``/``h``; its
+*leader half* stamps outgoing heartbeats and applies the ``h`` each
+follower piggybacks back (§III-B step 3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Protocol
+
+from repro.dynatune.config import DynatuneConfig
+from repro.dynatune.measurement import PathMeasurement
+from repro.dynatune.metadata import HeartbeatMeta, HeartbeatResponseMeta
+from repro.dynatune.tuner import (
+    required_heartbeats,
+    tune_election_timeout,
+    tune_heartbeat_interval,
+)
+
+__all__ = ["TuningPolicy", "StaticPolicy", "DynatunePolicy"]
+
+
+class TuningPolicy(Protocol):
+    """Interface between a Raft node and its parameter-tuning layer."""
+
+    # -- follower half --------------------------------------------------- #
+
+    def election_timeout_ms(self, leader: str | None) -> float:
+        """Base election timeout ``Et`` toward ``leader`` (pre-randomization).
+
+        ``leader=None`` (no current leader) must return the default — this
+        value is also what the lease check and the leader's own quorum
+        check use.
+        """
+        ...
+
+    def on_heartbeat(
+        self, leader: str, meta: HeartbeatMeta | None, now_ms: float
+    ) -> HeartbeatResponseMeta | None:
+        """Process heartbeat metadata; return the response metadata."""
+        ...
+
+    def on_election_timeout(self, now_ms: float) -> None:
+        """Election timer expired: apply the fallback rule."""
+        ...
+
+    def on_leader_change(self, leader: str | None, now_ms: float) -> None:
+        """A different leader is now in charge: restart measurement."""
+        ...
+
+    # -- leader half ------------------------------------------------------ #
+
+    def heartbeat_interval_ms(self, follower: str) -> float:
+        """Interval ``h`` for the next heartbeat to ``follower``."""
+        ...
+
+    def heartbeat_meta(self, follower: str, now_ms: float) -> HeartbeatMeta | None:
+        """Metadata to stamp on the next heartbeat to ``follower``."""
+        ...
+
+    def on_heartbeat_response(
+        self, follower: str, meta: HeartbeatResponseMeta | None, now_ms: float
+    ) -> None:
+        """Process a follower's response metadata (RTT sample, tuned h)."""
+        ...
+
+    def on_become_leader(self, now_ms: float) -> None: ...
+
+    def on_step_down(self, now_ms: float) -> None: ...
+
+    @property
+    def heartbeat_channel(self) -> str:
+        """Transport for heartbeats: ``"udp"`` or ``"tcp"``."""
+        ...
+
+
+# --------------------------------------------------------------------- #
+# static baseline (Raft / Raft-Low)
+# --------------------------------------------------------------------- #
+
+
+class StaticPolicy:
+    """Fixed election parameters — the Raft baseline of every experiment.
+
+    Args:
+        election_timeout_ms: ``Et`` (paper default 1000 ms; Raft-Low 100 ms).
+        heartbeat_interval_ms: ``h`` (paper default 100 ms; Raft-Low 10 ms).
+        heartbeat_channel: etcd carries heartbeats over TCP.
+    """
+
+    def __init__(
+        self,
+        election_timeout_ms: float = 1000.0,
+        heartbeat_interval_ms: float = 100.0,
+        *,
+        heartbeat_channel: str = "tcp",
+    ) -> None:
+        if election_timeout_ms <= 0.0 or heartbeat_interval_ms <= 0.0:
+            raise ValueError("election timeout and heartbeat interval must be > 0")
+        self._et = float(election_timeout_ms)
+        self._h = float(heartbeat_interval_ms)
+        self._channel = heartbeat_channel
+
+    @classmethod
+    def raft_default(cls) -> "StaticPolicy":
+        """The paper's Raft baseline: Et = 1000 ms, h = 100 ms."""
+        return cls(1000.0, 100.0)
+
+    @classmethod
+    def raft_low(cls) -> "StaticPolicy":
+        """The paper's Raft-Low baseline: parameters at 1/10 of default."""
+        return cls(100.0, 10.0)
+
+    # follower half
+    def election_timeout_ms(self, leader: str | None) -> float:  # noqa: ARG002
+        return self._et
+
+    def on_heartbeat(
+        self, leader: str, meta: HeartbeatMeta | None, now_ms: float
+    ) -> HeartbeatResponseMeta | None:  # noqa: ARG002
+        return None
+
+    def on_election_timeout(self, now_ms: float) -> None:  # noqa: ARG002
+        return None
+
+    def on_leader_change(self, leader: str | None, now_ms: float) -> None:  # noqa: ARG002
+        return None
+
+    # leader half
+    def heartbeat_interval_ms(self, follower: str) -> float:  # noqa: ARG002
+        return self._h
+
+    def heartbeat_meta(self, follower: str, now_ms: float) -> HeartbeatMeta | None:  # noqa: ARG002
+        return None
+
+    def on_heartbeat_response(
+        self, follower: str, meta: HeartbeatResponseMeta | None, now_ms: float
+    ) -> None:  # noqa: ARG002
+        return None
+
+    def on_become_leader(self, now_ms: float) -> None:  # noqa: ARG002
+        return None
+
+    def on_step_down(self, now_ms: float) -> None:  # noqa: ARG002
+        return None
+
+    @property
+    def heartbeat_channel(self) -> str:
+        return self._channel
+
+    def __repr__(self) -> str:
+        return f"StaticPolicy(Et={self._et} ms, h={self._h} ms)"
+
+
+# --------------------------------------------------------------------- #
+# Dynatune
+# --------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass(slots=True)
+class _FollowerPathState:
+    """Leader-side per-follower state (Fig. 3a's leader role)."""
+
+    next_seq: int = 0
+    last_rtt_ms: float | None = None
+    rtt_seq: int = 0
+    applied_h_ms: float | None = None
+
+
+class DynatunePolicy:
+    """The paper's tuning mechanism (§III), per node.
+
+    Follower half: maintains one :class:`PathMeasurement` for the current
+    leader, recomputes ``Et`` on every RTT sample and ``h`` on every
+    heartbeat, and piggybacks ``h`` on responses.
+
+    Leader half: keeps a per-follower sequence counter and last measured
+    RTT (sent back out on the next heartbeat), and applies each follower's
+    piggybacked ``h`` to that follower's heartbeat timer.
+    """
+
+    def __init__(self, config: DynatuneConfig | None = None) -> None:
+        self.config = config if config is not None else DynatuneConfig()
+        cfg = self.config
+        # follower half
+        self._meas = PathMeasurement(cfg.min_list_size, cfg.max_list_size)
+        self._leader: str | None = None
+        self._tuned_et: float | None = None
+        self._tuned_h: float | None = None
+        self._last_rtt_seq = 0
+        # leader half
+        self._paths: dict[str, _FollowerPathState] = {}
+        # diagnostics
+        self.fallbacks = 0
+        self.retunes = 0
+
+    # -- introspection (used by experiments/tests) ------------------------- #
+
+    @property
+    def tuned_et_ms(self) -> float | None:
+        """Currently tuned ``Et`` (None while on defaults)."""
+        return self._tuned_et
+
+    @property
+    def tuned_h_ms(self) -> float | None:
+        """Currently tuned ``h`` this follower piggybacks (None in Step 0)."""
+        return self._tuned_h
+
+    @property
+    def measurement(self) -> PathMeasurement:
+        return self._meas
+
+    def applied_h_ms(self, follower: str) -> float | None:
+        """The ``h`` the leader half is currently applying to ``follower``."""
+        st = self._paths.get(follower)
+        return st.applied_h_ms if st is not None else None
+
+    # -- follower half ------------------------------------------------------ #
+
+    def election_timeout_ms(self, leader: str | None) -> float:
+        if leader is not None and leader == self._leader and self._tuned_et is not None:
+            return self._tuned_et
+        return self.config.default_election_timeout_ms
+
+    def on_heartbeat(
+        self, leader: str, meta: HeartbeatMeta | None, now_ms: float
+    ) -> HeartbeatResponseMeta | None:
+        if leader != self._leader:
+            # Defensive: the node calls on_leader_change first, but a
+            # heartbeat racing a leader change must not pollute the window.
+            self.on_leader_change(leader, now_ms)
+        if meta is None:
+            return None
+        self._meas.record_id(meta.seq)
+        if meta.rtt_sample_ms is not None and meta.rtt_sample_seq > self._last_rtt_seq:
+            self._last_rtt_seq = meta.rtt_sample_seq
+            self._meas.record_rtt(meta.rtt_sample_ms)
+        if self._meas.ready:
+            self._retune()
+        return HeartbeatResponseMeta(
+            echo_seq=meta.seq,
+            echo_ts=meta.send_ts,
+            tuned_h_ms=self._tuned_h,
+        )
+
+    def _retune(self) -> None:
+        """Steps 1–2 of §III-B: derive Et from RTT stats, then h from loss."""
+        cfg = self.config
+        mu, sigma = self._meas.rtt_mean_std()
+        et = tune_election_timeout(
+            mu,
+            sigma,
+            safety_factor=cfg.safety_factor,
+            floor_ms=cfg.et_floor_ms,
+            ceiling_ms=cfg.et_ceiling_ms,
+        )
+        p = self._meas.loss_rate()
+        k = (
+            cfg.fixed_k
+            if cfg.fixed_k is not None
+            else required_heartbeats(p, cfg.arrival_probability, k_max=cfg.k_max)
+        )
+        h = tune_heartbeat_interval(et, k, floor_ms=cfg.h_floor_ms)
+        self._tuned_et = et
+        self._tuned_h = h
+        self.retunes += 1
+
+    def on_election_timeout(self, now_ms: float) -> None:  # noqa: ARG002
+        """Fallback (§III-B): discard data, revert to defaults.
+
+        With ``fallback_on_timeout=False`` (ablation) the tuned state is
+        kept — the node keeps campaigning on its small tuned timeout.
+        """
+        if not self.config.fallback_on_timeout:
+            return
+        self._meas.reset()
+        self._tuned_et = None
+        self._tuned_h = None
+        self._last_rtt_seq = 0
+        self.fallbacks += 1
+
+    def on_leader_change(self, leader: str | None, now_ms: float) -> None:  # noqa: ARG002
+        if leader == self._leader:
+            return
+        self._leader = leader
+        self._meas.reset()
+        self._tuned_et = None
+        self._tuned_h = None
+        self._last_rtt_seq = 0
+
+    # -- leader half --------------------------------------------------------- #
+
+    def heartbeat_interval_ms(self, follower: str) -> float:
+        st = self._paths.get(follower)
+        if st is not None and st.applied_h_ms is not None:
+            return st.applied_h_ms
+        return self.config.default_heartbeat_interval_ms
+
+    def heartbeat_meta(self, follower: str, now_ms: float) -> HeartbeatMeta:
+        st = self._paths.setdefault(follower, _FollowerPathState())
+        st.next_seq += 1
+        return HeartbeatMeta(
+            seq=st.next_seq,
+            send_ts=now_ms,
+            rtt_sample_ms=st.last_rtt_ms,
+            rtt_sample_seq=st.rtt_seq,
+        )
+
+    def on_heartbeat_response(
+        self, follower: str, meta: HeartbeatResponseMeta | None, now_ms: float
+    ) -> None:
+        if meta is None:
+            return
+        st = self._paths.setdefault(follower, _FollowerPathState())
+        rtt = now_ms - meta.echo_ts
+        if rtt >= 0.0:
+            st.last_rtt_ms = rtt
+            st.rtt_seq += 1
+        if meta.tuned_h_ms is not None:
+            st.applied_h_ms = max(meta.tuned_h_ms, self.config.h_floor_ms)
+
+    def on_become_leader(self, now_ms: float) -> None:  # noqa: ARG002
+        # Fresh leadership: per-follower sequence spaces restart, and no
+        # stale RTT/h survives from a previous reign.
+        self._paths = {}
+
+    def on_step_down(self, now_ms: float) -> None:  # noqa: ARG002
+        self._paths = {}
+
+    @property
+    def heartbeat_channel(self) -> str:
+        return self.config.heartbeat_channel
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynatunePolicy(Et={self._tuned_et}, h={self._tuned_h}, "
+            f"leader={self._leader!r}, fallbacks={self.fallbacks})"
+        )

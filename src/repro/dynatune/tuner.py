@@ -1,0 +1,101 @@
+"""The tuning formulas of §III-D, with the edge cases pinned down.
+
+* **Election timeout** (§III-D1):  ``Et = μ_RTT + s·σ_RTT``.  The paper's
+  safety factor ``s`` trades detection speed against false-detection risk
+  (they use ``s = 2``).
+* **Heartbeat redundancy** (§III-D2): the smallest ``K`` with
+  ``1 − p^K ≥ x``, i.e. ``K = ⌈log_p(1 − x)⌉``.
+* **Heartbeat interval**: ``h = Et / K`` — ``K`` heartbeats spaced equally
+  inside one election-timeout window, so at least one arrives within ``Et``
+  with probability ≥ ``x``.
+
+Edge cases the formulas must survive in a live system:
+
+* ``p = 0``  → any single heartbeat arrives: ``K = 1`` (``log_0`` is
+  undefined; the limit is what the paper's requirement means).
+* ``p`` extremely close to 1 (a follower measured near-total loss) →
+  ``K`` explodes; it is clamped to ``k_max`` because sending heartbeats
+  every few microseconds would be the resource-exhaustion failure the
+  paper warns about in §II-B.
+* Tuned values are clamped to configured floors so that a degenerate
+  measurement (e.g. ``μ ≈ 0`` on a loopback-fast path) cannot arm a
+  zero-length timer.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["required_heartbeats", "tune_election_timeout", "tune_heartbeat_interval"]
+
+
+def tune_election_timeout(
+    mu_rtt_ms: float,
+    sigma_rtt_ms: float,
+    *,
+    safety_factor: float,
+    floor_ms: float = 1.0,
+    ceiling_ms: float | None = None,
+) -> float:
+    """``Et = μ + s·σ`` clamped to ``[floor_ms, ceiling_ms]``.
+
+    Raises:
+        ValueError: on negative inputs (a negative μ or σ indicates a
+            corrupted measurement stream and must not be papered over).
+    """
+    if mu_rtt_ms < 0.0 or sigma_rtt_ms < 0.0:
+        raise ValueError(
+            f"mean/std RTT must be >= 0, got mu={mu_rtt_ms!r} sigma={sigma_rtt_ms!r}"
+        )
+    if safety_factor < 0.0:
+        raise ValueError(f"safety factor must be >= 0, got {safety_factor!r}")
+    et = mu_rtt_ms + safety_factor * sigma_rtt_ms
+    if et < floor_ms:
+        et = floor_ms
+    if ceiling_ms is not None and et > ceiling_ms:
+        et = ceiling_ms
+    return et
+
+
+def required_heartbeats(
+    loss_rate: float,
+    arrival_probability: float,
+    *,
+    k_max: int = 50,
+) -> int:
+    """Smallest ``K`` with ``1 − p^K ≥ x``, clamped to ``[1, k_max]``.
+
+    Args:
+        loss_rate: measured per-heartbeat loss probability ``p``.
+        arrival_probability: target ``x`` ∈ (0, 1).
+        k_max: upper clamp on heartbeat redundancy.
+    """
+    if not (0.0 < arrival_probability < 1.0):
+        raise ValueError(
+            f"arrival probability x must be in (0, 1), got {arrival_probability!r}"
+        )
+    if not (0.0 <= loss_rate <= 1.0):
+        raise ValueError(f"loss rate must be in [0, 1], got {loss_rate!r}")
+    if loss_rate <= 0.0:
+        return 1
+    if loss_rate >= 1.0:
+        return k_max
+    # K = ceil(log(1-x) / log(p)); both logs are negative.
+    k = math.ceil(math.log(1.0 - arrival_probability) / math.log(loss_rate))
+    if k < 1:
+        return 1
+    return min(k, k_max)
+
+
+def tune_heartbeat_interval(
+    et_ms: float,
+    k: int,
+    *,
+    floor_ms: float = 1.0,
+) -> float:
+    """``h = Et / K`` clamped below by ``floor_ms``."""
+    if et_ms <= 0.0:
+        raise ValueError(f"election timeout must be > 0 ms, got {et_ms!r}")
+    if k < 1:
+        raise ValueError(f"K must be >= 1, got {k!r}")
+    return max(et_ms / k, floor_ms)

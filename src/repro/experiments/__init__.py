@@ -1,0 +1,19 @@
+"""Experiment modules: one per paper figure.
+
+Each module exposes:
+
+* a frozen config dataclass with ``quick()`` (CI-sized) and
+  ``paper_scale()`` (full §IV parameters) constructors;
+* ``run(config) -> <Fig*Result>`` — executes the experiment and returns
+  structured series/summaries;
+* ``main()`` — runs at the scale selected by ``REPRO_SCALE`` (``quick`` |
+  ``paper``) and prints the same rows/series the paper reports.
+
+The per-experiment index lives in DESIGN.md §3; measured-vs-paper numbers
+are recorded in EXPERIMENTS.md (regenerate with
+``python -m repro.experiments.report``).
+"""
+
+from repro.experiments.common import SYSTEMS, Scale, get_scale, make_policy_factory
+
+__all__ = ["SYSTEMS", "Scale", "get_scale", "make_policy_factory"]

@@ -1,0 +1,103 @@
+"""Shared experiment infrastructure: system registry and scale presets.
+
+The paper evaluates four systems (§IV); they differ *only* in the tuning
+policy attached to each node:
+
+* ``raft`` — etcd defaults: Et = 1000 ms, h = 100 ms, heartbeats over TCP;
+* ``raft-low`` — the §IV-C1 baseline with parameters at 1/10 of default;
+* ``dynatune`` — the paper's system (s = 2, x = 0.999, minList 10,
+  maxList 1000, UDP heartbeats);
+* ``fix-k`` — Dynatune with ``h``-tuning disabled, K pinned to 10
+  (§IV-C2's comparison variant).
+
+Scales: the paper's runs are long (1000 failures; 3-minute loss dwells;
+65-server clusters).  ``paper`` reproduces those parameters; ``quick``
+shrinks repetition counts and dwells (never the mechanism) so the full
+suite runs in CI time.  Select with ``REPRO_SCALE=quick|paper``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Callable
+
+from repro.dynatune.config import DynatuneConfig
+from repro.dynatune.policy import DynatunePolicy, StaticPolicy, TuningPolicy
+
+__all__ = ["SYSTEMS", "Scale", "QUICK", "PAPER", "get_scale", "make_policy_factory"]
+
+#: The four evaluated systems, by paper name.
+SYSTEMS: tuple[str, ...] = ("raft", "raft-low", "dynatune", "fix-k")
+
+
+def make_policy_factory(system: str) -> Callable[[str], TuningPolicy]:
+    """Policy factory for one of the paper's systems (see module docs)."""
+    if system == "raft":
+        return lambda name: StaticPolicy.raft_default()
+    if system == "raft-low":
+        return lambda name: StaticPolicy.raft_low()
+    if system == "dynatune":
+        return lambda name: DynatunePolicy(DynatuneConfig())
+    if system == "fix-k":
+        return lambda name: DynatunePolicy(DynatuneConfig(fixed_k=10))
+    raise ValueError(f"unknown system {system!r}; expected one of {SYSTEMS}")
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class Scale:
+    """Repetition counts and dwells for one suite scale."""
+
+    name: str
+    #: Leader kills for Figs. 4 and 8 (paper: 1000).
+    fig4_failures: int
+    #: Fig. 5 staircase repeats (paper: 10).
+    fig5_repeats: int
+    #: Dwell per RTT step in Fig. 6 (paper: 60 s).
+    fig6_dwell_ms: float
+    #: Dwell per loss level in Fig. 7 (paper: 180 s).
+    fig7_dwell_ms: float
+    #: Cluster sizes for Fig. 7 (paper: 5, 17, 65).
+    fig7_sizes: tuple[int, ...]
+    #: Leader kills for the ablation benches.
+    ablation_failures: int
+
+
+QUICK = Scale(
+    name="quick",
+    fig4_failures=60,
+    fig5_repeats=3,
+    fig6_dwell_ms=12_000.0,
+    fig7_dwell_ms=20_000.0,
+    fig7_sizes=(5, 17),
+    ablation_failures=25,
+)
+
+PAPER = Scale(
+    name="paper",
+    fig4_failures=1000,
+    fig5_repeats=10,
+    fig6_dwell_ms=60_000.0,
+    fig7_dwell_ms=180_000.0,
+    fig7_sizes=(5, 17, 65),
+    ablation_failures=200,
+)
+
+
+def get_scale() -> Scale:
+    """Scale selected by ``REPRO_SCALE`` (default: quick)."""
+    name = os.environ.get("REPRO_SCALE", "quick").strip().lower()
+    if name == "paper":
+        return PAPER
+    if name == "quick":
+        return QUICK
+    raise ValueError(f"REPRO_SCALE must be 'quick' or 'paper', got {name!r}")
+
+
+def fmt_ms(v: float | None) -> str:
+    """Render a millisecond value for report tables."""
+    return "-" if v is None else f"{v:.0f} ms"
+
+
+def fmt_pct(v: float) -> str:
+    return f"{100.0 * v:.0f} %"

@@ -1,0 +1,215 @@
+"""Fig. 6: adaptivity to RTT fluctuations (§IV-C1).
+
+Two patterns, three systems (Dynatune, Raft, Raft-Low), five servers, no
+requests, no induced failures.  Every second the harness samples each
+server's current ``randomizedTimeout``; the figure plots the third
+(``f+1``) smallest — the level at which a majority would declare the
+leader dead — plus the ground-truth RTT and OTS shading for leaderless
+periods.
+
+* **gradual** (Fig. 6a): RTT 50 → 200 → 50 ms in 10 ms steps, one dwell per
+  value.  Expectations: Dynatune's series tracks the RTT; Raft sits near
+  1.5 × 1000 ms; Raft-Low thrashes once the RTT approaches/exceeds its
+  100 ms timeout, recovering only when randomization draws land above the
+  RTT.
+* **radical** (Fig. 6b): 50 ms → 500 ms step → back.  Expectations:
+  Dynatune's followers false-detect (timers expire), discard measurements
+  and fall back to the 1000 ms default, but the pre-vote aborts when the
+  live leader's heartbeats arrive — no OTS; Raft rides it out; Raft-Low
+  loses the leader for the whole spike.
+
+Operational stalls (short leader pauses, :class:`~repro.cluster.faults.
+StallProfile`) model the single-host scheduling noise that triggers
+Raft-Low's elections in the paper's testbed; see DESIGN.md §1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.cluster.faults import StallInjector, StallProfile
+from repro.cluster.harness import ClusterHarness
+from repro.cluster.measurements import (
+    kth_smallest_series,
+    leaderless_intervals,
+    randomized_timeout_matrix,
+    total_interval_length,
+)
+from repro.experiments.common import get_scale, make_policy_factory
+from repro.net.schedule import NetworkSchedule, gradual_rtt_profile, radical_rtt_profile
+from repro.sim.clock import SECOND
+
+__all__ = ["Fig6Config", "SystemRttResult", "Fig6Result", "run", "main"]
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class Fig6Config:
+    pattern: str = "gradual"  # or "radical"
+    systems: tuple[str, ...] = ("dynatune", "raft", "raft-low")
+    n_nodes: int = 5
+    seed: int = 42
+    dwell_ms: float = 12_000.0
+    warmup_ms: float = 10_000.0
+    tail_ms: float = 5_000.0
+    stall_profile: StallProfile | None = dataclasses.field(
+        default_factory=StallProfile
+    )
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ("gradual", "radical"):
+            raise ValueError(f"pattern must be 'gradual' or 'radical', got {self.pattern!r}")
+
+    @classmethod
+    def quick(cls, pattern: str = "gradual") -> "Fig6Config":
+        return cls(pattern=pattern, dwell_ms=get_scale().fig6_dwell_ms)
+
+    @classmethod
+    def paper_scale(cls, pattern: str = "gradual") -> "Fig6Config":
+        return cls(pattern=pattern, dwell_ms=60_000.0)
+
+    def schedule(self) -> NetworkSchedule:
+        if self.pattern == "gradual":
+            return gradual_rtt_profile(dwell_ms=self.dwell_ms, start_ms=self.warmup_ms)
+        return radical_rtt_profile(dwell_ms=self.dwell_ms, start_ms=self.warmup_ms)
+
+    def duration_ms(self) -> float:
+        sched = self.schedule()
+        return sched.end_ms + self.dwell_ms + self.tail_ms
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class SystemRttResult:
+    """Per-system Fig. 6 series."""
+
+    system: str
+    pattern: str
+    #: Sample times (ms).
+    times_ms: np.ndarray
+    #: f+1-smallest randomizedTimeout per sample (ms) — the plotted line.
+    kth_randomized_timeout_ms: np.ndarray
+    #: Ground-truth RTT at each sample (ms).
+    rtt_ms: np.ndarray
+    #: Leaderless periods after the first election (the OTS shading).
+    ots_intervals: tuple[tuple[float, float], ...]
+    ots_total_ms: float
+    #: Term-incrementing elections after the first leader was established.
+    unnecessary_elections: int
+    #: Election-timer expirations after the first leader (false detections).
+    false_detections: int
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class Fig6Result:
+    config: Fig6Config
+    systems: dict[str, SystemRttResult]
+
+
+def run_system(system: str, config: Fig6Config) -> SystemRttResult:
+    schedule = config.schedule()
+    first_rtt, _ = schedule.value_at(config.warmup_ms)
+    cluster = build_cluster(
+        ClusterConfig(
+            n_nodes=config.n_nodes,
+            seed=config.seed,
+            rtt_ms=first_rtt if first_rtt is not None else 50.0,
+        ),
+        make_policy_factory(system),
+    )
+    schedule.install(cluster.loop, cluster.network)
+    harness = ClusterHarness(cluster)
+    harness.install_randomized_timeout_sampler(interval_ms=SECOND)
+    harness.install_rtt_probe(interval_ms=SECOND)
+    if config.stall_profile is not None:
+        StallInjector(
+            cluster.loop,
+            list(cluster.nodes.values()),
+            config.stall_profile,
+            cluster.rngs.stream,
+            trace=cluster.trace,
+        ).install()
+    cluster.start()
+    end = config.duration_ms()
+    cluster.run_until(end)
+
+    times, matrix = randomized_timeout_matrix(cluster.trace, cluster.names)
+    k = config.n_nodes // 2 + 1  # f+1
+    kth = kth_smallest_series(matrix, k)
+
+    probes = cluster.trace.of_kind("rtt_probe")
+    probe_by_time = {p.time: p.get("rtt_ms") for p in probes}
+    rtt_series = np.array([probe_by_time.get(t, np.nan) for t in times])
+
+    leaders = cluster.trace.of_kind("become_leader")
+    t_first_leader = leaders[0].time if leaders else 0.0
+    intervals = tuple(
+        leaderless_intervals(cluster.trace, t_start=t_first_leader, t_end=end)
+    )
+    elections = [
+        r for r in cluster.trace.of_kind("election_start") if r.time > t_first_leader
+    ]
+    timeouts = [
+        r for r in cluster.trace.of_kind("election_timeout") if r.time > t_first_leader
+    ]
+    return SystemRttResult(
+        system=system,
+        pattern=config.pattern,
+        times_ms=times,
+        kth_randomized_timeout_ms=kth,
+        rtt_ms=rtt_series,
+        ots_intervals=intervals,
+        ots_total_ms=total_interval_length(list(intervals)),
+        unnecessary_elections=len(elections),
+        false_detections=len(timeouts),
+    )
+
+
+def run(config: Fig6Config | None = None) -> Fig6Result:
+    cfg = config if config is not None else Fig6Config.quick()
+    return Fig6Result(
+        config=cfg, systems={s: run_system(s, cfg) for s in cfg.systems}
+    )
+
+
+def main(pattern: str | None = None) -> Fig6Result:  # pragma: no cover
+    import sys
+
+    if pattern is None:
+        pattern = "gradual"
+        if "--pattern" in sys.argv:
+            pattern = sys.argv[sys.argv.index("--pattern") + 1]
+        elif "radical" in sys.argv:
+            pattern = "radical"
+    result = run(Fig6Config.quick(pattern))
+    cfg = result.config
+    print(f"# Fig. 6{'a' if pattern == 'gradual' else 'b'} — {pattern} RTT fluctuation, dwell {cfg.dwell_ms/1000:.0f} s")
+    for name, sysres in result.systems.items():
+        print(
+            f"\n{name}: OTS total {sysres.ots_total_ms/1000.0:.1f} s in "
+            f"{len(sysres.ots_intervals)} intervals; elections {sysres.unnecessary_elections}; "
+            f"false detections {sysres.false_detections}"
+        )
+        from repro.analysis.asciiplot import line_chart
+
+        print(
+            line_chart(
+                {
+                    "randTO(f+1)": (
+                        sysres.times_ms / 1000.0,
+                        sysres.kth_randomized_timeout_ms,
+                    ),
+                    "RTT": (sysres.times_ms / 1000.0, sysres.rtt_ms),
+                },
+                title=f"Fig. 6 ({name}) — randomizedTimeout vs RTT",
+                x_label="s",
+                y_label="ms",
+                height=12,
+            )
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

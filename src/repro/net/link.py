@@ -1,0 +1,103 @@
+"""A directed network link: delay + loss + duplication.
+
+Each ordered node pair ``(a, b)`` has its own :class:`Link`, mirroring the
+per-interface ``tc`` shaping of the paper's testbed (delay and loss are set
+per container, i.e. per direction).  A link is transport-agnostic: it
+answers "would this packet drop?" and "how long would one transmission
+take?"; :mod:`repro.net.transport` composes those primitives into UDP and
+TCP semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.delay_models import ConstantDelay, DelayModel
+from repro.net.loss_models import LossModel, NoLoss
+from repro.net.stats import LinkStats
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One directed link with mutable impairment parameters.
+
+    Args:
+        src, dst: endpoint names (for diagnostics).
+        delay: one-way delay model.  Defaults to a constant 0.5 ms.
+        loss: loss process.  Defaults to lossless.
+        duplicate_p: probability a *delivered* UDP packet is duplicated
+            (netem ``duplicate``).  The paper's measurement design handles
+            duplicates explicitly (§III-C2), so tests exercise this.
+        rng: random stream for this link's draws.
+    """
+
+    __slots__ = ("src", "dst", "delay", "loss", "duplicate_p", "rng", "stats", "up")
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        *,
+        delay: DelayModel | None = None,
+        loss: LossModel | None = None,
+        duplicate_p: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not (0.0 <= duplicate_p <= 1.0):
+            raise ValueError(f"duplicate_p must be in [0,1], got {duplicate_p!r}")
+        self.src = src
+        self.dst = dst
+        self.delay: DelayModel = delay if delay is not None else ConstantDelay(0.5)
+        self.loss: LossModel = loss if loss is not None else NoLoss()
+        self.duplicate_p = float(duplicate_p)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.stats = LinkStats()
+        #: Administrative state; a downed link drops everything (partitions).
+        self.up = True
+
+    # -- impairment control (NetworkSchedule hooks) ----------------------- #
+
+    def set_rtt(self, rtt_ms: float) -> None:
+        """Set the round-trip time of the *path* this link belongs to.
+
+        One directed link contributes half the RTT; schedules usually call
+        this symmetrically on both directions via the Network helper.
+        """
+        if rtt_ms < 0.0:
+            raise ValueError(f"rtt must be >= 0 ms, got {rtt_ms!r}")
+        self.delay.set_base(rtt_ms / 2.0)
+
+    def set_loss_rate(self, p: float) -> None:
+        self.loss.set_rate(p)
+
+    @property
+    def one_way_ms(self) -> float:
+        """Current base one-way delay (ms)."""
+        return self.delay.base_ms
+
+    @property
+    def rtt_ms(self) -> float:
+        """Nominal path RTT implied by this link's base delay."""
+        return self.delay.base_ms * 2.0
+
+    # -- primitives used by the transports --------------------------------- #
+
+    def draw_drop(self) -> bool:
+        """Sample the loss process once (one physical transmission)."""
+        return self.loss.should_drop(self.rng)
+
+    def draw_delay(self) -> float:
+        """Sample a one-way propagation delay (ms)."""
+        return self.delay.sample(self.rng)
+
+    def draw_duplicate(self) -> bool:
+        if self.duplicate_p <= 0.0:
+            return False
+        return bool(self.rng.random() < self.duplicate_p)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "DOWN"
+        return (
+            f"Link({self.src}->{self.dst}, {self.delay!r}, {self.loss!r}, {state})"
+        )

@@ -1,0 +1,41 @@
+"""Message envelope carried by the network fabric."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any
+
+__all__ = ["Message"]
+
+_msg_counter = itertools.count()
+
+
+@dataclasses.dataclass(slots=True)
+class Message:
+    """A single datagram/segment travelling between two processes.
+
+    Attributes:
+        src: sender node name.
+        dst: destination node name.
+        payload: application payload (a Raft RPC dataclass).
+        channel: ``"udp"`` or ``"tcp"`` — selects transport semantics.
+        size_bytes: nominal wire size; only used by link byte counters.
+        send_time: virtual time the sender handed the message to the network.
+        uid: globally unique id (diagnostics, duplicate tracking in tests).
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    channel: str
+    size_bytes: int = 128
+    send_time: float = 0.0
+    uid: int = dataclasses.field(default_factory=lambda: next(_msg_counter))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = type(self.payload).__name__
+        return (
+            f"Message(#{self.uid} {self.src}->{self.dst} {kind} "
+            f"via {self.channel} @ {self.send_time})"
+        )

@@ -1,0 +1,228 @@
+"""The network fabric connecting simulated processes.
+
+One :class:`Network` instance is the cluster's switch + kernel stacks:
+
+* it owns one :class:`~repro.net.link.Link` per ordered node pair;
+* ``send()`` pushes a message through the link's channel semantics
+  (:mod:`repro.net.transport`) and schedules the delivery event;
+* partitions and per-pair impairment setters expose the same knobs the
+  paper drives through ``tc`` and Docker network surgery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+from repro.net.link import Link
+from repro.net.message import Message
+from repro.net.stats import LinkStats
+from repro.net.transport import (
+    CHANNEL_TCP,
+    CHANNEL_UDP,
+    TcpChannelState,
+    tcp_transmission_plan,
+    udp_transmission_plan,
+)
+from repro.sim.events import PRIORITY_MESSAGE
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Network", "Endpoint"]
+
+
+class Endpoint(Protocol):
+    """What the fabric needs from an attached process."""
+
+    name: str
+
+    def deliver(self, sender: str, payload: Any) -> None: ...
+
+
+class Network:
+    """Message fabric with per-pair links, partitions, and channel semantics.
+
+    Args:
+        loop: the shared event loop.
+        rngs: registry used to derive one stream per link (``net/<a>-><b>``),
+            so adding links never perturbs other components' randomness.
+    """
+
+    def __init__(self, loop: EventLoop, rngs: RngRegistry) -> None:
+        self.loop = loop
+        self.rngs = rngs
+        self._endpoints: dict[str, Endpoint] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._tcp_state: dict[tuple[str, str], TcpChannelState] = {}
+        self._partition_of: dict[str, int] | None = None
+        #: Messages dropped because of partitions (diagnostics).
+        self.partition_drops = 0
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+
+    def attach(self, endpoint: Endpoint) -> None:
+        """Register a process under its name."""
+        if endpoint.name in self._endpoints:
+            raise ValueError(f"endpoint {endpoint.name!r} already attached")
+        self._endpoints[endpoint.name] = endpoint
+
+    def endpoint(self, name: str) -> Endpoint:
+        return self._endpoints[name]
+
+    def node_names(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    def add_link(self, link: Link) -> None:
+        """Install a directed link (overwrites any previous one)."""
+        self._links[(link.src, link.dst)] = link
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no link {src!r} -> {dst!r} installed") from None
+
+    def links(self) -> list[Link]:
+        return [self._links[k] for k in sorted(self._links)]
+
+    # ------------------------------------------------------------------ #
+    # impairment control (what `tc` does in the paper)
+    # ------------------------------------------------------------------ #
+
+    def set_rtt(self, a: str, b: str, rtt_ms: float) -> None:
+        """Set the path RTT between ``a`` and ``b`` (both directions)."""
+        self.link(a, b).set_rtt(rtt_ms)
+        self.link(b, a).set_rtt(rtt_ms)
+
+    def set_loss(self, a: str, b: str, p: float) -> None:
+        """Set the per-direction loss rate between ``a`` and ``b``."""
+        self.link(a, b).set_loss_rate(p)
+        self.link(b, a).set_loss_rate(p)
+
+    def set_all_rtt(self, rtt_ms: float) -> None:
+        """Uniform RTT for every pair (the §IV-B / §IV-C configuration)."""
+        for link in self._links.values():
+            link.set_rtt(rtt_ms)
+
+    def set_all_loss(self, p: float) -> None:
+        for link in self._links.values():
+            link.set_loss_rate(p)
+
+    # ------------------------------------------------------------------ #
+    # partitions
+    # ------------------------------------------------------------------ #
+
+    def set_partitions(self, groups: list[set[str]]) -> None:
+        """Partition the cluster: traffic only flows within a group.
+
+        Nodes not mentioned in any group form an implicit final group.
+        """
+        partition_of: dict[str, int] = {}
+        for gid, group in enumerate(groups):
+            for name in group:
+                if name in partition_of:
+                    raise ValueError(f"node {name!r} appears in two groups")
+                partition_of[name] = gid
+        rest = [n for n in self._endpoints if n not in partition_of]
+        for name in rest:
+            partition_of[name] = len(groups)
+        self._partition_of = partition_of
+
+    def clear_partitions(self) -> None:
+        self._partition_of = None
+
+    def partitioned(self, a: str, b: str) -> bool:
+        if self._partition_of is None:
+            return False
+        return self._partition_of.get(a) != self._partition_of.get(b)
+
+    # ------------------------------------------------------------------ #
+    # send path
+    # ------------------------------------------------------------------ #
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        *,
+        channel: str = CHANNEL_TCP,
+        size_bytes: int = 128,
+    ) -> Message:
+        """Transmit ``payload`` from ``src`` to ``dst``.
+
+        Returns the :class:`Message` envelope (mostly for tests); delivery,
+        if any, happens via scheduled loop events.
+        """
+        msg = Message(
+            src=src,
+            dst=dst,
+            payload=payload,
+            channel=channel,
+            size_bytes=size_bytes,
+            send_time=self.loop.now,
+        )
+        link = self.link(src, dst)
+        link.stats.sent += 1
+        link.stats.bytes_sent += size_bytes
+
+        if not link.up or self.partitioned(src, dst):
+            self.partition_drops += 1
+            link.stats.dropped += 1
+            return msg
+
+        if channel == CHANNEL_UDP:
+            plan = udp_transmission_plan(link)
+        elif channel == CHANNEL_TCP:
+            state = self._tcp_state.setdefault((src, dst), TcpChannelState())
+            plan = tcp_transmission_plan(link, state, self.loop.now)
+        else:
+            raise ValueError(f"unknown channel {channel!r}")
+
+        if not plan.deliver:
+            link.stats.dropped += 1
+            return msg
+
+        link.stats.retransmits += plan.retransmits
+        self._schedule_delivery(msg, plan.delay_ms)
+        for extra_delay in plan.duplicates:
+            link.stats.duplicated += 1
+            self._schedule_delivery(msg, extra_delay)
+        return msg
+
+    def broadcast(
+        self,
+        src: str,
+        dsts: list[str],
+        payload: Any,
+        *,
+        channel: str = CHANNEL_TCP,
+        size_bytes: int = 128,
+    ) -> None:
+        """Send the same payload to several peers (independent link draws)."""
+        for dst in dsts:
+            self.send(src, dst, payload, channel=channel, size_bytes=size_bytes)
+
+    def _schedule_delivery(self, msg: Message, delay_ms: float) -> None:
+        def _deliver() -> None:
+            endpoint = self._endpoints.get(msg.dst)
+            if endpoint is None:
+                return
+            link = self._links.get((msg.src, msg.dst))
+            if link is not None:
+                link.stats.delivered += 1
+            endpoint.deliver(msg.src, msg.payload)
+
+        self.loop.schedule(delay_ms, _deliver, priority=PRIORITY_MESSAGE)
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+
+    def total_stats(self) -> LinkStats:
+        """Cluster-wide counter totals."""
+        total = LinkStats()
+        for link in self._links.values():
+            total = total.merge(link.stats)
+        return total

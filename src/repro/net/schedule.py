@@ -1,0 +1,233 @@
+"""Scripted, time-varying network conditions (the ``tc`` scripts of §IV-C).
+
+A :class:`NetworkSchedule` is a list of timed actions against the
+:class:`~repro.net.network.Network`.  The three profile builders reproduce
+the exact patterns of the paper:
+
+* :func:`gradual_rtt_profile` — §IV-C1 pattern 1: RTT 50 → 200 → 50 ms in
+  10 ms increments, one minute per value;
+* :func:`radical_rtt_profile` — §IV-C1 pattern 2: 50 ms for one minute, step
+  to 500 ms for one minute, back to 50 ms;
+* :func:`loss_staircase_profile` — §IV-C2: loss 0 → 5 → 10 → 15 → 20 → 25 →
+  30 → 25 → … → 0 %, three minutes per level, RTT pinned at 200 ms.
+
+Actions mutate link parameters in place, exactly like ``tc qdisc change``:
+packets already in flight keep the delay they sampled at send time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.net.network import Network
+from repro.sim.clock import MINUTE, SECOND
+from repro.sim.events import PRIORITY_CONTROL
+from repro.sim.loop import EventLoop
+
+__all__ = [
+    "ScheduleAction",
+    "NetworkSchedule",
+    "constant_profile",
+    "gradual_rtt_profile",
+    "radical_rtt_profile",
+    "loss_staircase_profile",
+]
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class ScheduleAction:
+    """One timed mutation of the network.
+
+    Attributes:
+        at_ms: absolute virtual time the action applies.
+        rtt_ms: if set, retarget every pair's RTT.
+        loss: if set, retarget every link's loss rate.
+        label: human-readable description (shows up in traces).
+    """
+
+    at_ms: float
+    rtt_ms: float | None = None
+    loss: float | None = None
+    label: str = ""
+
+
+class NetworkSchedule:
+    """A replayable sequence of network mutations.
+
+    The schedule is *installed* onto a loop + network, which registers one
+    control-priority event per action.  The same schedule object can be
+    installed onto many independent runs (it holds no run state).
+    """
+
+    def __init__(self, actions: list[ScheduleAction]) -> None:
+        self.actions = sorted(actions, key=lambda a: a.at_ms)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    @property
+    def end_ms(self) -> float:
+        """Time of the last action (ms); runs usually extend past this."""
+        return self.actions[-1].at_ms if self.actions else 0.0
+
+    def install(
+        self,
+        loop: EventLoop,
+        network: Network,
+        *,
+        on_apply: Callable[[ScheduleAction], None] | None = None,
+    ) -> None:
+        """Register every action as a future event on ``loop``.
+
+        Args:
+            on_apply: optional observer invoked after each action applies
+                (experiments use it to trace the active RTT/loss level).
+        """
+        for action in self.actions:
+            loop.schedule_at(
+                action.at_ms,
+                _Applier(network, action, on_apply),
+                priority=PRIORITY_CONTROL,
+            )
+
+    def value_at(self, t_ms: float) -> tuple[float | None, float | None]:
+        """The (rtt, loss) targets in force at time ``t_ms``.
+
+        Returns the most recent non-``None`` value of each dimension;
+        useful for plotting the ground-truth line of Fig. 6.
+        """
+        rtt: float | None = None
+        loss: float | None = None
+        for action in self.actions:
+            if action.at_ms > t_ms:
+                break
+            if action.rtt_ms is not None:
+                rtt = action.rtt_ms
+            if action.loss is not None:
+                loss = action.loss
+        return rtt, loss
+
+
+class _Applier:
+    """Bound callback for one action (avoids late-binding closure bugs)."""
+
+    __slots__ = ("_network", "_action", "_observer")
+
+    def __init__(
+        self,
+        network: Network,
+        action: ScheduleAction,
+        observer: Callable[[ScheduleAction], None] | None,
+    ) -> None:
+        self._network = network
+        self._action = action
+        self._observer = observer
+
+    def __call__(self) -> None:
+        if self._action.rtt_ms is not None:
+            self._network.set_all_rtt(self._action.rtt_ms)
+        if self._action.loss is not None:
+            self._network.set_all_loss(self._action.loss)
+        if self._observer is not None:
+            self._observer(self._action)
+
+
+# ---------------------------------------------------------------------- #
+# profile builders
+# ---------------------------------------------------------------------- #
+
+
+def constant_profile(*, rtt_ms: float, loss: float = 0.0) -> NetworkSchedule:
+    """Fixed conditions from t=0 (the §IV-B stable-network setting)."""
+    return NetworkSchedule(
+        [ScheduleAction(at_ms=0.0, rtt_ms=rtt_ms, loss=loss, label="constant")]
+    )
+
+
+def gradual_rtt_profile(
+    *,
+    low_ms: float = 50.0,
+    high_ms: float = 200.0,
+    step_ms: float = 10.0,
+    dwell_ms: float = MINUTE,
+    start_ms: float = 0.0,
+) -> NetworkSchedule:
+    """§IV-C1 gradual pattern: low → high → low in ``step_ms`` increments.
+
+    Each RTT value is held for ``dwell_ms`` (one minute in the paper).  The
+    descending leg does not repeat the peak value, matching "from 50 to
+    200 ms and back to 50 ms".
+    """
+    if high_ms < low_ms:
+        raise ValueError("high_ms must be >= low_ms")
+    if step_ms <= 0:
+        raise ValueError("step_ms must be > 0")
+    values: list[float] = []
+    v = low_ms
+    while v < high_ms:
+        values.append(v)
+        v += step_ms
+    values.append(high_ms)
+    values.extend(reversed(values[:-1]))  # descend without repeating the peak
+
+    actions = [
+        ScheduleAction(
+            at_ms=start_ms + i * dwell_ms,
+            rtt_ms=val,
+            label=f"rtt={val:g}ms",
+        )
+        for i, val in enumerate(values)
+    ]
+    return NetworkSchedule(actions)
+
+
+def radical_rtt_profile(
+    *,
+    base_ms: float = 50.0,
+    spike_ms: float = 500.0,
+    dwell_ms: float = MINUTE,
+    start_ms: float = 0.0,
+) -> NetworkSchedule:
+    """§IV-C1 radical pattern: base for one dwell, spike for one dwell, back."""
+    return NetworkSchedule(
+        [
+            ScheduleAction(at_ms=start_ms, rtt_ms=base_ms, label="base"),
+            ScheduleAction(at_ms=start_ms + dwell_ms, rtt_ms=spike_ms, label="spike"),
+            ScheduleAction(
+                at_ms=start_ms + 2 * dwell_ms, rtt_ms=base_ms, label="recover"
+            ),
+        ]
+    )
+
+
+def loss_staircase_profile(
+    *,
+    rtt_ms: float = 200.0,
+    levels: tuple[float, ...] = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30),
+    dwell_ms: float = 3 * MINUTE,
+    start_ms: float = 0.0,
+) -> NetworkSchedule:
+    """§IV-C2 staircase: loss up the levels then back down, RTT pinned.
+
+    The descending leg omits the peak (matching "increased ... to 30 %, and
+    then decreased it back to 25 %, ..., 0 %").
+    """
+    seq = list(levels) + list(reversed(levels[:-1]))
+    actions = [
+        ScheduleAction(at_ms=start_ms, rtt_ms=rtt_ms, loss=seq[0], label="loss start")
+    ]
+    actions += [
+        ScheduleAction(
+            at_ms=start_ms + i * dwell_ms,
+            loss=p,
+            label=f"loss={p:.0%}",
+        )
+        for i, p in enumerate(seq)
+        if i > 0
+    ]
+    return NetworkSchedule(actions)
+
+
+# re-export for convenience in experiment configs
+__seconds__ = SECOND

@@ -1,0 +1,42 @@
+"""Per-link delivery counters.
+
+Used by tests to verify loss/duplication rates and by experiments to report
+message overheads (the paper argues Dynatune adds *no additional
+communication*, §I — the counter totals let us check that claim directly in
+:mod:`repro.experiments`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["LinkStats"]
+
+
+@dataclasses.dataclass(slots=True)
+class LinkStats:
+    """Counters for one directed link."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    retransmits: int = 0
+    bytes_sent: int = 0
+
+    def observed_loss_rate(self) -> float:
+        """Fraction of offered packets that were dropped."""
+        if self.sent == 0:
+            return 0.0
+        return self.dropped / self.sent
+
+    def merge(self, other: "LinkStats") -> "LinkStats":
+        """Return a new LinkStats with summed counters."""
+        return LinkStats(
+            sent=self.sent + other.sent,
+            delivered=self.delivered + other.delivered,
+            dropped=self.dropped + other.dropped,
+            duplicated=self.duplicated + other.duplicated,
+            retransmits=self.retransmits + other.retransmits,
+            bytes_sent=self.bytes_sent + other.bytes_sent,
+        )

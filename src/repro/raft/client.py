@@ -1,0 +1,180 @@
+"""Client sessions for the replicated KV service.
+
+A :class:`RaftClient` is a simulated process that submits commands, follows
+leader redirects, retries on silence, and records per-request latency.  It
+is the building block of the examples and the correctness tests; the
+high-rate open-loop load of Fig. 5 uses the fluid model in
+:mod:`repro.cluster.workload` instead (see DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+from repro.raft.messages import ClientRequest, ClientResponse
+from repro.sim.loop import EventLoop
+from repro.sim.tracing import TraceLog
+
+__all__ = ["RaftClient", "CompletedRequest"]
+
+
+@dataclasses.dataclass(slots=True)
+class CompletedRequest:
+    """Outcome of one client command."""
+
+    request_id: int
+    command: Any
+    submitted_ms: float
+    completed_ms: float
+    result: Any
+    retries: int
+
+    @property
+    def latency_ms(self) -> float:
+        return self.completed_ms - self.submitted_ms
+
+
+class RaftClient:
+    """A client endpoint attached to the cluster network.
+
+    The client starts by guessing a contact node; on redirect it follows
+    ``leader_hint``; on timeout (no answer within ``retry_timeout_ms``) it
+    retries round-robin across the cluster.  This mirrors how etcd clients
+    ride out leader failures and is what the quickstart example
+    demonstrates.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        name: str,
+        network: Any,
+        cluster: list[str],
+        *,
+        retry_timeout_ms: float = 1000.0,
+        max_retries: int = 50,
+        trace: TraceLog | None = None,
+    ) -> None:
+        if not cluster:
+            raise ValueError("client needs at least one cluster node")
+        self.loop = loop
+        self.name = name
+        self.network = network
+        self.cluster = list(cluster)
+        self.retry_timeout_ms = float(retry_timeout_ms)
+        self.max_retries = int(max_retries)
+        self.trace = trace if trace is not None else TraceLog()
+        self.alive = True
+
+        self.completed: list[CompletedRequest] = []
+        self.failed: list[int] = []
+        self._next_id = 0
+        self._contact = self.cluster[0]
+        self._rr = 0
+        # request_id -> (command, submitted, retries, callback, timeout handle)
+        self._inflight: dict[int, list[Any]] = {}
+
+    # -- network endpoint protocol ----------------------------------------- #
+
+    def deliver(self, sender: str, payload: Any) -> None:  # noqa: ARG002
+        if isinstance(payload, ClientResponse):
+            self._on_response(payload)
+
+    # -- API ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        command: Any,
+        *,
+        on_complete: Callable[[CompletedRequest], None] | None = None,
+    ) -> int:
+        """Submit a command; returns the request id.
+
+        Completion (or final failure after ``max_retries``) is recorded in
+        :attr:`completed` / :attr:`failed` and reported to ``on_complete``.
+        """
+        req_id = self._next_id
+        self._next_id += 1
+        state = [command, self.loop.now, 0, on_complete, None]
+        self._inflight[req_id] = state
+        self._transmit(req_id)
+        return req_id
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    def mean_latency_ms(self) -> float:
+        if not self.completed:
+            return 0.0
+        return sum(c.latency_ms for c in self.completed) / len(self.completed)
+
+    # -- internals --------------------------------------------------------------- #
+
+    def _transmit(self, req_id: int) -> None:
+        state = self._inflight.get(req_id)
+        if state is None:
+            return
+        command = state[0]
+        self.network.send(
+            self.name,
+            self._contact,
+            ClientRequest(request_id=req_id, command=command),
+            channel="tcp",
+            size_bytes=160,
+        )
+        state[4] = self.loop.schedule(
+            self.retry_timeout_ms, lambda rid=req_id: self._on_timeout(rid)
+        )
+
+    def _on_timeout(self, req_id: int) -> None:
+        state = self._inflight.get(req_id)
+        if state is None:
+            return
+        state[2] += 1
+        if state[2] > self.max_retries:
+            del self._inflight[req_id]
+            self.failed.append(req_id)
+            self.trace.record(self.loop.now, self.name, "client_giveup", request=req_id)
+            return
+        # No answer: the contact may be dead or partitioned; rotate.
+        self._rr = (self._rr + 1) % len(self.cluster)
+        self._contact = self.cluster[self._rr]
+        self._transmit(req_id)
+
+    def _on_response(self, resp: ClientResponse) -> None:
+        state = self._inflight.get(resp.request_id)
+        if state is None:
+            return  # duplicate/stale answer for an already-settled request
+        command, submitted, retries, on_complete, handle = state
+        if resp.ok:
+            if handle is not None:
+                handle.cancel()
+            del self._inflight[resp.request_id]
+            done = CompletedRequest(
+                request_id=resp.request_id,
+                command=command,
+                submitted_ms=submitted,
+                completed_ms=self.loop.now,
+                result=resp.result,
+                retries=retries,
+            )
+            self.completed.append(done)
+            if on_complete is not None:
+                on_complete(done)
+            return
+        # Redirect: update the believed leader and retransmit immediately.
+        # A hint equal to the current contact still needs a retransmit —
+        # the earlier copy went to a different node before the contact was
+        # updated.  With no hint (mid-election), the retry timer handles it.
+        if resp.leader_hint is not None:
+            self._contact = resp.leader_hint
+            if handle is not None:
+                handle.cancel()
+            state[2] += 1
+            if state[2] > self.max_retries:
+                del self._inflight[resp.request_id]
+                self.failed.append(resp.request_id)
+                return
+            self._transmit(resp.request_id)

@@ -1,0 +1,158 @@
+"""The replicated log.
+
+Indexing is 1-based as in the Raft paper; index 0 is a virtual sentinel
+with term 0.  The log enforces the two structural invariants everything
+else leans on:
+
+* **append-only within a term** — entries are only removed by conflict
+  truncation driven by a newer leader;
+* **term monotonicity** — ``term(i) <= term(j)`` for ``i <= j``.
+
+``try_append`` implements the receiver side of AppendEntries (§5.3 of the
+Raft paper) including the conflict-index optimisation that lets a leader
+skip back over an entire conflicting term per round trip instead of one
+entry at a time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable
+
+__all__ = ["LogEntry", "RaftLog"]
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class LogEntry:
+    """One log slot.
+
+    Attributes:
+        term: leader term that created the entry.
+        index: 1-based log position.
+        command: state-machine command; ``None`` marks a leader no-op (the
+            entry each new leader appends to commit its predecessors' tail,
+            §5.4.2 of the Raft paper / etcd's empty entry).
+    """
+
+    term: int
+    index: int
+    command: Any = None
+
+
+class RaftLog:
+    """In-memory replicated log with 1-based indexing."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: list[LogEntry] = []
+
+    # -- inspection --------------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_index(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_term(self) -> int:
+        return self._entries[-1].term if self._entries else 0
+
+    def term_at(self, index: int) -> int:
+        """Term of the entry at ``index`` (0 for the sentinel).
+
+        Raises:
+            IndexError: if ``index`` is outside ``[0, last_index]``.
+        """
+        if index == 0:
+            return 0
+        if not (1 <= index <= len(self._entries)):
+            raise IndexError(f"log index {index} out of range 1..{len(self._entries)}")
+        return self._entries[index - 1].term
+
+    def entry_at(self, index: int) -> LogEntry:
+        if not (1 <= index <= len(self._entries)):
+            raise IndexError(f"log index {index} out of range 1..{len(self._entries)}")
+        return self._entries[index - 1]
+
+    def slice_from(self, start: int, limit: int) -> tuple[LogEntry, ...]:
+        """Up to ``limit`` entries beginning at index ``start``."""
+        if start < 1:
+            raise IndexError(f"slice start must be >= 1, got {start}")
+        return tuple(self._entries[start - 1 : start - 1 + limit])
+
+    def entries(self) -> tuple[LogEntry, ...]:
+        return tuple(self._entries)
+
+    def up_to_date(self, last_index: int, last_term: int) -> bool:
+        """The voter rule of §5.4.1: is ``(last_term, last_index)`` at least
+        as complete as this log?"""
+        if last_term != self.last_term:
+            return last_term > self.last_term
+        return last_index >= self.last_index
+
+    # -- mutation ------------------------------------------------------------ #
+
+    def append_new(self, term: int, command: Any) -> LogEntry:
+        """Leader-side append of a fresh entry.
+
+        Raises:
+            ValueError: if ``term`` would break term monotonicity.
+        """
+        if term < self.last_term:
+            raise ValueError(
+                f"term regression: appending term {term} after {self.last_term}"
+            )
+        entry = LogEntry(term=term, index=self.last_index + 1, command=command)
+        self._entries.append(entry)
+        return entry
+
+    def try_append(
+        self,
+        prev_log_index: int,
+        prev_log_term: int,
+        entries: Iterable[LogEntry],
+    ) -> tuple[bool, int, int | None]:
+        """Follower-side AppendEntries application.
+
+        Returns:
+            ``(success, match_index, conflict_index)``:
+
+            * success + the highest index now known to match the leader, or
+            * failure + a hint: the index the leader should retry from
+              (first index of the conflicting term, or just past our log's
+              end if we are simply short).
+        """
+        # Consistency check on the previous entry.
+        if prev_log_index > self.last_index:
+            return False, 0, self.last_index + 1
+        if prev_log_index >= 1 and self.term_at(prev_log_index) != prev_log_term:
+            conflict_term = self.term_at(prev_log_index)
+            first = prev_log_index
+            while first > 1 and self.term_at(first - 1) == conflict_term:
+                first -= 1
+            return False, 0, first
+
+        # Walk the new entries; truncate at the first term conflict.
+        new_entries = list(entries)
+        match = prev_log_index
+        for entry in new_entries:
+            idx = entry.index
+            if idx != match + 1:
+                raise ValueError(
+                    f"non-contiguous AppendEntries: expected index {match + 1}, "
+                    f"got {idx}"
+                )
+            if idx <= self.last_index:
+                if self.term_at(idx) == entry.term:
+                    match = idx
+                    continue  # already have it
+                del self._entries[idx - 1 :]  # conflict: drop our suffix
+            self._entries.append(entry)
+            match = idx
+        return True, match, None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RaftLog(len={self.last_index}, last_term={self.last_term})"

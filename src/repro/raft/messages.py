@@ -1,0 +1,127 @@
+"""Raft RPC payloads.
+
+Dataclasses (frozen, slotted) mirroring etcd's raft message set restricted
+to what the paper's experiments exercise: heartbeats (as a dedicated
+lightweight pair, like etcd's ``MsgHeartbeat``/``MsgHeartbeatResp``), the
+AppendEntries replication pair, the two vote pairs (pre-vote and vote), and
+the client RPCs of the KV service.
+
+Heartbeats carry the optional Dynatune metadata of §III-C; the baseline
+Raft policy leaves those fields ``None``, so the two systems exchange
+byte-compatible traffic apart from the metadata — matching the paper's "no
+additional communication overheads" framing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.dynatune.metadata import HeartbeatMeta, HeartbeatResponseMeta
+from repro.raft.log import LogEntry
+
+__all__ = [
+    "PreVoteRequest",
+    "PreVoteResponse",
+    "VoteRequest",
+    "VoteResponse",
+    "AppendEntriesRequest",
+    "AppendEntriesResponse",
+    "HeartbeatRequest",
+    "HeartbeatResponse",
+    "ClientRequest",
+    "ClientResponse",
+]
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class PreVoteRequest:
+    """Pre-vote poll: *would* you vote for me at ``term``?
+
+    ``term`` is the candidate's ``currentTerm + 1``; the candidate has not
+    actually moved to that term yet, and receivers never adopt it.
+    """
+
+    term: int
+    candidate: str
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class PreVoteResponse:
+    term: int  # echoes the proposed term on grant; voter's term on reject
+    voter: str
+    granted: bool
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class VoteRequest:
+    term: int
+    candidate: str
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class VoteResponse:
+    term: int
+    voter: str
+    granted: bool
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class AppendEntriesRequest:
+    term: int
+    leader: str
+    prev_log_index: int
+    prev_log_term: int
+    entries: tuple[LogEntry, ...]
+    leader_commit: int
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class AppendEntriesResponse:
+    term: int
+    follower: str
+    success: bool
+    match_index: int
+    conflict_index: int | None = None
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class HeartbeatRequest:
+    """Leader liveness beacon (etcd ``MsgHeartbeat``).
+
+    ``commit`` is clamped by the sender to the follower's match index so a
+    follower can never be told to commit entries it might not hold.
+    """
+
+    term: int
+    leader: str
+    commit: int
+    meta: HeartbeatMeta | None = None
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class HeartbeatResponse:
+    term: int
+    follower: str
+    last_log_index: int
+    meta: HeartbeatResponseMeta | None = None
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class ClientRequest:
+    """A state-machine command submitted by a client process."""
+
+    request_id: int
+    command: Any
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class ClientResponse:
+    request_id: int
+    ok: bool
+    result: Any = None
+    leader_hint: str | None = None

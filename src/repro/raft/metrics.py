@@ -1,0 +1,44 @@
+"""Per-node counters and the randomizedTimeout trace.
+
+The paper's figures sample two node-internal quantities that are not
+ordinary log events: the current ``randomizedTimeout`` (Fig. 6 plots the
+f+1-smallest across the cluster every second) and role/election counters
+(§IV-C2 verifies "no unnecessary elections occurred").  This module keeps
+them cheap to record and easy to query.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["NodeMetrics"]
+
+
+@dataclasses.dataclass(slots=True)
+class NodeMetrics:
+    """Counters for one Raft node."""
+
+    election_timeouts: int = 0
+    prevote_rounds: int = 0
+    elections_started: int = 0
+    times_leader: int = 0
+    step_downs: int = 0
+    quorum_step_downs: int = 0
+    heartbeats_sent: int = 0
+    heartbeats_received: int = 0
+    heartbeat_responses_received: int = 0
+    appends_sent: int = 0
+    appends_received: int = 0
+    votes_granted: int = 0
+    votes_rejected: int = 0
+    prevotes_granted: int = 0
+    prevotes_rejected: int = 0
+    entries_applied: int = 0
+    client_requests: int = 0
+    client_redirects: int = 0
+    #: The currently armed randomizedTimeout (ms); kept current by the node
+    #: every time the election timer (or the leader's quorum timer) is armed.
+    current_randomized_timeout_ms: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return dataclasses.asdict(self)

@@ -1,0 +1,803 @@
+"""The Raft node: the complete protocol state machine.
+
+This is the etcd-raft substitute the Dynatune layer plugs into.  It
+implements, per the Raft paper and etcd's extensions the paper relies on:
+
+* leader election with **randomized timeouts** drawn uniformly from
+  ``[Et, 2·Et)`` of the policy-supplied base timeout (etcd's policy; the
+  paper's measured randomizedTimeout means — 1454 ms for Et = 1000 ms,
+  152 ms for a tuned Et ≈ 100 ms — pin this distribution down);
+* the **pre-vote** phase (§II-A): a node that suspects the leader polls the
+  cluster *without* incrementing its term, and reverts to follower if the
+  supposedly-dead leader speaks up mid-poll — the exact mechanism behind
+  Fig. 6b's "false detection but no OTS" result;
+* **lease-protected voting** (etcd ``CheckQuorum``): a server that heard
+  from a live leader within its election timeout rejects (pre-)votes, so a
+  single confused node cannot depose a healthy leader;
+* **leader quorum check**: a leader that loses contact with a majority
+  steps down after one election timeout;
+* log replication with conflict back-off, majority commit restricted to
+  current-term entries (§5.4.2), and in-order application to the state
+  machine;
+* **per-follower heartbeat timers** — in stock Raft these all share one
+  interval; Dynatune requires one interval per leader-follower path
+  (§III-B), so the timer structure is per peer from the start.
+
+Election parameters are never read from constants: every arm of the
+election timer and every heartbeat scheduling decision asks the node's
+:class:`~repro.dynatune.policy.TuningPolicy`.  Swapping the policy object
+is the *only* difference between the paper's Raft, Raft-Low, Fix-K and
+Dynatune systems, mirroring the paper's claim that Dynatune leaves Raft's
+mechanisms untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.dynatune.policy import TuningPolicy
+from repro.raft.log import RaftLog
+from repro.raft.messages import (
+    AppendEntriesRequest,
+    AppendEntriesResponse,
+    ClientRequest,
+    ClientResponse,
+    HeartbeatRequest,
+    HeartbeatResponse,
+    PreVoteRequest,
+    PreVoteResponse,
+    VoteRequest,
+    VoteResponse,
+)
+from repro.raft.metrics import NodeMetrics
+from repro.raft.state_machine import StateMachine
+from repro.raft.types import RaftConfig, Role
+from repro.sim.loop import EventLoop
+from repro.sim.process import Process
+from repro.sim.tracing import TraceLog
+
+__all__ = ["RaftNode"]
+
+_NEG_INF = -math.inf
+
+
+class RaftNode(Process):
+    """One Raft server.
+
+    Args:
+        loop: shared event loop.
+        name: unique node name.
+        peers: names of **all** cluster members (including this node).
+        network: fabric used for sends (anything with ``send()``).
+        config: protocol configuration.
+        policy: election-parameter policy (Static / Dynatune / Fix-K).
+        state_machine: the replicated application (e.g. ``KVStore``).
+        trace: shared structured log.
+        rng: this node's random stream (election randomization).
+        cost_model: optional CPU cost accounting (``charge(node, kind)``).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        name: str,
+        peers: list[str],
+        network: Any,
+        config: RaftConfig,
+        policy: TuningPolicy,
+        state_machine: StateMachine,
+        trace: TraceLog,
+        rng: np.random.Generator,
+        cost_model: Any = None,
+    ) -> None:
+        super().__init__(loop, name, trace)
+        if name not in peers:
+            raise ValueError(f"peers must include the node itself ({name!r})")
+        self.peers = [p for p in peers if p != name]
+        self.cluster_size = len(peers)
+        self.quorum = self.cluster_size // 2 + 1
+        self.network = network
+        self.config = config
+        self.policy = policy
+        self.state_machine = state_machine
+        self.rng = rng
+        self.cost_model = cost_model
+        self.metrics = NodeMetrics()
+
+        # Persistent state (survives crash-recovery).
+        self.current_term = 0
+        self.voted_for: str | None = None
+        self.log = RaftLog()
+
+        # Volatile state.
+        self.role = Role.FOLLOWER
+        self.leader_id: str | None = None
+        self.commit_index = 0
+        self.last_applied = 0
+        self.last_leader_contact = _NEG_INF
+
+        # Candidate state.
+        self._prevotes: set[str] = set()
+        self._votes: set[str] = set()
+
+        # Leader state.
+        self.next_index: dict[str, int] = {}
+        self.match_index: dict[str, int] = {}
+        self._last_peer_response: dict[str, float] = {}
+        self._pending_client: dict[int, tuple[str, int]] = {}  # log idx -> (client, req)
+        # Outstanding AppendEntries per follower (etcd's inflight window):
+        # without a cap, every response to a still-behind follower would
+        # spawn a fresh full-window resend, and under sustained load those
+        # send/response chains accumulate without bound.
+        self._inflight_appends: dict[str, int] = {}
+        self._last_append_response: dict[str, float] = {}
+
+        self._election_timer = self.timers.timer("election", self._on_election_timeout)
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Arm the initial election timer; call once after wiring."""
+        if self._started:
+            raise RuntimeError(f"node {self.name!r} already started")
+        self._started = True
+        self._arm_election_timer()
+
+    def on_recover(self) -> None:
+        """Crash-recovery: volatile state resets, persistent state survives."""
+        self.role = Role.FOLLOWER
+        self.leader_id = None
+        self.commit_index = 0
+        self.last_applied = 0
+        self.last_leader_contact = _NEG_INF
+        self._prevotes = set()
+        self._votes = set()
+        self.next_index = {}
+        self.match_index = {}
+        self._last_peer_response = {}
+        self._pending_client = {}
+        self._inflight_appends = {}
+        self._last_append_response = {}
+        self.state_machine.reset()
+        self.policy.on_leader_change(None, self.loop.now)
+        self._arm_election_timer()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_leader(self) -> bool:
+        return self.role is Role.LEADER and self.alive
+
+    @property
+    def current_randomized_timeout_ms(self) -> float:
+        """The currently armed randomizedTimeout (Fig. 6's sampled series)."""
+        return self.metrics.current_randomized_timeout_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RaftNode({self.name!r}, {self.role.value}, term={self.current_term}, "
+            f"commit={self.commit_index})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+
+    def _charge(self, kind: str, units: int = 1) -> None:
+        if self.cost_model is not None:
+            self.cost_model.charge(self.name, kind, units)
+
+    def _send(self, dst: str, payload: Any, *, channel: str, size: int = 96) -> None:
+        self.network.send(self.name, dst, payload, channel=channel, size_bytes=size)
+
+    def _rpc(self, dst: str, payload: Any, size: int = 96) -> None:
+        self._send(dst, payload, channel=self.config.rpc_channel, size=size)
+
+    def _arm_election_timer(self) -> None:
+        """(Re-)arm with a fresh randomized draw from ``[Et, 2·Et)``."""
+        base = self.policy.election_timeout_ms(self.leader_id)
+        randomized = base * (1.0 + float(self.rng.random()))
+        self.metrics.current_randomized_timeout_ms = randomized
+        self._election_timer.reset(randomized)
+
+    def _lease_valid(self) -> bool:
+        """etcd's ``inLease``: protected contact with a live leader."""
+        if not self.config.check_quorum:
+            return False
+        if self.role is Role.LEADER:
+            return True
+        if self.leader_id is None:
+            return False
+        et = self.policy.election_timeout_ms(self.leader_id)
+        return (self.loop.now - self.last_leader_contact) < et
+
+    # ------------------------------------------------------------------ #
+    # role transitions
+    # ------------------------------------------------------------------ #
+
+    def _become_follower(self, term: int, leader: str | None) -> None:
+        was_leader = self.role is Role.LEADER
+        if term > self.current_term:
+            self.current_term = term
+            self.voted_for = None
+        self.role = Role.FOLLOWER
+        self._prevotes = set()
+        self._votes = set()
+        if was_leader:
+            self._teardown_leadership()
+        prev_leader = self.leader_id
+        self.leader_id = leader
+        if prev_leader != leader:
+            self.policy.on_leader_change(leader, self.loop.now)
+        self._arm_election_timer()
+
+    def _teardown_leadership(self) -> None:
+        self.metrics.step_downs += 1
+        self.trace.record(
+            self.loop.now, self.name, "step_down", term=self.current_term
+        )
+        for peer in self.peers:
+            self.timers.drop(f"hb/{peer}")
+        self.timers.drop("hb")
+        self.timers.drop("quorum")
+        self.policy.on_step_down(self.loop.now)
+        # Pending proposals can no longer be confirmed by this node.
+        pending, self._pending_client = self._pending_client, {}
+        for _idx, (client, req_id) in pending.items():
+            self._send(
+                client,
+                ClientResponse(request_id=req_id, ok=False, leader_hint=None),
+                channel=self.config.rpc_channel,
+            )
+
+    def _on_election_timeout(self) -> None:
+        if self.role is Role.LEADER:
+            return  # leaders do not run an election timer
+        had_leader = self.leader_id
+        self.metrics.election_timeouts += 1
+        self.trace.record(
+            self.loop.now,
+            self.name,
+            "election_timeout",
+            term=self.current_term,
+            role=self.role.value,
+            leader=had_leader,
+            randomized_timeout_ms=self.metrics.current_randomized_timeout_ms,
+        )
+        # Fallback rule (§III-B): discard measurements, revert to defaults.
+        self.policy.on_election_timeout(self.loop.now)
+        self.leader_id = None
+        if self.config.prevote:
+            self._start_prevote()
+        else:
+            self._become_candidate()
+
+    def _start_prevote(self) -> None:
+        self.role = Role.PRECANDIDATE
+        self._prevotes = {self.name}
+        self.metrics.prevote_rounds += 1
+        self.trace.record(
+            self.loop.now, self.name, "prevote_start", term=self.current_term
+        )
+        if len(self._prevotes) >= self.quorum:
+            self._become_candidate()
+            return
+        req = PreVoteRequest(
+            term=self.current_term + 1,
+            candidate=self.name,
+            last_log_index=self.log.last_index,
+            last_log_term=self.log.last_term,
+        )
+        for peer in self.peers:
+            self._rpc(peer, req)
+        self._arm_election_timer()  # retry the poll if it stalls
+
+    def _become_candidate(self) -> None:
+        self.role = Role.CANDIDATE
+        self.current_term += 1
+        self.voted_for = self.name
+        self._votes = {self.name}
+        self._prevotes = set()
+        self.metrics.elections_started += 1
+        self.trace.record(
+            self.loop.now, self.name, "election_start", term=self.current_term
+        )
+        if len(self._votes) >= self.quorum:
+            self._become_leader()
+            return
+        req = VoteRequest(
+            term=self.current_term,
+            candidate=self.name,
+            last_log_index=self.log.last_index,
+            last_log_term=self.log.last_term,
+        )
+        for peer in self.peers:
+            self._rpc(peer, req)
+        self._arm_election_timer()  # retry with a fresh draw on split vote
+
+    def _become_leader(self) -> None:
+        self.role = Role.LEADER
+        self.leader_id = self.name
+        self.metrics.times_leader += 1
+        self.trace.record(
+            self.loop.now, self.name, "become_leader", term=self.current_term
+        )
+        self._election_timer.cancel()
+        self.policy.on_become_leader(self.loop.now)
+        self.next_index = {p: self.log.last_index + 1 for p in self.peers}
+        self.match_index = {p: 0 for p in self.peers}
+        self._last_peer_response = {p: self.loop.now for p in self.peers}
+        self._inflight_appends = {p: 0 for p in self.peers}
+        self._last_append_response = {p: self.loop.now for p in self.peers}
+        # No-op entry: lets this leader commit its predecessors' tail
+        # (commit is restricted to current-term entries, §5.4.2).
+        self.log.append_new(self.current_term, None)
+        for peer in self.peers:
+            self._send_append(peer)
+            self._schedule_heartbeat(peer, first=True)
+        self._schedule_quorum_check()
+
+    # ------------------------------------------------------------------ #
+    # leader duties
+    # ------------------------------------------------------------------ #
+
+    def _schedule_heartbeat(self, peer: str, *, first: bool = False) -> None:
+        if self.config.consolidated_heartbeat_timer:
+            # §IV-E feature 2: one timer for everyone at the minimum h.
+            interval = min(
+                self.policy.heartbeat_interval_ms(p) for p in self.peers
+            )
+            if first and self.config.heartbeat_phase_stagger:
+                interval *= float(self.rng.random())
+            if self.config.heartbeat_timer_jitter_ms > 0.0:
+                interval += self.config.heartbeat_timer_jitter_ms * float(
+                    self.rng.random()
+                )
+            self.timers.timer("hb", self._heartbeat_tick_all).reset(interval)
+            return
+        interval = self.policy.heartbeat_interval_ms(peer)
+        if first and self.config.heartbeat_phase_stagger:
+            # Independent initial phase per follower loop (see RaftConfig).
+            interval *= float(self.rng.random())
+        if self.config.heartbeat_timer_jitter_ms > 0.0:
+            interval += self.config.heartbeat_timer_jitter_ms * float(self.rng.random())
+        self.timers.timer(f"hb/{peer}", lambda p=peer: self._heartbeat_tick(p)).reset(
+            interval
+        )
+
+    def _send_heartbeat_to(self, peer: str) -> None:
+        meta = self.policy.heartbeat_meta(peer, self.loop.now)
+        commit = min(self.commit_index, self.match_index.get(peer, 0))
+        self._send(
+            peer,
+            HeartbeatRequest(
+                term=self.current_term, leader=self.name, commit=commit, meta=meta
+            ),
+            channel=self.policy.heartbeat_channel,
+            size=64 if meta is None else 88,
+        )
+        self.metrics.heartbeats_sent += 1
+        self._charge("heartbeat_send")
+        if meta is not None:
+            self._charge("tuning")
+
+    def _heartbeat_tick(self, peer: str) -> None:
+        if self.role is not Role.LEADER:
+            return
+        self._send_heartbeat_to(peer)
+        self._schedule_heartbeat(peer)
+
+    def _heartbeat_tick_all(self) -> None:
+        """Consolidated-timer beat: heartbeat every follower at once."""
+        if self.role is not Role.LEADER:
+            return
+        for peer in self.peers:
+            self._send_heartbeat_to(peer)
+        self._schedule_heartbeat(self.peers[0])
+
+    def _schedule_quorum_check(self) -> None:
+        if not self.config.check_quorum:
+            return
+        et = self.policy.election_timeout_ms(None)
+        # Keep the sampled randomizedTimeout meaningful for leaders too:
+        # this is the value the leader would arm if it stepped down now.
+        self.metrics.current_randomized_timeout_ms = et * (
+            1.0 + float(self.rng.random())
+        )
+        self.timers.timer("quorum", self._quorum_tick).reset(et)
+
+    def _quorum_tick(self) -> None:
+        if self.role is not Role.LEADER:
+            return
+        et = self.policy.election_timeout_ms(None)
+        now = self.loop.now
+        active = 1 + sum(
+            1
+            for p in self.peers
+            if now - self._last_peer_response.get(p, _NEG_INF) <= et
+        )
+        if active < self.quorum:
+            self.metrics.quorum_step_downs += 1
+            self.trace.record(
+                self.loop.now,
+                self.name,
+                "quorum_lost",
+                term=self.current_term,
+                active=active,
+            )
+            self._become_follower(self.current_term, None)
+            return
+        self._schedule_quorum_check()
+
+    #: Maximum unacknowledged AppendEntries per follower.
+    MAX_INFLIGHT_APPENDS = 4
+    #: An append pipeline with no ack for this long is considered lost.
+    APPEND_PIPELINE_STALL_MS = 1_000.0
+
+    def _send_append(self, peer: str, *, force: bool = False) -> None:
+        if not force and self._inflight_appends.get(peer, 0) >= self.MAX_INFLIGHT_APPENDS:
+            return  # pipeline full; the next response will pull more
+        self._inflight_appends[peer] = self._inflight_appends.get(peer, 0) + 1
+        next_i = self.next_index.get(peer, self.log.last_index + 1)
+        if next_i > self.log.last_index + 1:
+            next_i = self.log.last_index + 1
+            self.next_index[peer] = next_i
+        prev = next_i - 1
+        entries = self.log.slice_from(next_i, self.config.max_entries_per_append)
+        self._rpc(
+            peer,
+            AppendEntriesRequest(
+                term=self.current_term,
+                leader=self.name,
+                prev_log_index=prev,
+                prev_log_term=self.log.term_at(prev),
+                entries=entries,
+                leader_commit=self.commit_index,
+            ),
+            size=64 + 96 * len(entries),
+        )
+        self.metrics.appends_sent += 1
+        self._charge("append_send", units=max(1, len(entries)))
+        if self.config.suppress_heartbeats_under_load and self.role is Role.LEADER:
+            # §IV-E feature 1: this replication message is the heartbeat;
+            # push the dedicated one out by a full interval.
+            self._schedule_heartbeat(peer)
+
+    def _advance_commit(self) -> None:
+        """Majority-match commit, restricted to current-term entries."""
+        if self.role is not Role.LEADER:
+            return
+        matches = sorted(
+            list(self.match_index.values()) + [self.log.last_index], reverse=True
+        )
+        candidate = matches[self.quorum - 1]
+        if candidate > self.commit_index and self.log.term_at(candidate) == self.current_term:
+            self.commit_index = candidate
+            self._apply_committed()
+
+    def _apply_committed(self) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            entry = self.log.entry_at(self.last_applied)
+            result = (
+                self.state_machine.apply(entry.command)
+                if entry.command is not None
+                else None
+            )
+            self.metrics.entries_applied += 1
+            self._charge("apply")
+            pending = self._pending_client.pop(entry.index, None)
+            if pending is not None and self.role is Role.LEADER:
+                client, req_id = pending
+                self._send(
+                    client,
+                    ClientResponse(request_id=req_id, ok=True, result=result),
+                    channel=self.config.rpc_channel,
+                )
+
+    # ------------------------------------------------------------------ #
+    # message dispatch
+    # ------------------------------------------------------------------ #
+
+    def on_message(self, sender: str, payload: Any) -> None:
+        match payload:
+            case HeartbeatRequest():
+                self._on_heartbeat(payload)
+            case HeartbeatResponse():
+                self._on_heartbeat_response(payload)
+            case AppendEntriesRequest():
+                self._on_append_entries(payload)
+            case AppendEntriesResponse():
+                self._on_append_response(payload)
+            case PreVoteRequest():
+                self._on_prevote_request(payload)
+            case PreVoteResponse():
+                self._on_prevote_response(payload)
+            case VoteRequest():
+                self._on_vote_request(payload)
+            case VoteResponse():
+                self._on_vote_response(payload)
+            case ClientRequest():
+                self._on_client_request(sender, payload)
+            case _:
+                raise TypeError(
+                    f"{self.name}: unknown payload {type(payload).__name__}"
+                )
+
+    # -- leader liveness ---------------------------------------------------- #
+
+    def _observe_leader_message(self, term: int, leader: str) -> None:
+        """Common handling for any message from a node claiming leadership."""
+        if self.role is Role.LEADER:
+            if term > self.current_term:
+                self._become_follower(term, leader)
+            elif leader != self.name:
+                # Two leaders in one term would break election safety; the
+                # trace record lets invariant tests catch it loudly.
+                self.trace.record(
+                    self.loop.now,
+                    self.name,
+                    "safety_violation_two_leaders",
+                    term=term,
+                    other=leader,
+                )
+                self._become_follower(term, leader)
+        elif term > self.current_term or self.role in (
+            Role.PRECANDIDATE,
+            Role.CANDIDATE,
+        ):
+            # Equal-term case: a live leader spoke while we were polling or
+            # campaigning — abort and fall back in line (Fig. 6b's saviour).
+            self._become_follower(term, leader)
+        if self.leader_id != leader:
+            prev = self.leader_id
+            self.leader_id = leader
+            self.policy.on_leader_change(leader, self.loop.now)
+            self.trace.record(
+                self.loop.now,
+                self.name,
+                "leader_observed",
+                term=term,
+                leader=leader,
+                previous=prev,
+            )
+        self.last_leader_contact = self.loop.now
+
+    # -- heartbeats ----------------------------------------------------------- #
+
+    def _on_heartbeat(self, m: HeartbeatRequest) -> None:
+        self.metrics.heartbeats_received += 1
+        self._charge("heartbeat_recv")
+        if m.term < self.current_term:
+            self._send(
+                m.leader,
+                HeartbeatResponse(
+                    term=self.current_term,
+                    follower=self.name,
+                    last_log_index=self.log.last_index,
+                ),
+                channel=self.policy.heartbeat_channel,
+            )
+            return
+        self._observe_leader_message(m.term, m.leader)
+        if m.commit > self.commit_index:
+            self.commit_index = min(m.commit, self.log.last_index)
+            self._apply_committed()
+        meta = self.policy.on_heartbeat(m.leader, m.meta, self.loop.now)
+        if m.meta is not None:
+            self._charge("tuning")
+        self._arm_election_timer()
+        self._send(
+            m.leader,
+            HeartbeatResponse(
+                term=self.current_term,
+                follower=self.name,
+                last_log_index=self.log.last_index,
+                meta=meta,
+            ),
+            channel=self.policy.heartbeat_channel,
+            size=64 if meta is None else 88,
+        )
+        self._charge("heartbeat_resp_send")
+
+    def _on_heartbeat_response(self, m: HeartbeatResponse) -> None:
+        self.metrics.heartbeat_responses_received += 1
+        self._charge("heartbeat_resp_recv")
+        if m.term > self.current_term:
+            self._become_follower(m.term, None)
+            return
+        if self.role is not Role.LEADER or m.term < self.current_term:
+            return
+        self._last_peer_response[m.follower] = self.loop.now
+        self.policy.on_heartbeat_response(m.follower, m.meta, self.loop.now)
+        if m.meta is not None:
+            self._charge("tuning")
+        if (
+            self.config.heartbeat_response_catchup
+            and self.match_index.get(m.follower, 0) < self.log.last_index
+        ):
+            # Recovery path for a *stalled* pipeline only: either nothing
+            # is in flight, or the in-flight messages' acks were lost long
+            # ago (e.g. across a follower pause).  A live pipeline keeps
+            # its own accounting — resetting it here would mint phantom
+            # send slots and the send/response chains would multiply.
+            inflight = self._inflight_appends.get(m.follower, 0)
+            stale = (
+                self.loop.now - self._last_append_response.get(m.follower, _NEG_INF)
+                > self.APPEND_PIPELINE_STALL_MS
+            )
+            if inflight == 0 or stale:
+                self._inflight_appends[m.follower] = 0
+                self._send_append(m.follower, force=True)
+
+    # -- replication ------------------------------------------------------------ #
+
+    def _on_append_entries(self, m: AppendEntriesRequest) -> None:
+        self.metrics.appends_received += 1
+        self._charge("append_recv", units=max(1, len(m.entries)))
+        if m.term < self.current_term:
+            self._rpc(
+                m.leader,
+                AppendEntriesResponse(
+                    term=self.current_term,
+                    follower=self.name,
+                    success=False,
+                    match_index=0,
+                ),
+            )
+            return
+        self._observe_leader_message(m.term, m.leader)
+        ok, match, conflict = self.log.try_append(
+            m.prev_log_index, m.prev_log_term, m.entries
+        )
+        if ok and m.leader_commit > self.commit_index:
+            self.commit_index = max(self.commit_index, min(m.leader_commit, match))
+            self._apply_committed()
+        self._arm_election_timer()
+        self._rpc(
+            m.leader,
+            AppendEntriesResponse(
+                term=self.current_term,
+                follower=self.name,
+                success=ok,
+                match_index=match,
+                conflict_index=conflict,
+            ),
+        )
+
+    def _on_append_response(self, m: AppendEntriesResponse) -> None:
+        self._charge("append_resp_recv")
+        if m.term > self.current_term:
+            self._become_follower(m.term, None)
+            return
+        if self.role is not Role.LEADER or m.term < self.current_term:
+            return
+        self._last_peer_response[m.follower] = self.loop.now
+        self._last_append_response[m.follower] = self.loop.now
+        self._inflight_appends[m.follower] = max(
+            0, self._inflight_appends.get(m.follower, 0) - 1
+        )
+        if m.success:
+            if m.match_index > self.match_index.get(m.follower, 0):
+                self.match_index[m.follower] = m.match_index
+                self.next_index[m.follower] = m.match_index + 1
+                self._advance_commit()
+            if self.match_index.get(m.follower, 0) < self.log.last_index:
+                self._send_append(m.follower)
+        else:
+            hint = m.conflict_index
+            fallback = max(1, self.next_index.get(m.follower, 2) - 1)
+            self.next_index[m.follower] = hint if hint is not None else fallback
+            self._send_append(m.follower)
+
+    # -- pre-vote ------------------------------------------------------------- #
+
+    def _on_prevote_request(self, m: PreVoteRequest) -> None:
+        granted = (
+            m.term >= self.current_term
+            and self.log.up_to_date(m.last_log_index, m.last_log_term)
+            and not self._lease_valid()
+        )
+        if granted:
+            self.metrics.prevotes_granted += 1
+        else:
+            self.metrics.prevotes_rejected += 1
+        self._rpc(
+            m.candidate,
+            PreVoteResponse(
+                term=m.term if granted else self.current_term,
+                voter=self.name,
+                granted=granted,
+            ),
+        )
+
+    def _on_prevote_response(self, m: PreVoteResponse) -> None:
+        if not m.granted and m.term > self.current_term:
+            self._become_follower(m.term, None)
+            return
+        if self.role is not Role.PRECANDIDATE:
+            return
+        if m.granted and m.term == self.current_term + 1:
+            self._prevotes.add(m.voter)
+            if len(self._prevotes) >= self.quorum:
+                self._become_candidate()
+
+    # -- votes ----------------------------------------------------------------- #
+
+    def _on_vote_request(self, m: VoteRequest) -> None:
+        if m.term < self.current_term:
+            self._rpc(
+                m.candidate,
+                VoteResponse(term=self.current_term, voter=self.name, granted=False),
+            )
+            self.metrics.votes_rejected += 1
+            return
+        if m.term > self.current_term:
+            if self._lease_valid():
+                # etcd's lease protection: a healthy leader is in charge, so
+                # we neither adopt the bigger term nor grant the vote.
+                self._rpc(
+                    m.candidate,
+                    VoteResponse(
+                        term=self.current_term, voter=self.name, granted=False
+                    ),
+                )
+                self.metrics.votes_rejected += 1
+                return
+            self._become_follower(m.term, None)
+        granted = self.voted_for in (None, m.candidate) and self.log.up_to_date(
+            m.last_log_index, m.last_log_term
+        )
+        if granted:
+            self.voted_for = m.candidate
+            self.metrics.votes_granted += 1
+            self._arm_election_timer()  # granting defers our own candidacy
+        else:
+            self.metrics.votes_rejected += 1
+        self._rpc(
+            m.candidate,
+            VoteResponse(term=self.current_term, voter=self.name, granted=granted),
+        )
+
+    def _on_vote_response(self, m: VoteResponse) -> None:
+        if m.term > self.current_term:
+            self._become_follower(m.term, None)
+            return
+        if self.role is not Role.CANDIDATE or m.term < self.current_term:
+            return
+        if m.granted:
+            self._votes.add(m.voter)
+            if len(self._votes) >= self.quorum:
+                self._become_leader()
+
+    # -- clients ----------------------------------------------------------------- #
+
+    def _on_client_request(self, sender: str, m: ClientRequest) -> None:
+        self.metrics.client_requests += 1
+        self._charge("client_request")
+        if self.role is not Role.LEADER:
+            self.metrics.client_redirects += 1
+            self._send(
+                sender,
+                ClientResponse(
+                    request_id=m.request_id, ok=False, leader_hint=self.leader_id
+                ),
+                channel=self.config.rpc_channel,
+            )
+            return
+        entry = self.log.append_new(self.current_term, m.command)
+        self._pending_client[entry.index] = (sender, m.request_id)
+        if self.cluster_size == 1:
+            self.commit_index = entry.index
+            self._apply_committed()
+            return
+        for peer in self.peers:
+            self._send_append(peer)

@@ -1,0 +1,95 @@
+"""Replicated state machines: the protocol and the etcd-style KV store.
+
+SMR (§II-A): every server applies committed log entries in index order to
+an initially identical state machine, so all copies stay consistent.  The
+KV store is the service the paper's testbed runs (etcd is "a widely used
+key-value store", §III-E).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["StateMachine", "KVStore", "KVCommand", "kv_put", "kv_get", "kv_delete"]
+
+
+@runtime_checkable
+class StateMachine(Protocol):
+    """What Raft needs from an application state machine."""
+
+    def apply(self, command: Any) -> Any:
+        """Apply one committed command; returns the client-visible result.
+
+        Must be deterministic: identical command sequences must yield
+        identical states and results on every replica.
+        """
+        ...
+
+    def reset(self) -> None:
+        """Drop all state (crash-recovery replays the log from scratch)."""
+        ...
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class KVCommand:
+    """A key-value operation: ``put``, ``get`` or ``delete``."""
+
+    op: str
+    key: str
+    value: Any = None
+
+
+def kv_put(key: str, value: Any) -> KVCommand:
+    return KVCommand(op="put", key=key, value=value)
+
+
+def kv_get(key: str) -> KVCommand:
+    return KVCommand(op="get", key=key)
+
+
+def kv_delete(key: str) -> KVCommand:
+    return KVCommand(op="delete", key=key)
+
+
+class KVStore:
+    """A deterministic in-memory key-value state machine.
+
+    ``get`` goes through the log too (linearizable reads via log
+    serialization — the simplest correct read path; etcd's read-index
+    optimisation is out of scope for the paper's experiments).
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+        self.applied_count = 0
+
+    def apply(self, command: Any) -> Any:
+        if command is None:  # leader no-op entry
+            return None
+        if not isinstance(command, KVCommand):
+            raise TypeError(f"KVStore cannot apply {type(command).__name__}")
+        self.applied_count += 1
+        if command.op == "put":
+            self._data[command.key] = command.value
+            return command.value
+        if command.op == "get":
+            return self._data.get(command.key)
+        if command.op == "delete":
+            return self._data.pop(command.key, None)
+        raise ValueError(f"unknown KV op {command.op!r}")
+
+    def reset(self) -> None:
+        self._data.clear()
+        self.applied_count = 0
+
+    # -- local inspection (not linearizable; tests/examples only) ---------- #
+
+    def peek(self, key: str) -> Any:
+        return self._data.get(key)
+
+    def snapshot(self) -> dict[str, Any]:
+        return dict(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,91 @@
+"""Core Raft types: roles and node configuration."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = ["Role", "RaftConfig"]
+
+
+class Role(enum.Enum):
+    """The three roles of §II-A plus the pre-vote extension's fourth state.
+
+    A *pre-candidate* has detected leader loss but has not incremented its
+    term; it first polls the cluster (pre-vote) and only becomes a real
+    candidate — and only then disturbs the term space — if a majority
+    agrees the leader is gone.  Dynatune's tolerance of false detections
+    (Fig. 6b) rests on this state.
+    """
+
+    FOLLOWER = "follower"
+    PRECANDIDATE = "precandidate"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class RaftConfig:
+    """Per-node protocol configuration (election parameters live in the
+    :class:`~repro.dynatune.policy.TuningPolicy`, not here).
+
+    Attributes:
+        prevote: run the pre-vote phase before real elections (etcd default;
+            the paper's described behaviour, §II-A).
+        check_quorum: leader steps down when it has not heard from a quorum
+            within an election timeout, and followers refuse (pre-)votes
+            while they have a fresh leader lease.  Matches etcd's
+            ``CheckQuorum``/lease protection, which the Fig. 6 behaviour
+            depends on.
+        max_entries_per_append: replication batch bound.
+        rpc_channel: transport for consensus RPCs (etcd: TCP; Dynatune
+            keeps consensus on TCP and only moves heartbeats to UDP).
+        heartbeat_response_catchup: leaders use heartbeat responses to
+            detect lagging followers and push entries (etcd triggers
+            MsgApp off MsgHeartbeatResp the same way).
+        heartbeat_phase_stagger: start each per-follower heartbeat loop at
+            a random phase within one interval.  A simulator's timers are
+            perfectly aligned, which phase-locks every follower's heartbeat
+            arrivals and hence their failure-detection instants — an
+            artifact that makes 4-way split votes near-certain.  Real
+            per-follower timers (Go runtime timers on a busy host) carry
+            independent phases; staggering reproduces that.
+        heartbeat_timer_jitter_ms: uniform extra delay per heartbeat tick
+            (OS scheduling noise) so phases also drift over time.
+        suppress_heartbeats_under_load: §IV-E future-work feature 1 — a
+            replication message doubles as a heartbeat (followers reset
+            their election timers on AppendEntries anyway), so sending one
+            pushes that follower's next dedicated heartbeat out by a full
+            interval.  Under a busy workload this suppresses most
+            heartbeats, reclaiming the leader CPU the paper attributes its
+            6.4 % peak-throughput gap to.  Off by default (not part of the
+            evaluated system).
+        consolidated_heartbeat_timer: §IV-E future-work feature 2 — one
+            leader timer at the *minimum* tuned ``h`` across followers,
+            beating for all of them at once, instead of ``n − 1``
+            independent timers.  Trades extra heartbeats on slow paths for
+            O(1) timer management.  Off by default.
+    """
+
+    prevote: bool = True
+    check_quorum: bool = True
+    max_entries_per_append: int = 64
+    rpc_channel: str = "tcp"
+    heartbeat_response_catchup: bool = True
+    heartbeat_phase_stagger: bool = True
+    heartbeat_timer_jitter_ms: float = 0.5
+    suppress_heartbeats_under_load: bool = False
+    consolidated_heartbeat_timer: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_entries_per_append < 1:
+            raise ValueError(
+                f"max_entries_per_append must be >= 1, got {self.max_entries_per_append!r}"
+            )
+        if self.rpc_channel not in ("tcp", "udp"):
+            raise ValueError(f"rpc_channel must be 'tcp' or 'udp', got {self.rpc_channel!r}")
+        if self.heartbeat_timer_jitter_ms < 0.0:
+            raise ValueError(
+                "heartbeat_timer_jitter_ms must be >= 0, "
+                f"got {self.heartbeat_timer_jitter_ms!r}"
+            )

@@ -1,0 +1,55 @@
+"""Virtual clock for the discrete-event simulator.
+
+Time is a ``float`` measured in **milliseconds** since simulation start.
+Milliseconds are the natural unit for this paper: every parameter it
+discusses (election timeout, heartbeat interval, RTT, detection time,
+out-of-service time) is quoted in ms.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock", "MS", "SECOND", "MINUTE"]
+
+#: One millisecond in clock units (the base unit).
+MS: float = 1.0
+#: One second in clock units.
+SECOND: float = 1000.0
+#: One minute in clock units.
+MINUTE: float = 60_000.0
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual clock.
+
+    Only the :class:`~repro.sim.loop.EventLoop` advances the clock; every
+    other component reads it through :meth:`now`.  Attempting to move time
+    backwards raises ``ValueError`` — that would indicate a scheduler bug and
+    silently accepting it would corrupt every measurement downstream.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock cannot start before zero, got {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Advance the clock to absolute time ``t`` (ms).
+
+        Raises:
+            ValueError: if ``t`` is earlier than the current time.
+        """
+        if t < self._now:
+            raise ValueError(
+                f"time cannot run backwards: now={self._now!r}, requested={t!r}"
+            )
+        self._now = float(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now!r})"

@@ -1,0 +1,95 @@
+"""Event records and handles for the discrete-event scheduler.
+
+Events are totally ordered by ``(time, priority, seq)``:
+
+* ``time`` — absolute virtual time (ms) at which the event fires;
+* ``priority`` — tie-break for events scheduled at the same instant; lower
+  fires first.  Message deliveries default to priority ``0`` and timer
+  expirations to priority ``10`` so that a heartbeat arriving at exactly the
+  same virtual instant a follower's election timer would expire *resets the
+  timer first* — matching the behaviour of a real server where the network
+  interrupt is processed before the timer callback that is still queued.
+* ``seq`` — global insertion counter; guarantees deterministic FIFO order
+  among otherwise identical events.
+
+Determinism of this total order is what makes every experiment in the paper
+reproducible bit-for-bit from a seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+__all__ = ["Event", "EventHandle", "PRIORITY_MESSAGE", "PRIORITY_TIMER", "PRIORITY_CONTROL"]
+
+#: Priority for network message deliveries.
+PRIORITY_MESSAGE: int = 0
+#: Priority for control actions (fault injection, schedule changes).
+PRIORITY_CONTROL: int = 5
+#: Priority for timer expirations.
+PRIORITY_TIMER: int = 10
+
+
+@dataclasses.dataclass(slots=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute firing time (ms).
+        priority: tie-break priority (lower first).
+        seq: global insertion sequence number (FIFO tie-break).
+        callback: zero-argument callable invoked when the event fires.
+        cancelled: set by :meth:`EventHandle.cancel`; cancelled events are
+            skipped by the loop (lazy deletion — cheaper than heap surgery).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], Any]
+    cancelled: bool = False
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+
+class EventHandle:
+    """Cancellation handle returned by :meth:`EventLoop.schedule`.
+
+    Holding a handle does not keep the event alive in any special way; it
+    only allows the owner to cancel it before it fires.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute virtual time at which the event will fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> bool:
+        """Cancel the event.
+
+        Returns:
+            ``True`` if the event was live and is now cancelled, ``False``
+            if it had already been cancelled (idempotent).
+        """
+        if self._event.cancelled:
+            return False
+        self._event.cancelled = True
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._event.cancelled else "pending"
+        return f"EventHandle(t={self._event.time!r}, {state})"

@@ -1,0 +1,113 @@
+"""Actor base class for simulated components.
+
+A :class:`Process` is anything with an identity that receives messages and
+owns timers: Raft nodes, clients, fault injectors.  The base class supplies
+
+* a :class:`~repro.sim.timers.TimerService`,
+* pause/resume plumbing (the "container sleep" fault of §IV-B1), and
+* a liveness gate — messages delivered to a paused or crashed process are
+  dropped by the caller after checking :attr:`alive`.
+
+Subclasses implement :meth:`on_message`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.sim.loop import EventLoop, SimulationError
+from repro.sim.timers import TimerService
+from repro.sim.tracing import TraceLog
+
+__all__ = ["Process", "ProcessState"]
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    RUNNING = "running"
+    PAUSED = "paused"  # container sleep: state retained, nothing executes
+    CRASHED = "crashed"  # crash fault: volatile state lost on recovery
+
+
+class Process:
+    """Base class for all message-driven simulated components."""
+
+    def __init__(self, loop: EventLoop, name: str, trace: TraceLog | None = None) -> None:
+        self.loop = loop
+        self.name = name
+        self.trace = trace if trace is not None else TraceLog()
+        self.timers = TimerService(loop, name)
+        self._state = ProcessState.RUNNING
+
+    # -- liveness -------------------------------------------------------- #
+
+    @property
+    def state(self) -> ProcessState:
+        return self._state
+
+    @property
+    def alive(self) -> bool:
+        """True when the process executes callbacks and accepts messages."""
+        return self._state is ProcessState.RUNNING
+
+    def pause(self) -> None:
+        """Suspend the process (``docker pause`` equivalent).
+
+        Timers freeze with their remaining durations; in-flight messages
+        addressed to this process are dropped on arrival (a paused container
+        cannot ack TCP segments either — from the cluster's point of view it
+        is silent).
+        """
+        if self._state is not ProcessState.RUNNING:
+            raise SimulationError(f"cannot pause {self.name!r} in state {self._state}")
+        self.timers.freeze()
+        self._state = ProcessState.PAUSED
+        self.trace.record(self.loop.now, self.name, "process_paused")
+
+    def resume(self) -> None:
+        """Resume a paused process; frozen timers continue where they left off."""
+        if self._state is not ProcessState.PAUSED:
+            raise SimulationError(f"cannot resume {self.name!r} in state {self._state}")
+        self._state = ProcessState.RUNNING
+        self.timers.thaw()
+        self.trace.record(self.loop.now, self.name, "process_resumed")
+
+    def crash(self) -> None:
+        """Crash the process: all timers disarm, volatile state is the
+        subclass's responsibility to reset in :meth:`on_recover`."""
+        if self._state is ProcessState.CRASHED:
+            return
+        self.timers.cancel_all()
+        self._state = ProcessState.CRASHED
+        self.trace.record(self.loop.now, self.name, "process_crashed")
+
+    def recover(self) -> None:
+        """Restart after a crash.  Calls :meth:`on_recover`."""
+        if self._state is not ProcessState.CRASHED:
+            raise SimulationError(f"cannot recover {self.name!r} in state {self._state}")
+        self._state = ProcessState.RUNNING
+        self.trace.record(self.loop.now, self.name, "process_recovered")
+        self.on_recover()
+
+    # -- messaging ------------------------------------------------------- #
+
+    def deliver(self, sender: str, payload: Any) -> None:
+        """Entry point used by the network fabric.
+
+        Silently drops the message if the process is not running — a slept
+        or crashed server neither processes nor buffers traffic.
+        """
+        if not self.alive:
+            return
+        self.on_message(sender, payload)
+
+    # -- subclass hooks --------------------------------------------------- #
+
+    def on_message(self, sender: str, payload: Any) -> None:
+        """Handle an incoming message.  Subclasses must override."""
+        raise NotImplementedError
+
+    def on_recover(self) -> None:
+        """Re-initialise volatile state after a crash.  Optional."""

@@ -1,0 +1,186 @@
+"""Resettable timers on top of the event loop.
+
+Raft is timer-driven: followers run an election timer that is *reset* on
+every heartbeat, and a Dynatune leader runs one heartbeat timer **per
+follower** (each leader-follower pair has its own tuned interval ``h``,
+§III-B).  This module provides the small abstraction both need:
+
+* :class:`Timer` — a named one-shot timer with ``start / reset / cancel``
+  and an expiry callback.  Resetting cancels the pending expiration and
+  schedules a fresh one (lazy deletion in the loop keeps this O(log n)).
+* :class:`TimerService` — a per-node factory that can freeze and thaw all
+  of a node's timers, which is how the "container sleep" fault of §IV-B1 is
+  implemented: a paused node's timers stop and its callbacks never run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.events import PRIORITY_TIMER
+from repro.sim.loop import EventLoop, SimulationError
+
+__all__ = ["Timer", "TimerService"]
+
+
+class Timer:
+    """A one-shot, resettable virtual timer.
+
+    The timer is inert until :meth:`start` (or :meth:`reset`) is called.
+    When it expires it invokes ``callback()`` once; restart it explicitly if
+    periodic behaviour is wanted (Raft heartbeat loops restart themselves in
+    the callback, which lets Dynatune change the interval between ticks).
+    """
+
+    __slots__ = ("_loop", "name", "_callback", "_handle", "_duration")
+
+    def __init__(self, loop: EventLoop, name: str, callback: Callable[[], Any]) -> None:
+        self._loop = loop
+        self.name = name
+        self._callback = callback
+        self._handle = None
+        self._duration: float | None = None
+
+    # -- state ---------------------------------------------------------- #
+
+    @property
+    def running(self) -> bool:
+        """Whether an expiration is currently pending."""
+        return self._handle is not None and not self._handle.cancelled
+
+    @property
+    def duration(self) -> float | None:
+        """Duration (ms) the timer was last armed with, if any."""
+        return self._duration
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute expiry time (ms) if running, else ``None``."""
+        if self.running:
+            return self._handle.time  # type: ignore[union-attr]
+        return None
+
+    @property
+    def remaining(self) -> float | None:
+        """Time (ms) until expiry if running, else ``None``."""
+        if self.running:
+            return self._handle.time - self._loop.now  # type: ignore[union-attr]
+        return None
+
+    # -- control -------------------------------------------------------- #
+
+    def start(self, duration: float) -> None:
+        """Arm the timer to expire ``duration`` ms from now.
+
+        Raises:
+            SimulationError: if the timer is already running (use
+                :meth:`reset` to re-arm) or ``duration`` is invalid.
+        """
+        if self.running:
+            raise SimulationError(f"timer {self.name!r} already running; use reset()")
+        self._arm(duration)
+
+    def reset(self, duration: float) -> None:
+        """(Re-)arm the timer, cancelling any pending expiration.
+
+        This is the operation a follower performs on every heartbeat.
+        """
+        self.cancel()
+        self._arm(duration)
+
+    def cancel(self) -> bool:
+        """Disarm the timer.  Returns ``True`` if it had been running."""
+        if self._handle is not None and not self._handle.cancelled:
+            self._handle.cancel()
+            self._handle = None
+            return True
+        self._handle = None
+        return False
+
+    def _arm(self, duration: float) -> None:
+        if not (duration >= 0.0):
+            raise SimulationError(
+                f"timer {self.name!r} duration must be >= 0, got {duration!r}"
+            )
+        self._duration = float(duration)
+        self._handle = self._loop.schedule(
+            duration, self._fire, priority=PRIORITY_TIMER
+        )
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.running:
+            return f"Timer({self.name!r}, deadline={self.deadline!r})"
+        return f"Timer({self.name!r}, idle)"
+
+
+class TimerService:
+    """Factory and registry for one node's timers, with freeze/thaw.
+
+    Freezing is used by the pause fault (§IV-B1 puts the leader container to
+    sleep): all pending expirations are cancelled and their *remaining*
+    durations recorded; thawing re-arms each frozen timer with its remaining
+    time, as an OS would when a process is resumed.
+    """
+
+    def __init__(self, loop: EventLoop, owner: str) -> None:
+        self._loop = loop
+        self._owner = owner
+        self._timers: dict[str, Timer] = {}
+        self._frozen: dict[str, float] | None = None
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen is not None
+
+    def timer(self, name: str, callback: Callable[[], Any]) -> Timer:
+        """Create (or fetch) the timer called ``name`` for this node."""
+        if name in self._timers:
+            return self._timers[name]
+        t = Timer(self._loop, f"{self._owner}/{name}", callback)
+        self._timers[name] = t
+        return t
+
+    def get(self, name: str) -> Timer | None:
+        return self._timers.get(name)
+
+    def drop(self, name: str) -> None:
+        """Cancel and forget a timer (leaders drop per-follower timers on
+        step-down)."""
+        t = self._timers.pop(name, None)
+        if t is not None:
+            t.cancel()
+
+    def names(self) -> list[str]:
+        return sorted(self._timers)
+
+    def freeze(self) -> None:
+        """Suspend all running timers, remembering their remaining time."""
+        if self._frozen is not None:
+            raise SimulationError(f"timers of {self._owner!r} already frozen")
+        frozen: dict[str, float] = {}
+        for name, t in self._timers.items():
+            rem = t.remaining
+            if rem is not None:
+                frozen[name] = rem
+                t.cancel()
+        self._frozen = frozen
+
+    def thaw(self) -> None:
+        """Resume previously frozen timers with their remaining durations."""
+        if self._frozen is None:
+            raise SimulationError(f"timers of {self._owner!r} are not frozen")
+        frozen, self._frozen = self._frozen, None
+        for name, remaining in frozen.items():
+            t = self._timers.get(name)
+            if t is not None and not t.running:
+                t.reset(remaining)
+
+    def cancel_all(self) -> None:
+        """Disarm every timer (crash fault: state is lost, nothing resumes)."""
+        for t in self._timers.values():
+            t.cancel()
+        self._frozen = None

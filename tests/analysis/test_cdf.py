@@ -1,0 +1,38 @@
+"""Empirical CDF."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.analysis.cdf import empirical_cdf
+
+
+def test_empty():
+    xs, ps = empirical_cdf([])
+    assert xs.size == 0 and ps.size == 0
+
+
+def test_single_value():
+    xs, ps = empirical_cdf([5.0])
+    assert xs.tolist() == [5.0]
+    assert ps.tolist() == [1.0]
+
+
+def test_sorted_output_with_fractions():
+    xs, ps = empirical_cdf([3.0, 1.0, 2.0, 4.0])
+    assert xs.tolist() == [1.0, 2.0, 3.0, 4.0]
+    assert ps.tolist() == [0.25, 0.5, 0.75, 1.0]
+
+
+def test_duplicates_handled():
+    xs, ps = empirical_cdf([1.0, 1.0, 2.0])
+    assert xs.tolist() == [1.0, 1.0, 2.0]
+    assert ps[-1] == 1.0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+def test_cdf_properties(vals):
+    xs, ps = empirical_cdf(vals)
+    assert np.all(np.diff(xs) >= 0)
+    assert np.all(np.diff(ps) > 0)
+    assert ps[-1] == 1.0
+    assert ps[0] > 0.0

@@ -1,0 +1,68 @@
+"""Time-series binning and interval coverage."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import bin_series, interval_coverage
+
+
+def test_bin_series_averages_within_bins():
+    t = [0.0, 100.0, 900.0, 1100.0]
+    v = [1.0, 3.0, 5.0, 7.0]
+    centers, means = bin_series(t, v, bin_ms=1000.0, t_start=0.0, t_end=2000.0)
+    assert means[0] == pytest.approx(3.0)  # (1+3+5)/3
+    assert means[1] == pytest.approx(7.0)
+
+
+def test_bin_series_empty_bins_are_nan():
+    centers, means = bin_series([100.0], [1.0], bin_ms=100.0, t_start=0.0, t_end=500.0)
+    assert math.isnan(means[3])
+
+
+def test_bin_series_validation():
+    with pytest.raises(ValueError):
+        bin_series([1.0], [1.0, 2.0], bin_ms=10.0)
+    with pytest.raises(ValueError):
+        bin_series([1.0], [1.0], bin_ms=0.0)
+
+
+def test_bin_series_empty_input():
+    centers, means = bin_series([], [], bin_ms=10.0, t_start=0.0, t_end=30.0)
+    assert np.isnan(means).all()
+
+
+def test_interval_coverage_full_and_partial():
+    centers, cov = interval_coverage(
+        [(100.0, 300.0)], t_start=0.0, t_end=400.0, bin_ms=100.0
+    )
+    assert cov.tolist() == [0.0, 1.0, 1.0, 0.0]
+
+
+def test_interval_coverage_partial_bin():
+    centers, cov = interval_coverage(
+        [(150.0, 250.0)], t_start=0.0, t_end=300.0, bin_ms=100.0
+    )
+    assert cov.tolist() == [0.0, 0.5, 0.5]
+
+
+def test_interval_coverage_overlapping_intervals_additive_capped_by_use():
+    centers, cov = interval_coverage(
+        [(0.0, 100.0), (0.0, 100.0)], t_start=0.0, t_end=100.0, bin_ms=100.0
+    )
+    # Two identical intervals double-count; callers pass disjoint intervals
+    # (leaderless periods are disjoint by construction).
+    assert cov[0] == pytest.approx(2.0)
+
+
+def test_interval_coverage_outside_range_ignored():
+    centers, cov = interval_coverage(
+        [(1000.0, 2000.0)], t_start=0.0, t_end=500.0, bin_ms=100.0
+    )
+    assert cov.sum() == 0.0
+
+
+def test_interval_coverage_validation():
+    with pytest.raises(ValueError):
+        interval_coverage([], t_start=0.0, t_end=1.0, bin_ms=0.0)

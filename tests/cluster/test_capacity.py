@@ -1,0 +1,80 @@
+"""CostModel accounting and sampling."""
+
+import pytest
+
+from repro.cluster.capacity import DEFAULT_COSTS_MS, CostModel
+from repro.sim.loop import EventLoop
+
+
+def test_charge_accumulates():
+    m = CostModel({"op": 0.5})
+    m.charge("n1", "op")
+    m.charge("n1", "op", units=3)
+    assert m.busy_ms["n1"] == pytest.approx(2.0)
+    assert m.op_counts["op"] == 4
+
+
+def test_unknown_kind_costs_nothing():
+    m = CostModel({})
+    m.charge("n1", "mystery")
+    assert m.busy_ms["n1"] == 0.0
+    assert m.op_counts["mystery"] == 1
+
+
+def test_busy_by_kind():
+    m = CostModel({"a": 1.0, "b": 2.0})
+    m.charge("n1", "a")
+    m.charge("n2", "b")
+    assert m.busy_by_kind["a"] == 1.0
+    assert m.busy_by_kind["b"] == 2.0
+
+
+def test_default_cost_table_covers_heartbeat_path():
+    for kind in ("heartbeat_send", "heartbeat_recv", "heartbeat_resp_recv", "tuning"):
+        assert kind in DEFAULT_COSTS_MS
+
+
+def test_sampling_percent_of_core():
+    loop = EventLoop()
+    m = CostModel({"op": 1.0})
+    m.start_sampling(loop, ["n1"], interval_ms=1000.0)
+    # 100 ops in the first second -> 100 ms busy -> 10% of one core.
+    for i in range(100):
+        loop.schedule(i * 5.0, lambda: m.charge("n1", "op"))
+    loop.run_until(1000.0)
+    assert len(m.samples) == 1
+    assert m.samples[0].percent_of_core == pytest.approx(10.0)
+
+
+def test_sampling_windows_are_deltas():
+    loop = EventLoop()
+    m = CostModel({"op": 1.0})
+    m.start_sampling(loop, ["n1"], interval_ms=1000.0)
+    loop.schedule(500.0, lambda: m.charge("n1", "op", units=100))
+    loop.schedule(1500.0, lambda: m.charge("n1", "op", units=50))
+    loop.run_until(2000.0)
+    times, vals = m.utilization_series("n1")
+    assert times == [1000.0, 2000.0]
+    assert vals == pytest.approx([10.0, 5.0])
+
+
+def test_sampling_interval_validation():
+    with pytest.raises(ValueError):
+        CostModel().start_sampling(EventLoop(), ["n1"], interval_ms=0.0)
+
+
+def test_mean_utilization():
+    loop = EventLoop()
+    m = CostModel({"op": 1.0})
+    m.start_sampling(loop, ["n1"], interval_ms=1000.0)
+    loop.schedule(100.0, lambda: m.charge("n1", "op", units=100))
+    loop.run_until(2000.0)
+    assert m.mean_utilization("n1") == pytest.approx(5.0)
+    assert m.mean_utilization("ghost") == 0.0
+
+
+def test_saturated():
+    m = CostModel({"op": 1.0}, cores=2.0)
+    m.charge("n1", "op", units=2500)
+    assert m.saturated("n1", wall_ms=1000.0)
+    assert not m.saturated("n1", wall_ms=2000.0)

@@ -1,0 +1,111 @@
+"""Fault injection: pause_for, crash/recover helpers, StallInjector."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import StallInjector, StallProfile, crash, pause_for, recover_node
+from repro.sim.process import ProcessState
+from tests.conftest import make_raft_cluster
+
+
+def test_pause_for_emits_kind_and_resumes():
+    c = make_raft_cluster(3)
+    c.run_until_leader()
+    node = c.node("n1")
+    pause_for(c.loop, node, 1000.0, kind="fault_leader_pause")
+    assert node.state is ProcessState.PAUSED
+    recs = c.trace.of_kind("fault_leader_pause")
+    assert len(recs) == 1 and recs[0].node == "n1"
+    c.run_for(1500.0)
+    assert node.state is ProcessState.RUNNING
+
+
+def test_pause_for_validation():
+    c = make_raft_cluster(1)
+    with pytest.raises(ValueError):
+        pause_for(c.loop, c.node("n1"), 0.0)
+
+
+def test_pause_for_tolerates_manual_resume():
+    c = make_raft_cluster(3)
+    node = c.node("n1")
+    pause_for(c.loop, node, 5000.0)
+    c.run_for(100.0)
+    node.resume()
+    c.run_for(6000.0)  # the scheduled resume must be a no-op
+    assert node.state is ProcessState.RUNNING
+
+
+def test_crash_and_recover_helpers_trace():
+    c = make_raft_cluster(3)
+    node = c.node("n2")
+    crash(node)
+    assert c.trace.of_kind("fault_crash")
+    recover_node(node)
+    assert c.trace.of_kind("fault_recover")
+    assert node.alive
+
+
+def test_stall_profile_validation():
+    with pytest.raises(ValueError):
+        StallProfile(mean_interval_ms=0.0)
+    with pytest.raises(ValueError):
+        StallProfile(duration_median_ms=0.0)
+    with pytest.raises(ValueError):
+        StallProfile(duration_sigma=-1.0)
+    with pytest.raises(ValueError):
+        StallProfile(duration_median_ms=100.0, max_duration_ms=50.0)
+
+
+def test_stall_injector_produces_bounded_stalls():
+    c = make_raft_cluster(3)
+    profile = StallProfile(
+        mean_interval_ms=2_000.0,
+        duration_median_ms=50.0,
+        duration_sigma=0.5,
+        max_duration_ms=120.0,
+    )
+    injector = StallInjector(
+        c.loop, list(c.nodes.values()), profile, c.rngs.stream, trace=c.trace
+    )
+    injector.install()
+    c.run_until_leader()
+    c.run_for(30_000)
+    stalls = c.trace.of_kind("stall")
+    assert injector.stall_count > 0
+    assert len(stalls) == injector.stall_count
+    durations = np.array([r.get("duration_ms") for r in stalls])
+    assert durations.max() <= 120.0
+    assert durations.min() > 0.0
+    # All nodes ended the run alive (every stall resumed).
+    assert all(n.alive for n in c.nodes.values())
+
+
+def test_stall_injector_skips_non_running_nodes():
+    c = make_raft_cluster(2)
+    profile = StallProfile(mean_interval_ms=500.0, duration_median_ms=20.0,
+                           duration_sigma=0.1, max_duration_ms=40.0)
+    injector = StallInjector(c.loop, [c.node("n1")], profile, c.rngs.stream)
+    injector.install()
+    c.node("n1").crash()
+    c.run_for(10_000)  # must not raise trying to pause a crashed node
+    assert c.node("n1").state is ProcessState.CRASHED
+
+
+def test_stalls_do_not_break_raft_with_default_timeout():
+    """Stalls capped far below Et=1000 never trigger baseline elections."""
+    from repro.cluster.builder import ClusterConfig, build_cluster
+    from repro.dynatune.policy import StaticPolicy
+
+    c = build_cluster(
+        ClusterConfig(n_nodes=5, seed=2, rtt_ms=50.0),
+        lambda name: StaticPolicy.raft_default(),
+    )
+    c.start()
+    StallInjector(
+        c.loop, list(c.nodes.values()), StallProfile(), c.rngs.stream
+    ).install()
+    c.run_until_leader()
+    t0 = c.loop.now
+    c.run_for(120_000)
+    assert [r for r in c.trace.of_kind("election_start") if r.time > t0] == []

@@ -1,0 +1,73 @@
+"""ClusterHarness: failure loops and samplers end-to-end."""
+
+import pytest
+
+from repro.cluster.harness import ClusterHarness
+from repro.cluster.measurements import (
+    LEADER_FAILURE_KIND,
+    extract_failure_episodes,
+    randomized_timeout_matrix,
+)
+from tests.conftest import make_raft_cluster
+
+
+def test_kill_leader_once_returns_successor():
+    c = make_raft_cluster(5)
+    h = ClusterHarness(c)
+    old = c.run_until_leader()
+    new = h.kill_leader_once(sleep_ms=4000.0)
+    assert new != old
+    assert h.failures_injected == 1
+
+
+def test_failure_loop_produces_resolvable_episodes():
+    c = make_raft_cluster(5)
+    h = ClusterHarness(c)
+    h.run_leader_failure_loop(3, warmup_ms=2000.0, sleep_ms=4000.0, settle_ms=3000.0)
+    eps = extract_failure_episodes(c.trace, cluster_size=5)
+    assert len(eps) == 3
+    assert all(e.resolved for e in eps)
+    assert all(e.detection_latency_ms > 0 for e in eps)
+    assert all(e.ots_ms >= e.detection_latency_ms for e in eps)
+
+
+def test_failure_loop_validation():
+    c = make_raft_cluster(3)
+    with pytest.raises(ValueError):
+        ClusterHarness(c).run_leader_failure_loop(0)
+
+
+def test_failure_loop_kills_distinct_current_leaders():
+    c = make_raft_cluster(5)
+    h = ClusterHarness(c)
+    h.run_leader_failure_loop(2, warmup_ms=2000.0, sleep_ms=4000.0, settle_ms=3000.0)
+    kills = c.trace.of_kind(LEADER_FAILURE_KIND)
+    assert len(kills) == 2
+    # consecutive kills target the then-current (different) leader
+    assert kills[0].node != kills[1].node
+
+
+def test_rt_sampler_records_all_alive_nodes():
+    c = make_raft_cluster(3)
+    h = ClusterHarness(c)
+    h.install_randomized_timeout_sampler(interval_ms=1000.0)
+    c.run_until_leader()
+    c.node("n1").pause() if c.leader() != "n1" else c.node("n2").pause()
+    c.run_for(5000.0)
+    times, matrix = randomized_timeout_matrix(c.trace, c.names)
+    assert len(times) >= 4
+    # the paused node contributes NaNs once asleep
+    import numpy as np
+
+    assert np.isnan(matrix[-1]).sum() == 1
+
+
+def test_rtt_probe_tracks_schedule():
+    c = make_raft_cluster(3, rtt_ms=20.0)
+    h = ClusterHarness(c)
+    h.install_rtt_probe(interval_ms=1000.0)
+    c.loop.schedule(2500.0, lambda: c.network.set_all_rtt(80.0))
+    c.run_for(5000.0)
+    probes = c.trace.of_kind("rtt_probe")
+    assert probes[0].get("rtt_ms") == pytest.approx(20.0)
+    assert probes[-1].get("rtt_ms") == pytest.approx(80.0)

@@ -1,0 +1,131 @@
+"""Windowed estimators: incremental vs numpy reference — unit + properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dynatune.estimators import WindowedMeanStd, window_mean_std
+
+
+def test_reference_empty():
+    assert window_mean_std([]) == (0.0, 0.0)
+
+
+def test_reference_single():
+    mu, sigma = window_mean_std([5.0])
+    assert mu == 5.0 and sigma == 0.0
+
+
+def test_reference_known_values():
+    mu, sigma = window_mean_std([1.0, 2.0, 3.0, 4.0])
+    assert mu == pytest.approx(2.5)
+    assert sigma == pytest.approx(np.std([1, 2, 3, 4]))
+
+
+def test_windowed_empty():
+    w = WindowedMeanStd(10)
+    assert len(w) == 0
+    assert w.mean() == 0.0 and w.std() == 0.0
+
+
+def test_windowed_capacity_validation():
+    with pytest.raises(ValueError):
+        WindowedMeanStd(0)
+
+
+def test_windowed_rejects_nonfinite():
+    w = WindowedMeanStd(4)
+    with pytest.raises(ValueError):
+        w.push(float("nan"))
+    with pytest.raises(ValueError):
+        w.push(float("inf"))
+
+
+def test_windowed_matches_reference_before_eviction():
+    w = WindowedMeanStd(100)
+    vals = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+    for v in vals:
+        w.push(v)
+    assert w.mean_std() == pytest.approx(window_mean_std(vals))
+
+
+def test_windowed_evicts_oldest():
+    w = WindowedMeanStd(3)
+    for v in (1.0, 2.0, 3.0, 4.0):
+        w.push(v)
+    assert len(w) == 3
+    assert w.full
+    assert list(w.values()) == [2.0, 3.0, 4.0]
+    assert w.mean() == pytest.approx(3.0)
+
+
+def test_windowed_reset():
+    w = WindowedMeanStd(3)
+    w.push(10.0)
+    w.reset()
+    assert len(w) == 0
+    assert w.mean() == 0.0
+    w.push(2.0)
+    assert w.mean() == 2.0
+
+
+def test_windowed_single_sample_zero_std():
+    w = WindowedMeanStd(5)
+    w.push(123.456)
+    assert w.std() == 0.0
+
+
+def test_windowed_constant_series_zero_std():
+    w = WindowedMeanStd(10)
+    for _ in range(100):
+        w.push(100.0)
+    assert w.std() == pytest.approx(0.0, abs=1e-9)
+
+
+def test_values_order_oldest_first_across_wrap():
+    w = WindowedMeanStd(4)
+    for v in range(10):
+        w.push(float(v))
+    assert list(w.values()) == [6.0, 7.0, 8.0, 9.0]
+
+
+def test_resync_bounds_drift():
+    """After many pushes (incl. the periodic exact recompute) the running
+    moments still match a fresh numpy computation."""
+    w = WindowedMeanStd(50)
+    rng = np.random.default_rng(0)
+    vals = rng.normal(100.0, 3.0, size=10_000)
+    for v in vals:
+        w.push(float(v))
+    ref_mu, ref_sigma = window_mean_std(vals[-50:])
+    assert w.mean() == pytest.approx(ref_mu, rel=1e-9)
+    assert w.std() == pytest.approx(ref_sigma, rel=1e-6)
+
+
+@settings(max_examples=200)
+@given(
+    vals=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=60
+    ),
+    capacity=st.integers(min_value=1, max_value=20),
+)
+def test_windowed_equals_numpy_reference(vals, capacity):
+    w = WindowedMeanStd(capacity)
+    for v in vals:
+        w.push(v)
+    window = vals[-capacity:]
+    ref_mu, ref_sigma = window_mean_std(window)
+    assert w.mean() == pytest.approx(ref_mu, rel=1e-9, abs=1e-9)
+    assert w.std() == pytest.approx(ref_sigma, rel=1e-6, abs=1e-6)
+
+
+@settings(max_examples=100)
+@given(
+    vals=st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=2, max_size=40)
+)
+def test_std_nonnegative_and_bounded_by_range(vals):
+    w = WindowedMeanStd(100)
+    for v in vals:
+        w.push(v)
+    assert w.std() >= 0.0
+    assert w.std() <= (max(vals) - min(vals)) + 1e-9

@@ -1,0 +1,222 @@
+"""Policies in isolation: Static (Raft/Raft-Low), Dynatune, Fix-K."""
+
+import pytest
+
+from repro.dynatune.config import DynatuneConfig
+from repro.dynatune.metadata import HeartbeatMeta, HeartbeatResponseMeta
+from repro.dynatune.policy import DynatunePolicy, StaticPolicy
+
+
+# -- StaticPolicy ----------------------------------------------------------- #
+
+
+def test_static_defaults():
+    p = StaticPolicy.raft_default()
+    assert p.election_timeout_ms(None) == 1000.0
+    assert p.election_timeout_ms("leader") == 1000.0
+    assert p.heartbeat_interval_ms("any") == 100.0
+    assert p.heartbeat_channel == "tcp"
+
+
+def test_static_raft_low_is_one_tenth():
+    p = StaticPolicy.raft_low()
+    assert p.election_timeout_ms(None) == 100.0
+    assert p.heartbeat_interval_ms("x") == 10.0
+
+
+def test_static_no_metadata():
+    p = StaticPolicy.raft_default()
+    assert p.heartbeat_meta("f", 0.0) is None
+    assert p.on_heartbeat("l", None, 0.0) is None
+
+
+def test_static_validation():
+    with pytest.raises(ValueError):
+        StaticPolicy(0.0, 100.0)
+    with pytest.raises(ValueError):
+        StaticPolicy(100.0, 0.0)
+
+
+# -- DynatunePolicy: leader half --------------------------------------------- #
+
+
+def test_leader_half_assigns_sequential_ids():
+    p = DynatunePolicy()
+    metas = [p.heartbeat_meta("f1", float(t)) for t in range(3)]
+    assert [m.seq for m in metas] == [1, 2, 3]
+    # independent sequence per follower path
+    assert p.heartbeat_meta("f2", 0.0).seq == 1
+
+
+def test_leader_half_timestamps_sends():
+    p = DynatunePolicy()
+    assert p.heartbeat_meta("f", 123.5).send_ts == 123.5
+
+
+def test_leader_half_measures_rtt_from_echo():
+    p = DynatunePolicy()
+    meta = p.heartbeat_meta("f", 100.0)
+    p.on_heartbeat_response(
+        "f", HeartbeatResponseMeta(echo_seq=meta.seq, echo_ts=meta.send_ts), 150.0
+    )
+    nxt = p.heartbeat_meta("f", 200.0)
+    assert nxt.rtt_sample_ms == pytest.approx(50.0)
+    assert nxt.rtt_sample_seq == 1
+
+
+def test_leader_half_ignores_negative_rtt():
+    p = DynatunePolicy()
+    p.on_heartbeat_response("f", HeartbeatResponseMeta(echo_seq=1, echo_ts=500.0), 100.0)
+    assert p.heartbeat_meta("f", 200.0).rtt_sample_ms is None
+
+
+def test_leader_half_applies_piggybacked_h():
+    p = DynatunePolicy()
+    assert p.heartbeat_interval_ms("f") == 100.0  # default
+    p.on_heartbeat_response(
+        "f", HeartbeatResponseMeta(echo_seq=1, echo_ts=0.0, tuned_h_ms=42.0), 1.0
+    )
+    assert p.heartbeat_interval_ms("f") == 42.0
+
+
+def test_leader_half_clamps_h_to_floor():
+    p = DynatunePolicy(DynatuneConfig(h_floor_ms=5.0))
+    p.on_heartbeat_response(
+        "f", HeartbeatResponseMeta(echo_seq=1, echo_ts=0.0, tuned_h_ms=0.001), 1.0
+    )
+    assert p.heartbeat_interval_ms("f") == 5.0
+
+
+def test_become_leader_resets_paths():
+    p = DynatunePolicy()
+    p.heartbeat_meta("f", 0.0)
+    p.on_become_leader(10.0)
+    assert p.heartbeat_meta("f", 20.0).seq == 1  # sequence restarted
+
+
+# -- DynatunePolicy: follower half -------------------------------------------- #
+
+
+def feed(p, leader, n, *, rtt=100.0, start_seq=1, now=0.0):
+    """Deliver n heartbeats with fresh RTT samples; returns last response."""
+    resp = None
+    for i in range(n):
+        meta = HeartbeatMeta(
+            seq=start_seq + i,
+            send_ts=now + i,
+            rtt_sample_ms=rtt,
+            rtt_sample_seq=start_seq + i,
+        )
+        resp = p.on_heartbeat(leader, meta, now + i)
+    return resp
+
+
+def test_follower_defaults_until_min_list_size():
+    cfg = DynatuneConfig(min_list_size=5)
+    p = DynatunePolicy(cfg)
+    feed(p, "L", 4)
+    assert p.election_timeout_ms("L") == cfg.default_election_timeout_ms
+    assert p.tuned_et_ms is None
+    feed(p, "L", 1, start_seq=5)
+    assert p.tuned_et_ms is not None
+
+
+def test_follower_tunes_et_to_mu_plus_s_sigma():
+    p = DynatunePolicy(DynatuneConfig(min_list_size=5))
+    feed(p, "L", 10, rtt=100.0)
+    # constant RTT -> sigma = 0 -> Et = 100
+    assert p.election_timeout_ms("L") == pytest.approx(100.0)
+
+
+def test_follower_piggybacks_h():
+    p = DynatunePolicy(DynatuneConfig(min_list_size=3))
+    resp = feed(p, "L", 5, rtt=100.0)
+    assert resp is not None
+    assert resp.tuned_h_ms == pytest.approx(100.0)  # K=1 at zero loss
+
+
+def test_follower_echoes_ts_and_seq():
+    p = DynatunePolicy()
+    meta = HeartbeatMeta(seq=9, send_ts=77.0)
+    resp = p.on_heartbeat("L", meta, 80.0)
+    assert resp.echo_seq == 9
+    assert resp.echo_ts == 77.0
+
+
+def test_follower_detects_loss_and_raises_k():
+    p = DynatunePolicy(DynatuneConfig(min_list_size=5))
+    # every other heartbeat lost: ids 1,3,5,... -> p = 0.5 -> K = 10
+    for i in range(40):
+        meta = HeartbeatMeta(
+            seq=1 + 2 * i, send_ts=float(i), rtt_sample_ms=100.0, rtt_sample_seq=i + 1
+        )
+        p.on_heartbeat("L", meta, float(i))
+    # 1 - 0.5^K >= 0.999 -> K = 10 -> h = 100/10
+    assert p.tuned_h_ms == pytest.approx(10.0, rel=0.1)
+
+
+def test_stale_rtt_samples_recorded_once():
+    p = DynatunePolicy(DynatuneConfig(min_list_size=1))
+    for i in range(5):  # same rtt_sample_seq repeated (lost responses)
+        meta = HeartbeatMeta(seq=i + 1, send_ts=float(i), rtt_sample_ms=100.0, rtt_sample_seq=1)
+        p.on_heartbeat("L", meta, float(i))
+    assert p.measurement.rtt_count == 1
+
+
+def test_fallback_on_election_timeout():
+    p = DynatunePolicy(DynatuneConfig(min_list_size=3))
+    feed(p, "L", 5)
+    assert p.tuned_et_ms is not None
+    p.on_election_timeout(100.0)
+    assert p.tuned_et_ms is None
+    assert p.election_timeout_ms("L") == 1000.0
+    assert p.measurement.rtt_count == 0
+    assert p.fallbacks == 1
+
+
+def test_leader_change_resets_measurement():
+    p = DynatunePolicy(DynatuneConfig(min_list_size=3))
+    feed(p, "L1", 5)
+    assert p.tuned_et_ms is not None
+    p.on_leader_change("L2", 50.0)
+    assert p.tuned_et_ms is None
+    assert p.measurement.rtt_count == 0
+    # Et for the old leader also reverts to default.
+    assert p.election_timeout_ms("L1") == 1000.0
+
+
+def test_heartbeat_from_unexpected_leader_restarts_measurement():
+    p = DynatunePolicy(DynatuneConfig(min_list_size=2))
+    feed(p, "L1", 3)
+    # heartbeat from a different leader without an explicit change callback
+    meta = HeartbeatMeta(seq=1, send_ts=0.0, rtt_sample_ms=50.0, rtt_sample_seq=1)
+    p.on_heartbeat("L2", meta, 0.0)
+    assert p.measurement.rtt_count == 1  # only the new leader's sample
+
+
+def test_heartbeat_without_meta_returns_none():
+    p = DynatunePolicy()
+    p.on_leader_change("L", 0.0)
+    assert p.on_heartbeat("L", None, 0.0) is None
+
+
+# -- Fix-K variant ------------------------------------------------------------ #
+
+
+def test_fix_k_pins_heartbeat_count():
+    p = DynatunePolicy(DynatuneConfig(min_list_size=3, fixed_k=10))
+    feed(p, "L", 5, rtt=200.0)
+    # Et tunes to 200; h pinned to Et/10 regardless of (zero) loss.
+    assert p.tuned_et_ms == pytest.approx(200.0)
+    assert p.tuned_h_ms == pytest.approx(20.0)
+
+
+def test_fix_k_et_still_tunes():
+    p = DynatunePolicy(DynatuneConfig(min_list_size=3, fixed_k=10))
+    feed(p, "L", 5, rtt=50.0)
+    assert p.election_timeout_ms("L") == pytest.approx(50.0)
+
+
+def test_channel_from_config():
+    assert DynatunePolicy().heartbeat_channel == "udp"
+    assert DynatunePolicy(DynatuneConfig(heartbeat_channel="tcp")).heartbeat_channel == "tcp"

@@ -1,0 +1,23 @@
+"""Unit-level checks of the ablation helpers (full sweeps run in benches)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_point_structure():
+    pts = ablations.min_list_size_sweep(sizes=(2, 10))
+    assert [p.value for p in pts] == [2.0, 10.0]
+    for p in pts:
+        assert p.metrics["all_tuned"] == 1.0
+        assert p.metrics["time_to_tuned_ms"] > 0
+
+
+def test_prevote_ablation_labels():
+    pts = ablations.prevote_ablation(dwell_ms=6_000.0)
+    assert {p.label for p in pts} == {"prevote-on", "prevote-off"}
+    on = next(p for p in pts if p.label == "prevote-on")
+    assert on.metrics["ots_ms"] == 0.0
+
+
+def test_window_sweep_converges():
+    pts = ablations.window_sweep(windows=(30,))
+    assert pts[0].metrics["adaptation_lag_ms"] < 120_000.0

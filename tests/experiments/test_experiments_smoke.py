@@ -1,0 +1,126 @@
+"""Tiny-scale end-to-end runs of every experiment module.
+
+These are the "does the harness regenerate the figure's series" checks;
+the benchmarks run the real (quick/paper) scales.  Each test shrinks
+repetition counts and dwells aggressively but leaves mechanisms intact,
+and asserts the *paper-shape* property of the figure.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4_election, fig5_throughput, fig6_rtt, fig7_loss, fig8_geo
+from repro.experiments.common import SYSTEMS, get_scale, make_policy_factory
+
+
+def test_policy_factory_covers_all_systems():
+    for s in SYSTEMS:
+        factory = make_policy_factory(s)
+        assert factory("n1") is not None
+    with pytest.raises(ValueError):
+        make_policy_factory("paxos")
+
+
+def test_scale_selection(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "paper")
+    assert get_scale().name == "paper"
+    monkeypatch.setenv("REPRO_SCALE", "quick")
+    assert get_scale().name == "quick"
+    monkeypatch.setenv("REPRO_SCALE", "warp")
+    with pytest.raises(ValueError):
+        get_scale()
+
+
+def test_fig4_shape_dynatune_beats_raft():
+    result = fig4_election.run(fig4_election.Fig4Config(n_failures=8))
+    raft = result.systems["raft"]
+    dyn = result.systems["dynatune"]
+    assert raft.mean_detection_ms > 900.0
+    assert dyn.mean_detection_ms < 400.0
+    assert result.reduction("detection") > 0.6
+    assert dyn.mean_ots_ms < raft.mean_ots_ms
+    # CDFs well-formed
+    xs, ps = dyn.ots_cdf
+    assert ps[-1] == 1.0 and np.all(np.diff(xs) >= 0)
+    # §IV-E ordering: Dynatune's election phase exceeds Raft's.
+    assert dyn.mean_election_ms > raft.mean_election_ms
+
+
+def test_fig5_shape_gap_and_knee():
+    result = fig5_throughput.run(fig5_throughput.Fig5Config(repeats=2))
+    raft = result.systems["raft"]
+    dyn = result.systems["dynatune"]
+    assert raft.peak_rps > dyn.peak_rps
+    assert 0.04 < result.peak_gap < 0.09  # paper: 6.4 %
+    assert raft.mean_latency_ms[-1] > raft.mean_latency_ms[0]
+
+
+def test_fig6_radical_dynatune_survives_spike():
+    cfg = dataclasses.replace(
+        fig6_rtt.Fig6Config(pattern="radical", dwell_ms=8_000.0),
+        systems=("dynatune", "raft-low"),
+    )
+    result = fig6_rtt.run(cfg)
+    dyn = result.systems["dynatune"]
+    low = result.systems["raft-low"]
+    assert dyn.false_detections > 0  # the spike is noticed...
+    assert dyn.unnecessary_elections == 0  # ...but pre-vote absorbs it
+    assert dyn.ots_total_ms == 0.0
+    assert low.unnecessary_elections > 0  # Raft-Low thrashes
+    assert low.ots_total_ms > 0.0
+
+
+def test_fig6_gradual_dynatune_tracks_rtt():
+    cfg = dataclasses.replace(
+        fig6_rtt.Fig6Config(pattern="gradual", dwell_ms=6_000.0),
+        systems=("dynatune", "raft"),
+        stall_profile=None,
+    )
+    result = fig6_rtt.run(cfg)
+    dyn = result.systems["dynatune"]
+    raft = result.systems["raft"]
+    # During the ascending leg, Dynatune's f+1 randTO stays within a small
+    # multiple of the RTT while Raft's sits near 1.5 * 1000 ms.
+    mask = ~np.isnan(dyn.kth_randomized_timeout_ms) & (dyn.times_ms > 30_000)
+    ratio = dyn.kth_randomized_timeout_ms[mask] / dyn.rtt_ms[mask]
+    assert np.nanmedian(ratio) < 4.0
+    assert np.nanmedian(raft.kth_randomized_timeout_ms) > 1000.0
+
+
+def test_fig7_h_tracks_loss_and_fixk_flat():
+    cfg = fig7_loss.Fig7Config(
+        sizes=(5,),
+        dwell_ms=8_000.0,
+        loss_levels=(0.0, 0.15, 0.30),
+    )
+    result = fig7_loss.run(cfg)
+    dyn = result.runs[("dynatune", 5)]
+    fix = result.runs[("fix-k", 5)]
+    # Dynatune: h falls as loss rises.
+    h_low = dyn.h_at_loss(0.0)
+    h_high = dyn.h_at_loss(0.30)
+    assert np.mean(h_high) < 0.5 * np.max(h_low)
+    # Fix-K: pinned at Et/10 ≈ 20 ms.
+    assert np.nanstd(fix.h_ms) < 3.0
+    # No unnecessary elections (§IV-C2).
+    assert dyn.unnecessary_elections == 0
+    assert fix.unnecessary_elections == 0
+    # CPU ordering: Fix-K leader burns more.
+    assert fix.leader_cpu.mean() > dyn.leader_cpu.mean()
+
+
+def test_fig8_shape_geo():
+    result = fig8_geo.run(fig8_geo.Fig8Config(n_failures=6))
+    raft = result.systems["raft"]
+    dyn = result.systems["dynatune"]
+    assert result.reduction("detection") > 0.5
+    assert dyn.mean_ots_ms < raft.mean_ots_ms
+    assert set(raft.placement.values()) == {
+        "tokyo",
+        "london",
+        "california",
+        "sydney",
+        "saopaulo",
+    }

@@ -1,0 +1,49 @@
+"""Link primitives."""
+
+import numpy as np
+import pytest
+
+from repro.net.link import Link
+from repro.net.loss_models import BernoulliLoss
+
+
+def test_defaults():
+    link = Link("a", "b")
+    assert link.up
+    assert link.one_way_ms == 0.5
+    assert not link.draw_drop()
+    assert not link.draw_duplicate()
+
+
+def test_set_rtt_halves_to_one_way():
+    link = Link("a", "b")
+    link.set_rtt(100.0)
+    assert link.one_way_ms == 50.0
+    assert link.rtt_ms == 100.0
+
+
+def test_negative_rtt_rejected():
+    with pytest.raises(ValueError):
+        Link("a", "b").set_rtt(-1.0)
+
+
+def test_bad_duplicate_p_rejected():
+    with pytest.raises(ValueError):
+        Link("a", "b", duplicate_p=1.5)
+
+
+def test_loss_rate_passthrough():
+    link = Link("a", "b", loss=BernoulliLoss(0.0), rng=np.random.default_rng(0))
+    link.set_loss_rate(1.0)
+    assert link.draw_drop()
+
+
+def test_duplicate_draws():
+    link = Link("a", "b", duplicate_p=1.0, rng=np.random.default_rng(0))
+    assert link.draw_duplicate()
+
+
+def test_delay_draw_positive():
+    link = Link("a", "b", rng=np.random.default_rng(0))
+    link.set_rtt(0.0)
+    assert link.draw_delay() > 0.0

@@ -1,0 +1,115 @@
+"""Loss processes: rates, retargeting, burstiness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.loss_models import BernoulliLoss, GilbertElliottLoss, NoLoss
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_no_loss_never_drops(rng):
+    m = NoLoss()
+    assert not any(m.should_drop(rng) for _ in range(100))
+    assert m.rate() == 0.0
+
+
+def test_no_loss_retarget_rejected():
+    with pytest.raises(ValueError):
+        NoLoss().set_rate(0.1)
+    NoLoss().set_rate(0.0)  # zero is a no-op
+
+
+def test_bernoulli_zero_and_one(rng):
+    assert not any(BernoulliLoss(0.0).should_drop(rng) for _ in range(50))
+    assert all(BernoulliLoss(1.0).should_drop(rng) for _ in range(50))
+
+
+def test_bernoulli_empirical_rate(rng):
+    m = BernoulliLoss(0.3)
+    drops = sum(m.should_drop(rng) for _ in range(20000))
+    assert abs(drops / 20000 - 0.3) < 0.02
+
+
+def test_bernoulli_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        BernoulliLoss(-0.1)
+    with pytest.raises(ValueError):
+        BernoulliLoss(1.1)
+
+
+def test_bernoulli_set_rate(rng):
+    m = BernoulliLoss(0.0)
+    m.set_rate(1.0)
+    assert m.should_drop(rng)
+    assert m.rate() == 1.0
+
+
+def test_gilbert_elliott_marginal_rate_formula():
+    m = GilbertElliottLoss(p_gb=0.1, p_bg=0.4, loss_good=0.0, loss_bad=1.0)
+    pi_bad = 0.1 / 0.5
+    assert m.rate() == pytest.approx(pi_bad)
+
+
+def test_gilbert_elliott_empirical_rate(rng):
+    m = GilbertElliottLoss(p_gb=0.05, p_bg=0.45, loss_good=0.0, loss_bad=1.0)
+    drops = sum(m.should_drop(rng) for _ in range(60000))
+    assert abs(drops / 60000 - m.rate()) < 0.02
+
+
+def test_gilbert_elliott_is_bursty(rng):
+    """Consecutive-drop probability must exceed i.i.d. at the same rate."""
+    m = GilbertElliottLoss(p_gb=0.02, p_bg=0.2, loss_good=0.0, loss_bad=1.0)
+    seq = [m.should_drop(rng) for _ in range(60000)]
+    rate = sum(seq) / len(seq)
+    pairs = sum(1 for a, b in zip(seq, seq[1:]) if a and b)
+    p_drop_given_drop = pairs / max(1, sum(seq[:-1]))
+    assert p_drop_given_drop > 2.0 * rate
+
+
+def test_gilbert_elliott_set_rate_retargets(rng):
+    m = GilbertElliottLoss(p_gb=0.02, p_bg=0.2)
+    m.set_rate(0.25)
+    assert m.rate() == pytest.approx(0.25)
+    drops = sum(m.should_drop(rng) for _ in range(60000))
+    assert abs(drops / 60000 - 0.25) < 0.02
+
+
+def test_gilbert_elliott_set_rate_zero(rng):
+    m = GilbertElliottLoss(p_gb=0.1, p_bg=0.5)
+    m.set_rate(0.0)
+    assert m.rate() == 0.0
+    # After leaving any initial bad state, it never drops again.
+    _ = [m.should_drop(rng) for _ in range(100)]
+    assert not any(m.should_drop(rng) for _ in range(1000))
+
+
+def test_gilbert_elliott_unreachable_rate_rejected():
+    m = GilbertElliottLoss(p_gb=0.1, p_bg=0.5, loss_good=0.1, loss_bad=0.5)
+    with pytest.raises(ValueError):
+        m.set_rate(0.8)
+
+
+def test_gilbert_elliott_absorbing_bad_state_rejected():
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(p_gb=0.1, p_bg=0.0)
+
+
+@settings(max_examples=50)
+@given(p=st.floats(min_value=0.0, max_value=1.0))
+def test_bernoulli_rate_roundtrip(p):
+    m = BernoulliLoss(0.5)
+    m.set_rate(p)
+    assert m.rate() == p
+
+
+@settings(max_examples=50)
+@given(target=st.floats(min_value=0.0, max_value=0.95))
+def test_gilbert_elliott_rate_roundtrip(target):
+    m = GilbertElliottLoss(p_gb=0.05, p_bg=0.3)
+    m.set_rate(target)
+    assert m.rate() == pytest.approx(target, abs=1e-9)

@@ -1,0 +1,160 @@
+"""Network fabric: delivery, partitions, impairment control, stats."""
+
+from typing import Any
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.loss_models import BernoulliLoss
+from repro.net.network import Network
+from repro.net.topology import uniform_topology
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngRegistry
+
+
+class Sink:
+    def __init__(self, name: str):
+        self.name = name
+        self.got: list[tuple[str, Any]] = []
+        self.alive = True
+
+    def deliver(self, sender: str, payload: Any) -> None:
+        self.got.append((sender, payload))
+
+
+@pytest.fixture
+def net():
+    loop = EventLoop()
+    network = Network(loop, RngRegistry(1))
+    a, b, c = Sink("a"), Sink("b"), Sink("c")
+    for s in (a, b, c):
+        network.attach(s)
+    uniform_topology(network, ["a", "b", "c"], rtt_ms=10.0)
+    return loop, network, a, b, c
+
+
+def test_send_delivers_after_one_way_delay(net):
+    loop, network, a, b, c = net
+    network.send("a", "b", "hello", channel="udp")
+    loop.run()
+    assert b.got == [("a", "hello")]
+    assert loop.now == pytest.approx(5.0, abs=0.5)
+
+
+def test_broadcast_reaches_all(net):
+    loop, network, a, b, c = net
+    network.broadcast("a", ["b", "c"], "x", channel="tcp")
+    loop.run()
+    assert b.got and c.got
+
+
+def test_duplicate_attach_rejected(net):
+    loop, network, a, b, c = net
+    with pytest.raises(ValueError):
+        network.attach(Sink("a"))
+
+
+def test_missing_link_raises(net):
+    loop, network, a, b, c = net
+    with pytest.raises(KeyError):
+        network.link("a", "nope")
+
+
+def test_unknown_channel_rejected(net):
+    loop, network, a, b, c = net
+    with pytest.raises(ValueError):
+        network.send("a", "b", "x", channel="quic")
+
+
+def test_partition_blocks_cross_group(net):
+    loop, network, a, b, c = net
+    network.set_partitions([{"a"}, {"b", "c"}])
+    network.send("a", "b", "x", channel="udp")
+    network.send("b", "c", "y", channel="udp")
+    loop.run()
+    assert b.got == []
+    assert c.got == [("b", "y")]
+    assert network.partition_drops == 1
+
+
+def test_partition_implicit_rest_group(net):
+    loop, network, a, b, c = net
+    network.set_partitions([{"a"}])  # b, c form the implicit rest
+    assert network.partitioned("a", "b")
+    assert not network.partitioned("b", "c")
+
+
+def test_partition_clear_restores(net):
+    loop, network, a, b, c = net
+    network.set_partitions([{"a"}, {"b"}])
+    network.clear_partitions()
+    network.send("a", "b", "x", channel="udp")
+    loop.run()
+    assert b.got == [("a", "x")]
+
+
+def test_node_in_two_groups_rejected(net):
+    loop, network, a, b, c = net
+    with pytest.raises(ValueError):
+        network.set_partitions([{"a"}, {"a", "b"}])
+
+
+def test_link_down_drops(net):
+    loop, network, a, b, c = net
+    network.link("a", "b").up = False
+    network.send("a", "b", "x", channel="udp")
+    loop.run()
+    assert b.got == []
+    # reverse direction unaffected
+    network.send("b", "a", "y", channel="udp")
+    loop.run()
+    assert a.got == [("b", "y")]
+
+
+def test_set_rtt_symmetric(net):
+    loop, network, a, b, c = net
+    network.set_rtt("a", "b", 80.0)
+    assert network.link("a", "b").one_way_ms == 40.0
+    assert network.link("b", "a").one_way_ms == 40.0
+    assert network.link("a", "c").one_way_ms == 5.0  # untouched
+
+
+def test_set_all_rtt_and_loss(net):
+    loop, network, a, b, c = net
+    network.set_all_rtt(60.0)
+    network.set_all_loss(1.0)
+    for link in network.links():
+        assert link.one_way_ms == 30.0
+        assert link.loss.rate() == 1.0
+
+
+def test_stats_counters(net):
+    loop, network, a, b, c = net
+    network.set_loss("a", "b", 1.0)
+    network.send("a", "b", "x", channel="udp", size_bytes=100)
+    network.send("a", "c", "y", channel="udp", size_bytes=50)
+    loop.run()
+    total = network.total_stats()
+    assert total.sent == 2
+    assert total.dropped == 1
+    assert total.delivered == 1
+    assert total.bytes_sent == 150
+    assert network.link("a", "b").stats.observed_loss_rate() == 1.0
+
+
+def test_delivery_to_detached_endpoint_is_noop(net):
+    loop, network, a, b, c = net
+    # Install a link to a name that has no endpoint.
+    network.add_link(Link("a", "ghost", rng=network.rngs.stream("x")))
+    network.send("a", "ghost", "x", channel="udp")
+    loop.run()  # must not raise
+
+
+def test_tcp_loss_delays_but_delivers(net):
+    loop, network, a, b, c = net
+    network.link("a", "b").loss = BernoulliLoss(0.9)
+    network.link("a", "b").rng = network.rngs.stream("lossy")
+    for _ in range(20):
+        network.send("a", "b", "x", channel="tcp")
+    loop.run()
+    assert len(b.got) == 20  # reliable despite 90% loss

@@ -1,0 +1,134 @@
+"""NetworkSchedule: profile builders and installation."""
+
+import pytest
+
+from repro.net.network import Network
+from repro.net.schedule import (
+    NetworkSchedule,
+    ScheduleAction,
+    constant_profile,
+    gradual_rtt_profile,
+    loss_staircase_profile,
+    radical_rtt_profile,
+)
+from repro.net.topology import uniform_topology
+from repro.sim.clock import MINUTE
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngRegistry
+
+
+def test_constant_profile_single_action():
+    s = constant_profile(rtt_ms=100.0, loss=0.1)
+    assert len(s) == 1
+    assert s.actions[0].rtt_ms == 100.0
+    assert s.actions[0].loss == 0.1
+
+
+def test_gradual_profile_paper_pattern():
+    s = gradual_rtt_profile()  # 50 -> 200 -> 50, 10ms steps, 1min dwell
+    values = [a.rtt_ms for a in s.actions]
+    assert values[0] == 50.0
+    assert max(values) == 200.0
+    assert values[-1] == 50.0
+    assert values.count(200.0) == 1  # peak not repeated
+    # 16 ascending values + 15 descending = 31 actions.
+    assert len(values) == 31
+    # one-minute dwell spacing
+    assert s.actions[1].at_ms - s.actions[0].at_ms == MINUTE
+
+
+def test_gradual_profile_monotone_up_then_down():
+    s = gradual_rtt_profile()
+    values = [a.rtt_ms for a in s.actions]
+    peak = values.index(200.0)
+    assert values[: peak + 1] == sorted(values[: peak + 1])
+    assert values[peak:] == sorted(values[peak:], reverse=True)
+
+
+def test_gradual_profile_validation():
+    with pytest.raises(ValueError):
+        gradual_rtt_profile(low_ms=200.0, high_ms=100.0)
+    with pytest.raises(ValueError):
+        gradual_rtt_profile(step_ms=0.0)
+
+
+def test_gradual_profile_non_divisible_step_hits_high():
+    s = gradual_rtt_profile(low_ms=50.0, high_ms=75.0, step_ms=10.0)
+    values = [a.rtt_ms for a in s.actions]
+    assert max(values) == 75.0
+
+
+def test_radical_profile_paper_pattern():
+    s = radical_rtt_profile()
+    assert [a.rtt_ms for a in s.actions] == [50.0, 500.0, 50.0]
+    assert [a.at_ms for a in s.actions] == [0.0, MINUTE, 2 * MINUTE]
+
+
+def test_loss_staircase_up_and_down():
+    s = loss_staircase_profile()
+    losses = [a.loss for a in s.actions if a.loss is not None]
+    assert losses[0] == 0.0
+    assert max(losses) == 0.30
+    assert losses.count(0.30) == 1
+    assert losses[-1] == 0.0
+    assert len(losses) == 13  # 7 up + 6 down
+    assert s.actions[0].rtt_ms == 200.0  # RTT pinned
+
+
+def test_value_at_tracks_latest():
+    s = gradual_rtt_profile(dwell_ms=1000.0)
+    assert s.value_at(0.0)[0] == 50.0
+    assert s.value_at(1500.0)[0] == 60.0
+    assert s.value_at(1e9)[0] == 50.0  # final value
+
+
+def test_value_at_before_start():
+    s = NetworkSchedule([ScheduleAction(at_ms=100.0, rtt_ms=70.0)])
+    assert s.value_at(50.0) == (None, None)
+
+
+def test_install_applies_actions_at_times():
+    loop = EventLoop()
+    network = Network(loop, RngRegistry(1))
+
+    class E:
+        def __init__(self, name):
+            self.name = name
+
+        def deliver(self, s, p):  # pragma: no cover - not used
+            pass
+
+    for n in ("a", "b"):
+        network.attach(E(n))
+    uniform_topology(network, ["a", "b"], rtt_ms=10.0)
+
+    applied = []
+    s = NetworkSchedule(
+        [
+            ScheduleAction(at_ms=100.0, rtt_ms=40.0, label="r40"),
+            ScheduleAction(at_ms=200.0, loss=0.5, label="l50"),
+        ]
+    )
+    s.install(loop, network, on_apply=lambda a: applied.append(a.label))
+    loop.run_until(150.0)
+    assert network.link("a", "b").one_way_ms == 20.0
+    assert network.link("a", "b").loss.rate() == 0.0
+    loop.run_until(250.0)
+    assert network.link("a", "b").loss.rate() == 0.5
+    assert applied == ["r40", "l50"]
+
+
+def test_end_ms():
+    s = loss_staircase_profile(dwell_ms=1000.0)
+    assert s.end_ms == 12_000.0
+    assert NetworkSchedule([]).end_ms == 0.0
+
+
+def test_actions_sorted_by_time():
+    s = NetworkSchedule(
+        [
+            ScheduleAction(at_ms=200.0, rtt_ms=2.0),
+            ScheduleAction(at_ms=100.0, rtt_ms=1.0),
+        ]
+    )
+    assert [a.at_ms for a in s.actions] == [100.0, 200.0]

@@ -1,0 +1,109 @@
+"""Topologies: uniform mesh, AWS geo matrix, clock models."""
+
+import numpy as np
+import pytest
+
+from repro.net.network import Network
+from repro.net.topology import (
+    AWS_REGIONS,
+    AWS_RTT_MATRIX_MS,
+    ClockModel,
+    aws_geo_topology,
+    region_rtt,
+    uniform_topology,
+)
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngRegistry
+
+
+class E:
+    def __init__(self, name):
+        self.name = name
+
+    def deliver(self, s, p):  # pragma: no cover
+        pass
+
+
+def make_net(names):
+    network = Network(EventLoop(), RngRegistry(3))
+    for n in names:
+        network.attach(E(n))
+    return network
+
+
+def test_uniform_full_mesh_link_count():
+    names = [f"n{i}" for i in range(5)]
+    net = make_net(names)
+    uniform_topology(net, names, rtt_ms=100.0)
+    assert len(net.links()) == 20  # 5*4 directed
+
+
+def test_uniform_rtt_setting():
+    names = ["a", "b"]
+    net = make_net(names)
+    uniform_topology(net, names, rtt_ms=80.0, loss=0.2)
+    link = net.link("a", "b")
+    assert link.one_way_ms == 40.0
+    assert link.loss.rate() == 0.2
+
+
+def test_region_rtt_symmetric_lookup():
+    assert region_rtt("tokyo", "london") == region_rtt("london", "tokyo")
+    assert region_rtt("tokyo", "tokyo") == 0.0
+    with pytest.raises(KeyError):
+        region_rtt("tokyo", "atlantis")
+
+
+def test_aws_matrix_covers_all_pairs():
+    for i, a in enumerate(AWS_REGIONS):
+        for b in AWS_REGIONS[i + 1 :]:
+            assert region_rtt(a, b) > 0.0
+    assert len(AWS_RTT_MATRIX_MS) == 10  # C(5,2)
+
+
+def test_aws_topology_placement_and_rtts():
+    names = [f"n{i}" for i in range(1, 6)]
+    net = make_net(names)
+    placement = aws_geo_topology(net, names)
+    assert sorted(placement.values()) == sorted(AWS_REGIONS)
+    # spot-check one pair: n1=tokyo, n2=london
+    link = net.link("n1", "n2")
+    assert link.rtt_ms == pytest.approx(region_rtt("tokyo", "london"))
+
+
+def test_aws_topology_wraps_regions_for_large_clusters():
+    names = [f"n{i}" for i in range(1, 8)]  # 7 nodes over 5 regions
+    net = make_net(names)
+    placement = aws_geo_topology(net, names)
+    assert placement["n6"] == placement["n1"]  # wrapped
+    # same-region pair gets a small but nonzero RTT
+    assert net.link("n1", "n6").rtt_ms == pytest.approx(2.0)
+
+
+def test_clock_synchronized_is_exact():
+    clock = ClockModel.synchronized(["a", "b"])
+    assert clock.read("a", 123.0) == 123.0
+
+
+def test_clock_ntp_offsets_are_tens_of_ms():
+    clock = ClockModel.ntp(["a", "b", "c", "d", "e"], RngRegistry(1), offset_sigma_ms=15.0)
+    offsets = np.array(list(clock.offset_ms.values()))
+    assert np.any(offsets != 0.0)
+    assert np.all(np.abs(offsets) < 100.0)
+
+
+def test_clock_ntp_offset_is_stable_per_node():
+    clock = ClockModel.ntp(["a"], RngRegistry(2), read_noise_sigma_ms=0.0)
+    assert clock.read("a", 100.0) - 100.0 == pytest.approx(clock.offset_ms["a"])
+    assert clock.read("a", 500.0) - 500.0 == pytest.approx(clock.offset_ms["a"])
+
+
+def test_clock_read_noise_varies():
+    clock = ClockModel.ntp(["a"], RngRegistry(3), read_noise_sigma_ms=5.0)
+    reads = {clock.read("a", 100.0) for _ in range(10)}
+    assert len(reads) > 1
+
+
+def test_clock_unknown_node_reads_true_time():
+    clock = ClockModel.synchronized(["a"])
+    assert clock.read("ghost", 50.0) == 50.0

@@ -1,0 +1,78 @@
+"""RaftClient behaviour: redirects, retries, giveup, latency accounting."""
+
+from repro.raft.state_machine import kv_put
+from tests.conftest import make_raft_cluster
+
+
+def test_client_follows_redirect_to_leader():
+    c = make_raft_cluster(5)
+    client = c.add_client("cl")
+    leader = c.run_until_leader()
+    client.submit(kv_put("x", 1))
+    c.run_for(3000)
+    assert len(client.completed) == 1
+    assert client._contact == leader
+
+
+def test_client_latency_reasonable():
+    c = make_raft_cluster(3, rtt_ms=20.0)
+    client = c.add_client("cl")
+    c.run_until_leader()
+    client.submit(kv_put("x", 1))
+    c.run_for(3000)
+    done = client.completed[0]
+    # one hop to contact (+ maybe redirect) + replication round trip
+    assert 20.0 <= done.latency_ms <= 200.0
+
+
+def test_client_rotates_contacts_when_cluster_down():
+    c = make_raft_cluster(3)
+    client = c.add_client("cl", retry_timeout_ms=200.0)
+    c.run_until_leader()
+    for n in c.names:
+        c.node(n).pause()
+    client.submit(kv_put("x", 1))
+    c.run_for(3000)
+    assert client.completed == []
+    assert client.inflight_count == 1  # still trying
+
+
+def test_client_gives_up_after_max_retries():
+    c = make_raft_cluster(3)
+    client = c.add_client("cl", retry_timeout_ms=100.0)
+    client.max_retries = 3
+    c.run_until_leader()
+    for n in c.names:
+        c.node(n).pause()
+    rid = client.submit(kv_put("x", 1))
+    c.run_for(5000)
+    assert client.failed == [rid]
+    assert client.inflight_count == 0
+
+
+def test_client_mean_latency_empty_is_zero():
+    c = make_raft_cluster(1)
+    client = c.add_client("cl")
+    assert client.mean_latency_ms() == 0.0
+
+
+def test_on_complete_callback_invoked():
+    c = make_raft_cluster(3)
+    client = c.add_client("cl")
+    c.run_until_leader()
+    seen = []
+    client.submit(kv_put("x", 1), on_complete=lambda done: seen.append(done.request_id))
+    c.run_for(3000)
+    assert seen == [0]
+
+
+def test_completed_request_records_command_and_retries():
+    c = make_raft_cluster(3)
+    client = c.add_client("cl")
+    c.run_until_leader()
+    client.submit(kv_put("key", "val"))
+    c.run_for(3000)
+    done = client.completed[0]
+    assert done.command.key == "key"
+    assert done.retries >= 0
+    assert done.completed_ms > done.submitted_ms

@@ -1,0 +1,176 @@
+"""Leader election: liveness, uniqueness, failover, pre-vote, leases."""
+
+import pytest
+
+from repro.cluster.faults import pause_for
+from repro.raft.types import Role
+from tests.conftest import make_raft_cluster
+
+
+def test_single_node_cluster_elects_itself():
+    c = make_raft_cluster(1)
+    leader = c.run_until_leader(timeout_ms=5000)
+    assert leader == "n1"
+    assert c.node("n1").current_term == 1
+
+
+def test_three_node_cluster_elects_exactly_one_leader():
+    c = make_raft_cluster(3)
+    c.run_until_leader()
+    c.run_for(2000)
+    leaders = [n.name for n in c.nodes.values() if n.role is Role.LEADER]
+    assert len(leaders) == 1
+
+
+def test_five_node_cluster_elects_leader():
+    c = make_raft_cluster(5)
+    assert c.run_until_leader() in c.names
+
+
+def test_all_followers_learn_the_leader():
+    c = make_raft_cluster(5)
+    leader = c.run_until_leader()
+    c.run_for(2000)
+    for node in c.nodes.values():
+        assert node.leader_id == leader
+
+
+def test_leader_stable_without_faults():
+    c = make_raft_cluster(5)
+    leader = c.run_until_leader()
+    term = c.node(leader).current_term
+    c.run_for(30_000)
+    assert c.leader() == leader
+    assert c.node(leader).current_term == term
+
+
+def test_failover_elects_new_leader_with_higher_term():
+    c = make_raft_cluster(5)
+    old = c.run_until_leader()
+    old_term = c.node(old).current_term
+    c.run_for(1000)
+    pause_for(c.loop, c.node(old), 10_000.0)
+    new = c.run_until_leader(exclude=old, timeout_ms=20_000)
+    assert new != old
+    assert c.node(new).current_term > old_term
+
+
+def test_paused_leader_rejoins_as_follower():
+    c = make_raft_cluster(5)
+    old = c.run_until_leader()
+    c.run_for(1000)
+    pause_for(c.loop, c.node(old), 5_000.0)
+    new = c.run_until_leader(exclude=old, timeout_ms=20_000)
+    c.run_for(8_000)
+    assert c.node(old).role is Role.FOLLOWER
+    assert c.node(old).leader_id == new
+    assert c.node(old).current_term == c.node(new).current_term
+
+
+def test_majority_loss_prevents_election():
+    c = make_raft_cluster(5)
+    leader = c.run_until_leader()
+    c.run_for(500)
+    # Pause leader plus two followers: remaining two cannot form quorum.
+    followers = [n for n in c.names if n != leader]
+    for name in [leader] + followers[:2]:
+        c.node(name).pause()
+    c.run_for(20_000)
+    assert c.leader() is None
+    # The two survivors must not have become leader at any point.
+    later_leaders = [
+        r
+        for r in c.trace.of_kind("become_leader")
+        if r.time > 500 and r.node in followers[2:]
+    ]
+    assert later_leaders == []
+
+
+def test_cluster_recovers_after_majority_restored():
+    c = make_raft_cluster(5)
+    leader = c.run_until_leader()
+    c.run_for(500)
+    followers = [n for n in c.names if n != leader]
+    for name in [leader] + followers[:2]:
+        c.node(name).pause()
+    c.run_for(10_000)
+    for name in followers[:2]:
+        c.node(name).resume()
+    assert c.run_until_leader(timeout_ms=20_000) is not None
+
+
+def test_minority_partition_cannot_elect():
+    c = make_raft_cluster(5)
+    leader = c.run_until_leader()
+    c.run_for(500)
+    followers = [n for n in c.names if n != leader]
+    minority = {leader, followers[0]}
+    c.network.set_partitions([minority, set(followers[1:])])
+    majority_leader = c.run_until_leader(exclude=leader, timeout_ms=20_000)
+    assert majority_leader in followers[1:]
+    c.run_for(5_000)
+    # Old leader stepped down (quorum check) and nobody in the minority won.
+    assert c.node(leader).role is not Role.LEADER
+    minority_wins = [
+        r
+        for r in c.trace.of_kind("become_leader")
+        if r.node in minority and r.time > 500
+    ]
+    assert minority_wins == []
+
+
+def test_heal_partition_single_leader_again():
+    c = make_raft_cluster(5)
+    leader = c.run_until_leader()
+    c.run_for(500)
+    followers = [n for n in c.names if n != leader]
+    c.network.set_partitions([{leader, followers[0]}, set(followers[1:])])
+    c.run_until_leader(exclude=leader, timeout_ms=20_000)
+    c.run_for(3_000)
+    c.network.clear_partitions()
+    c.run_for(5_000)
+    leaders = [n for n in c.nodes.values() if n.role is Role.LEADER]
+    assert len(leaders) == 1
+
+
+def test_election_safety_no_two_leaders_per_term():
+    c = make_raft_cluster(5)
+    c.run_until_leader()
+    for _ in range(3):
+        leader = c.leader()
+        if leader is not None:
+            pause_for(c.loop, c.node(leader), 4_000.0)
+            c.run_until_leader(exclude=leader, timeout_ms=20_000)
+        c.run_for(6_000)
+    by_term = {}
+    for rec in c.trace.of_kind("become_leader"):
+        term = rec.get("term")
+        by_term.setdefault(term, set()).add(rec.node)
+    for term, nodes in by_term.items():
+        assert len(nodes) == 1, f"two leaders in term {term}: {nodes}"
+    assert not c.trace.of_kind("safety_violation_two_leaders")
+
+
+def test_detection_trace_contains_randomized_timeout():
+    c = make_raft_cluster(3)
+    leader = c.run_until_leader()
+    c.run_for(500)
+    pause_for(c.loop, c.node(leader), 5_000.0)
+    c.run_until_leader(exclude=leader, timeout_ms=20_000)
+    timeouts = c.trace.of_kind("election_timeout")
+    assert timeouts
+    rto = timeouts[-1].get("randomized_timeout_ms")
+    # StaticPolicy Et=300 -> randomized in [300, 600)
+    assert 300.0 <= rto < 600.0
+
+
+def test_node_start_twice_rejected():
+    c = make_raft_cluster(1)
+    with pytest.raises(RuntimeError):
+        c.node("n1").start()
+
+
+def test_cluster_start_twice_rejected():
+    c = make_raft_cluster(1)
+    with pytest.raises(RuntimeError):
+        c.start()

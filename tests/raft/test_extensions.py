@@ -1,0 +1,158 @@
+"""The §IV-E future-work extensions: heartbeat suppression under load and
+the consolidated leader heartbeat timer."""
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.dynatune.policy import DynatunePolicy, StaticPolicy
+from repro.raft.state_machine import kv_put
+from repro.raft.types import RaftConfig, Role
+
+
+def make_cluster(raft: RaftConfig, *, policy="static", seed=5, rtt_ms=20.0, n=5):
+    factory = (
+        (lambda name: StaticPolicy(election_timeout_ms=300.0, heartbeat_interval_ms=50.0))
+        if policy == "static"
+        else (lambda name: DynatunePolicy())
+    )
+    c = build_cluster(ClusterConfig(n_nodes=n, seed=seed, rtt_ms=rtt_ms, raft=raft), factory)
+    c.start()
+    return c
+
+
+def drive_load(c, client, *, rps=200.0, duration_ms=10_000.0):
+    from repro.cluster.workload import OpenLoopDriver
+
+    driver = OpenLoopDriver(c.loop, client, rps=rps, rng=c.rngs.stream("load"))
+    driver.start()
+    c.run_for(duration_ms)
+    driver.stop()
+    return driver
+
+
+# -- heartbeat suppression under load (§IV-E feature 1) -------------------- #
+
+
+def test_suppression_reduces_heartbeats_under_load():
+    counts = {}
+    for suppress in (False, True):
+        c = make_cluster(RaftConfig(suppress_heartbeats_under_load=suppress))
+        client = c.add_client("cl")
+        leader = c.run_until_leader()
+        before = c.node(leader).metrics.heartbeats_sent
+        drive_load(c, client)
+        counts[suppress] = c.node(leader).metrics.heartbeats_sent - before
+    # At 200 req/s each append resets the 50 ms heartbeat: most dedicated
+    # heartbeats disappear.
+    assert counts[True] < 0.35 * counts[False]
+
+
+def test_suppression_keeps_followers_quiet():
+    c = make_cluster(RaftConfig(suppress_heartbeats_under_load=True))
+    client = c.add_client("cl")
+    c.run_until_leader()
+    t0 = c.loop.now
+    drive_load(c, client)
+    c.run_for(3_000)
+    timeouts = [r for r in c.trace.of_kind("election_timeout") if r.time > t0]
+    assert timeouts == []  # replication kept every election timer fresh
+    assert len(client.completed) > 0
+
+
+def test_suppression_resumes_heartbeats_when_idle():
+    c = make_cluster(RaftConfig(suppress_heartbeats_under_load=True))
+    client = c.add_client("cl")
+    leader = c.run_until_leader()
+    drive_load(c, client, duration_ms=3_000.0)
+    c.run_for(1_000)
+    before = c.node(leader).metrics.heartbeats_sent
+    c.run_for(5_000)  # idle: dedicated heartbeats must flow again
+    idle_rate = (c.node(leader).metrics.heartbeats_sent - before) / 5.0
+    # 4 followers at 50 ms -> ~80/s.
+    assert idle_rate > 40.0
+
+
+def test_suppression_off_by_default():
+    assert RaftConfig().suppress_heartbeats_under_load is False
+    assert RaftConfig().consolidated_heartbeat_timer is False
+
+
+# -- consolidated heartbeat timer (§IV-E feature 2) -------------------------- #
+
+
+def test_consolidated_timer_uses_single_timer():
+    c = make_cluster(RaftConfig(consolidated_heartbeat_timer=True))
+    leader = c.run_until_leader()
+    c.run_for(1_000)
+    names = c.node(leader).timers.names()
+    assert "hb" in names
+    assert not any(n.startswith("hb/") for n in names)
+
+
+def test_consolidated_timer_heartbeats_all_followers():
+    c = make_cluster(RaftConfig(consolidated_heartbeat_timer=True))
+    leader = c.run_until_leader()
+    c.run_for(3_000)
+    for name in c.names:
+        if name != leader:
+            assert c.node(name).metrics.heartbeats_received > 10
+
+
+def test_consolidated_timer_beats_at_min_h_with_dynatune():
+    """On the AWS geo topology the tuned h differs per path; the single
+    timer must beat at (roughly) the smallest one for every follower."""
+    c = build_cluster(
+        ClusterConfig(
+            n_nodes=5,
+            seed=5,
+            topology="aws",
+            raft=RaftConfig(consolidated_heartbeat_timer=True),
+        ),
+        lambda name: DynatunePolicy(),
+    )
+    c.start()
+    leader = c.run_until_leader()
+    c.run_for(20_000)
+    lp = c.node(leader).policy
+    intervals = [lp.heartbeat_interval_ms(p) for p in c.node(leader).peers]
+    assert max(intervals) > 1.3 * min(intervals)  # paths genuinely differ
+    t0 = c.loop.now
+    before = {
+        n: c.node(n).metrics.heartbeats_received for n in c.names if n != leader
+    }
+    c.run_for(10_000)
+    rates = {
+        n: (c.node(n).metrics.heartbeats_received - before[n]) / 10.0
+        for n in before
+    }
+    expected = 1000.0 / min(intervals) / 1000.0 * 10.0  # beats per second * ...
+    # All followers receive at (roughly) the same min-h driven rate.
+    vals = sorted(rates.values())
+    assert vals[-1] - vals[0] < 0.35 * vals[-1]
+
+
+def test_consolidated_timer_failover_still_works():
+    from repro.cluster.faults import pause_for
+
+    c = make_cluster(RaftConfig(consolidated_heartbeat_timer=True))
+    old = c.run_until_leader()
+    c.run_for(1_000)
+    pause_for(c.loop, c.node(old), 5_000.0)
+    new = c.run_until_leader(exclude=old, timeout_ms=20_000)
+    assert new != old
+    c.run_for(6_000)
+    assert c.node(old).role is Role.FOLLOWER
+
+
+def test_both_extensions_compose():
+    c = make_cluster(
+        RaftConfig(
+            suppress_heartbeats_under_load=True, consolidated_heartbeat_timer=True
+        )
+    )
+    client = c.add_client("cl")
+    c.run_until_leader()
+    for i in range(20):
+        client.submit(kv_put(f"k{i}", i))
+    c.run_for(5_000)
+    assert len(client.completed) == 20
+    snaps = [c.node(n).state_machine.snapshot() for n in c.names]
+    assert all(s == snaps[0] for s in snaps)

@@ -1,0 +1,215 @@
+"""RaftLog: indexing, conflict truncation, voter rule — unit + properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.raft.log import LogEntry, RaftLog
+
+
+def entries(*terms, start=1):
+    return tuple(
+        LogEntry(term=t, index=start + i, command=f"c{start + i}")
+        for i, t in enumerate(terms)
+    )
+
+
+def filled(*terms):
+    log = RaftLog()
+    ok, match, _ = log.try_append(0, 0, entries(*terms))
+    assert ok and match == len(terms)
+    return log
+
+
+# -- basics ------------------------------------------------------------- #
+
+
+def test_empty_log():
+    log = RaftLog()
+    assert len(log) == 0
+    assert log.last_index == 0
+    assert log.last_term == 0
+    assert log.term_at(0) == 0
+
+
+def test_append_new_assigns_indices():
+    log = RaftLog()
+    e1 = log.append_new(1, "a")
+    e2 = log.append_new(1, "b")
+    assert (e1.index, e2.index) == (1, 2)
+    assert log.last_index == 2
+
+
+def test_append_new_term_regression_rejected():
+    log = filled(2)
+    with pytest.raises(ValueError):
+        log.append_new(1, "x")
+
+
+def test_term_at_bounds():
+    log = filled(1, 2)
+    assert log.term_at(1) == 1
+    assert log.term_at(2) == 2
+    with pytest.raises(IndexError):
+        log.term_at(3)
+    with pytest.raises(IndexError):
+        log.term_at(-1)
+
+
+def test_entry_at():
+    log = filled(1, 1)
+    assert log.entry_at(2).command == "c2"
+    with pytest.raises(IndexError):
+        log.entry_at(0)
+
+
+def test_slice_from():
+    log = filled(1, 1, 2, 2)
+    got = log.slice_from(2, 2)
+    assert [e.index for e in got] == [2, 3]
+    assert log.slice_from(5, 10) == ()
+    with pytest.raises(IndexError):
+        log.slice_from(0, 1)
+
+
+# -- try_append: the AppendEntries receiver rules ------------------------ #
+
+
+def test_append_to_empty_log():
+    log = RaftLog()
+    ok, match, conflict = log.try_append(0, 0, entries(1, 1))
+    assert ok and match == 2 and conflict is None
+
+
+def test_append_empty_entries_is_heartbeat_like_probe():
+    log = filled(1, 1)
+    ok, match, _ = log.try_append(2, 1, ())
+    assert ok and match == 2
+
+
+def test_append_rejects_when_log_too_short():
+    log = filled(1)
+    ok, match, conflict = log.try_append(5, 1, entries(1, start=6))
+    assert not ok
+    assert conflict == 2  # retry from just past our end
+
+
+def test_append_rejects_on_prev_term_mismatch_with_conflict_hint():
+    log = filled(1, 2, 2, 2)
+    ok, _, conflict = log.try_append(4, 3, entries(3, start=5))
+    assert not ok
+    assert conflict == 2  # first index of conflicting term 2
+
+
+def test_append_truncates_conflicting_suffix():
+    log = filled(1, 1, 2, 2)
+    # Leader says index 2 should be term 3: truncate 2..4, append new.
+    ok, match, _ = log.try_append(1, 1, entries(3, 3, start=2))
+    assert ok and match == 3
+    assert log.last_index == 3
+    assert [log.term_at(i) for i in (1, 2, 3)] == [1, 3, 3]
+
+
+def test_append_idempotent_for_duplicate_entries():
+    log = filled(1, 1)
+    before = log.entries()
+    ok, match, _ = log.try_append(0, 0, entries(1, 1))
+    assert ok and match == 2
+    assert log.entries() == before
+
+
+def test_append_partial_overlap_extends():
+    log = filled(1, 1)
+    ok, match, _ = log.try_append(1, 1, entries(1, 1, start=2))
+    assert ok and match == 3
+    assert log.last_index == 3
+
+
+def test_append_non_contiguous_batch_rejected():
+    log = RaftLog()
+    bad = (LogEntry(term=1, index=5, command="x"),)
+    with pytest.raises(ValueError):
+        log.try_append(0, 0, bad)
+
+
+# -- voter rule (§5.4.1) -------------------------------------------------- #
+
+
+def test_up_to_date_by_term():
+    log = filled(1, 2)
+    assert log.up_to_date(1, 3)  # higher last term wins, even shorter
+    assert not log.up_to_date(10, 1)  # lower last term loses, even longer
+
+
+def test_up_to_date_by_length_at_equal_term():
+    log = filled(1, 2, 2)
+    assert log.up_to_date(3, 2)
+    assert log.up_to_date(4, 2)
+    assert not log.up_to_date(2, 2)
+
+
+def test_empty_log_votes_for_anyone():
+    log = RaftLog()
+    assert log.up_to_date(0, 0)
+
+
+# -- properties ------------------------------------------------------------ #
+
+
+term_lists = st.lists(st.integers(min_value=1, max_value=5), min_size=0, max_size=30).map(
+    lambda ts: sorted(ts)  # term monotonicity
+)
+
+
+@settings(max_examples=200)
+@given(terms=term_lists)
+def test_terms_monotone_after_fill(terms):
+    log = RaftLog()
+    log.try_append(0, 0, entries(*terms))
+    got = [log.term_at(i) for i in range(1, log.last_index + 1)]
+    assert got == sorted(got)
+
+
+@settings(max_examples=200)
+@given(a=term_lists, b=term_lists)
+def test_try_append_from_matching_prefix_always_converges(a, b):
+    """Replaying a leader log over any follower log from a true matching
+    prefix ends with the follower log equal to the leader's."""
+    leader = RaftLog()
+    leader_entries = entries(*b)
+    leader.try_append(0, 0, leader_entries)
+
+    follower = RaftLog()
+    follower.try_append(0, 0, entries(*a))
+
+    # Find the longest true matching prefix.
+    prefix = 0
+    while (
+        prefix < min(leader.last_index, follower.last_index)
+        and leader.term_at(prefix + 1) == follower.term_at(prefix + 1)
+    ):
+        prefix += 1
+    ok, match, _ = follower.try_append(
+        prefix, leader.term_at(prefix), leader_entries[prefix:]
+    )
+    assert ok
+    assert match == leader.last_index
+    assert follower.entries()[: leader.last_index] == leader.entries()
+
+
+@settings(max_examples=100)
+@given(terms=term_lists)
+def test_conflict_hint_points_at_first_index_of_conflicting_term(terms):
+    if not terms:
+        return
+    log = RaftLog()
+    log.try_append(0, 0, entries(*terms))
+    last = log.last_index
+    wrong_term = log.term_at(last) + 1
+    ok, _, conflict = log.try_append(last, wrong_term, ())
+    assert not ok
+    assert conflict is not None
+    assert 1 <= conflict <= last
+    # Everything from conflict..last has the same (conflicting) term.
+    t = log.term_at(last)
+    assert all(log.term_at(i) == t for i in range(conflict, last + 1))
+    assert conflict == 1 or log.term_at(conflict - 1) != t

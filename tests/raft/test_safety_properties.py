@@ -1,0 +1,187 @@
+"""Property-based safety checks under randomized fault schedules.
+
+These tests drive a full cluster through randomized sequences of pauses,
+crashes, partitions and client writes, then assert the Raft safety
+invariants over the entire trace:
+
+* **Election safety** — at most one leader per term;
+* **Log matching** — all committed prefixes identical across nodes;
+* **Leader completeness** — every entry committed in an earlier term is
+  present in every later leader's log;
+* **State-machine safety** — replicas that applied an index applied the
+  same command at it.
+
+Hypothesis generates the fault schedule; the simulation itself stays
+deterministic given (seed, schedule), so every failure is replayable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.dynatune.policy import DynatunePolicy, StaticPolicy
+from repro.raft.state_machine import kv_put
+from repro.sim.process import ProcessState
+
+
+@dataclasses.dataclass(frozen=True)
+class Fault:
+    at_ms: float
+    kind: str  # pause / crash / partition / heal / write
+    target: int  # node index (or #writes for 'write')
+    duration_ms: float
+
+
+fault_strategy = st.builds(
+    Fault,
+    at_ms=st.floats(min_value=100.0, max_value=20_000.0),
+    kind=st.sampled_from(["pause", "crash", "partition", "heal", "write"]),
+    target=st.integers(min_value=0, max_value=4),
+    duration_ms=st.floats(min_value=500.0, max_value=8_000.0),
+)
+
+
+def run_scenario(seed: int, faults: list[Fault], policy: str = "static") -> object:
+    policy_factory = (
+        (lambda name: StaticPolicy(300.0, 50.0))
+        if policy == "static"
+        else (lambda name: DynatunePolicy())
+    )
+    cluster = build_cluster(
+        ClusterConfig(n_nodes=5, seed=seed, rtt_ms=20.0), policy_factory
+    )
+    client = cluster.add_client("cl", retry_timeout_ms=400.0)
+    client.max_retries = 200
+    cluster.start()
+    writes = [0]
+
+    for fault in sorted(faults, key=lambda f: f.at_ms):
+        def apply(fault=fault):
+            node = cluster.node(cluster.names[fault.target % 5])
+            if fault.kind == "pause" and node.state is ProcessState.RUNNING:
+                node.pause()
+                cluster.loop.schedule(
+                    fault.duration_ms,
+                    lambda: node.resume()
+                    if node.state is ProcessState.PAUSED
+                    else None,
+                )
+            elif fault.kind == "crash" and node.state is ProcessState.RUNNING:
+                node.crash()
+                cluster.loop.schedule(
+                    fault.duration_ms,
+                    lambda: node.recover()
+                    if node.state is ProcessState.CRASHED
+                    else None,
+                )
+            elif fault.kind == "partition":
+                k = fault.target % 4 + 1
+                cluster.network.set_partitions(
+                    [set(cluster.names[:k]), set(cluster.names[k:])]
+                )
+                cluster.loop.schedule(
+                    fault.duration_ms, cluster.network.clear_partitions
+                )
+            elif fault.kind == "heal":
+                cluster.network.clear_partitions()
+            elif fault.kind == "write":
+                writes[0] += 1
+                client.submit(kv_put(f"w{writes[0]}", writes[0]))
+
+        cluster.loop.schedule_at(fault.at_ms, apply)
+
+    cluster.network.clear_partitions()
+    cluster.run_until(30_000.0)
+    # Heal everything and let the cluster converge.
+    cluster.network.clear_partitions()
+    for node in cluster.nodes.values():
+        if node.state is ProcessState.PAUSED:
+            node.resume()
+        elif node.state is ProcessState.CRASHED:
+            node.recover()
+    cluster.run_until(55_000.0)
+    return cluster
+
+
+def assert_invariants(cluster) -> None:
+    # Election safety: at most one leader per term, and no violation trace.
+    by_term: dict[int, set[str]] = {}
+    for rec in cluster.trace.of_kind("become_leader"):
+        by_term.setdefault(rec.get("term"), set()).add(rec.node)
+    for term, nodes in by_term.items():
+        assert len(nodes) == 1, f"election safety violated in term {term}: {nodes}"
+    assert not cluster.trace.of_kind("safety_violation_two_leaders")
+
+    # Log matching on the committed prefix.
+    commit = min(n.commit_index for n in cluster.nodes.values())
+    reference = cluster.node(cluster.names[0]).log
+    for name in cluster.names[1:]:
+        log = cluster.node(name).log
+        for i in range(1, commit + 1):
+            assert log.entry_at(i) == reference.entry_at(i), (
+                f"log matching violated at index {i} on {name}"
+            )
+
+    # Leader completeness: after convergence a current leader's log holds
+    # every globally committed entry.
+    leader = cluster.leader()
+    if leader is not None:
+        max_commit = max(n.commit_index for n in cluster.nodes.values())
+        assert cluster.node(leader).log.last_index >= max_commit
+
+    # State-machine safety: applied prefixes agree.
+    min_applied = min(n.last_applied for n in cluster.nodes.values())
+    snaps = []
+    for name in cluster.names:
+        node = cluster.node(name)
+        if node.last_applied == min_applied:
+            snaps.append(node.state_machine.snapshot())
+    # (snapshots at equal applied index must be equal)
+    for s in snaps[1:]:
+        assert s == snaps[0]
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    faults=st.lists(fault_strategy, min_size=0, max_size=10),
+)
+def test_static_policy_safety_under_random_faults(seed, faults):
+    cluster = run_scenario(seed, faults, policy="static")
+    assert_invariants(cluster)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    faults=st.lists(fault_strategy, min_size=0, max_size=8),
+)
+def test_dynatune_policy_safety_under_random_faults(seed, faults):
+    """Dynatune must not weaken any Raft safety property (§III-A claims
+    the assumptions and guarantees are unchanged)."""
+    cluster = run_scenario(seed, faults, policy="dynatune")
+    assert_invariants(cluster)
+
+
+def test_liveness_after_arbitrary_fault_storm():
+    """After every fault heals, a leader exists and writes commit."""
+    faults = [
+        Fault(at_ms=1000.0 * i, kind=k, target=i % 5, duration_ms=2000.0)
+        for i, k in enumerate(
+            ["pause", "partition", "crash", "write", "pause", "heal", "write"]
+        )
+    ]
+    cluster = run_scenario(99, faults, policy="static")
+    leader = cluster.run_until_leader(timeout_ms=30_000)
+    assert leader is not None

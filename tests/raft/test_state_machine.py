@@ -1,0 +1,70 @@
+"""KVStore determinism and command semantics."""
+
+import pytest
+
+from repro.raft.state_machine import KVCommand, KVStore, kv_delete, kv_get, kv_put
+
+
+def test_put_and_get():
+    kv = KVStore()
+    assert kv.apply(kv_put("a", 1)) == 1
+    assert kv.apply(kv_get("a")) == 1
+
+
+def test_get_missing_returns_none():
+    assert KVStore().apply(kv_get("nope")) is None
+
+
+def test_delete_returns_old_value():
+    kv = KVStore()
+    kv.apply(kv_put("a", 1))
+    assert kv.apply(kv_delete("a")) == 1
+    assert kv.apply(kv_get("a")) is None
+    assert kv.apply(kv_delete("a")) is None
+
+
+def test_noop_command_is_ignored():
+    kv = KVStore()
+    assert kv.apply(None) is None
+    assert kv.applied_count == 0
+
+
+def test_applied_count_tracks_real_commands():
+    kv = KVStore()
+    kv.apply(kv_put("a", 1))
+    kv.apply(kv_get("a"))
+    assert kv.applied_count == 2
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(TypeError):
+        KVStore().apply(object())
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(ValueError):
+        KVStore().apply(KVCommand(op="increment", key="a"))
+
+
+def test_reset_clears():
+    kv = KVStore()
+    kv.apply(kv_put("a", 1))
+    kv.reset()
+    assert len(kv) == 0
+    assert kv.applied_count == 0
+
+
+def test_determinism_same_sequence_same_state():
+    cmds = [kv_put("a", 1), kv_put("b", 2), kv_delete("a"), kv_put("b", 3)]
+    kv1, kv2 = KVStore(), KVStore()
+    r1 = [kv1.apply(c) for c in cmds]
+    r2 = [kv2.apply(c) for c in cmds]
+    assert r1 == r2
+    assert kv1.snapshot() == kv2.snapshot() == {"b": 3}
+
+
+def test_peek_does_not_mutate():
+    kv = KVStore()
+    kv.apply(kv_put("a", 1))
+    assert kv.peek("a") == 1
+    assert kv.applied_count == 1

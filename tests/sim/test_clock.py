@@ -1,0 +1,42 @@
+"""VirtualClock: monotonicity and validation."""
+
+import pytest
+
+from repro.sim.clock import MINUTE, MS, SECOND, VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert VirtualClock(500.0).now == 500.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock(-1.0)
+
+
+def test_advance_moves_time():
+    c = VirtualClock()
+    c.advance_to(10.5)
+    assert c.now == 10.5
+
+
+def test_advance_to_same_time_allowed():
+    c = VirtualClock(7.0)
+    c.advance_to(7.0)
+    assert c.now == 7.0
+
+
+def test_time_cannot_run_backwards():
+    c = VirtualClock(100.0)
+    with pytest.raises(ValueError, match="backwards"):
+        c.advance_to(99.999)
+
+
+def test_unit_constants():
+    assert MS == 1.0
+    assert SECOND == 1000.0
+    assert MINUTE == 60_000.0

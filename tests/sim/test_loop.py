@@ -1,0 +1,178 @@
+"""EventLoop: ordering, cancellation, run_until semantics."""
+
+import pytest
+
+from repro.sim.events import PRIORITY_MESSAGE, PRIORITY_TIMER
+from repro.sim.loop import EventLoop, SimulationError
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(30.0, lambda: fired.append("c"))
+    loop.schedule(10.0, lambda: fired.append("a"))
+    loop.schedule(20.0, lambda: fired.append("b"))
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(12.5, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [12.5]
+    assert loop.now == 12.5
+
+
+def test_fifo_order_for_simultaneous_events():
+    loop = EventLoop()
+    fired = []
+    for i in range(10):
+        loop.schedule(5.0, lambda i=i: fired.append(i))
+    loop.run()
+    assert fired == list(range(10))
+
+
+def test_priority_breaks_ties_before_seq():
+    # A message and a timer at the same instant: message first — this is
+    # the reset-before-expire rule Raft heartbeats rely on.
+    loop = EventLoop()
+    fired = []
+    loop.schedule(5.0, lambda: fired.append("timer"), priority=PRIORITY_TIMER)
+    loop.schedule(5.0, lambda: fired.append("msg"), priority=PRIORITY_MESSAGE)
+    loop.run()
+    assert fired == ["msg", "timer"]
+
+
+def test_zero_delay_runs_after_current_event():
+    loop = EventLoop()
+    fired = []
+
+    def outer():
+        loop.schedule(0.0, lambda: fired.append("inner"))
+        fired.append("outer")
+
+    loop.schedule(1.0, outer)
+    loop.run()
+    assert fired == ["outer", "inner"]
+    assert loop.now == 1.0
+
+
+def test_negative_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.schedule(-0.001, lambda: None)
+
+
+def test_nan_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.schedule(float("nan"), lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    loop = EventLoop()
+    loop.schedule(10.0, lambda: None)
+    loop.run()
+    with pytest.raises(SimulationError):
+        loop.schedule_at(5.0, lambda: None)
+
+
+def test_cancel_prevents_execution():
+    loop = EventLoop()
+    fired = []
+    handle = loop.schedule(5.0, lambda: fired.append(1))
+    assert handle.cancel() is True
+    loop.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    loop = EventLoop()
+    handle = loop.schedule(5.0, lambda: None)
+    assert handle.cancel() is True
+    assert handle.cancel() is False
+
+
+def test_step_returns_false_when_empty():
+    assert EventLoop().step() is False
+
+
+def test_step_executes_exactly_one_event():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: fired.append(1))
+    loop.schedule(2.0, lambda: fired.append(2))
+    assert loop.step() is True
+    assert fired == [1]
+
+
+def test_run_until_executes_boundary_inclusive():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(10.0, lambda: fired.append("on"))
+    loop.schedule(10.0001, lambda: fired.append("after"))
+    loop.run_until(10.0)
+    assert fired == ["on"]
+    assert loop.now == 10.0
+
+
+def test_run_until_advances_clock_without_events():
+    loop = EventLoop()
+    loop.run_until(42.0)
+    assert loop.now == 42.0
+
+
+def test_run_until_past_rejected():
+    loop = EventLoop()
+    loop.run_until(10.0)
+    with pytest.raises(SimulationError):
+        loop.run_until(5.0)
+
+
+def test_run_max_events_guard():
+    loop = EventLoop()
+
+    def reschedule():
+        loop.schedule(1.0, reschedule)
+
+    loop.schedule(1.0, reschedule)
+    with pytest.raises(SimulationError, match="max_events"):
+        loop.run(max_events=100)
+
+
+def test_executed_counter():
+    loop = EventLoop()
+    for _ in range(5):
+        loop.schedule(1.0, lambda: None)
+    loop.run()
+    assert loop.executed == 5
+
+
+def test_next_event_time_skips_cancelled():
+    loop = EventLoop()
+    h = loop.schedule(1.0, lambda: None)
+    loop.schedule(2.0, lambda: None)
+    h.cancel()
+    assert loop.next_event_time() == 2.0
+
+
+def test_next_event_time_empty():
+    assert EventLoop().next_event_time() is None
+
+
+def test_events_scheduled_during_run_until_within_bound_execute():
+    loop = EventLoop()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            loop.schedule(1.0, lambda: chain(n + 1))
+
+    loop.schedule(1.0, lambda: chain(1))
+    loop.run_until(3.5)
+    assert fired == [1, 2, 3]
+    loop.run_until(10.0)
+    assert fired == [1, 2, 3, 4, 5]

@@ -1,0 +1,114 @@
+"""Process lifecycle: pause/resume/crash/recover gates."""
+
+import pytest
+
+from repro.sim.loop import EventLoop, SimulationError
+from repro.sim.process import Process, ProcessState
+
+
+class Echo(Process):
+    def __init__(self, loop):
+        super().__init__(loop, "echo")
+        self.received = []
+        self.recovered = 0
+
+    def on_message(self, sender, payload):
+        self.received.append((sender, payload))
+
+    def on_recover(self):
+        self.recovered += 1
+
+
+@pytest.fixture
+def loop():
+    return EventLoop()
+
+
+def test_running_process_receives(loop):
+    p = Echo(loop)
+    p.deliver("a", 1)
+    assert p.received == [("a", 1)]
+
+
+def test_paused_process_drops_messages(loop):
+    p = Echo(loop)
+    p.pause()
+    p.deliver("a", 1)
+    assert p.received == []
+    p.resume()
+    p.deliver("a", 2)
+    assert p.received == [("a", 2)]
+
+
+def test_pause_freezes_timers(loop):
+    p = Echo(loop)
+    fired = []
+    p.timers.timer("t", lambda: fired.append(loop.now)).start(10.0)
+    loop.run_until(3.0)
+    p.pause()
+    loop.run_until(100.0)
+    assert fired == []
+    p.resume()
+    loop.run()
+    assert fired == [107.0]
+
+
+def test_double_pause_rejected(loop):
+    p = Echo(loop)
+    p.pause()
+    with pytest.raises(SimulationError):
+        p.pause()
+
+
+def test_resume_requires_paused(loop):
+    p = Echo(loop)
+    with pytest.raises(SimulationError):
+        p.resume()
+
+
+def test_crash_disarms_timers_and_drops_messages(loop):
+    p = Echo(loop)
+    fired = []
+    p.timers.timer("t", lambda: fired.append(1)).start(5.0)
+    p.crash()
+    p.deliver("a", 1)
+    loop.run()
+    assert fired == []
+    assert p.received == []
+    assert p.state is ProcessState.CRASHED
+
+
+def test_crash_is_idempotent(loop):
+    p = Echo(loop)
+    p.crash()
+    p.crash()
+    assert p.state is ProcessState.CRASHED
+
+
+def test_recover_calls_hook(loop):
+    p = Echo(loop)
+    p.crash()
+    p.recover()
+    assert p.recovered == 1
+    assert p.alive
+
+
+def test_recover_requires_crashed(loop):
+    p = Echo(loop)
+    with pytest.raises(SimulationError):
+        p.recover()
+
+
+def test_lifecycle_events_traced(loop):
+    p = Echo(loop)
+    p.pause()
+    p.resume()
+    p.crash()
+    p.recover()
+    kinds = [r.kind for r in p.trace.all()]
+    assert kinds == [
+        "process_paused",
+        "process_resumed",
+        "process_crashed",
+        "process_recovered",
+    ]

@@ -1,0 +1,160 @@
+"""Timer and TimerService: reset semantics and freeze/thaw."""
+
+import pytest
+
+from repro.sim.loop import EventLoop, SimulationError
+from repro.sim.timers import Timer, TimerService
+
+
+@pytest.fixture
+def loop():
+    return EventLoop()
+
+
+def test_timer_fires_once(loop):
+    fired = []
+    t = Timer(loop, "t", lambda: fired.append(loop.now))
+    t.start(10.0)
+    loop.run()
+    assert fired == [10.0]
+    assert not t.running
+
+
+def test_timer_reset_pushes_deadline(loop):
+    fired = []
+    t = Timer(loop, "t", lambda: fired.append(loop.now))
+    t.start(10.0)
+    loop.schedule(5.0, lambda: t.reset(10.0))
+    loop.run()
+    assert fired == [15.0]
+
+
+def test_repeated_resets_like_heartbeats(loop):
+    # Reset every 5 ms for 10 rounds; timer of 8 ms must never fire until
+    # resets stop.
+    fired = []
+    t = Timer(loop, "election", lambda: fired.append(loop.now))
+    t.start(8.0)
+    for i in range(1, 11):
+        loop.schedule(5.0 * i, lambda: t.reset(8.0))
+    loop.run()
+    assert fired == [58.0]  # last reset at 50 + 8
+
+
+def test_start_while_running_rejected(loop):
+    t = Timer(loop, "t", lambda: None)
+    t.start(10.0)
+    with pytest.raises(SimulationError):
+        t.start(10.0)
+
+
+def test_cancel_stops_expiry(loop):
+    fired = []
+    t = Timer(loop, "t", lambda: fired.append(1))
+    t.start(10.0)
+    assert t.cancel() is True
+    loop.run()
+    assert fired == []
+    assert t.cancel() is False
+
+
+def test_negative_duration_rejected(loop):
+    t = Timer(loop, "t", lambda: None)
+    with pytest.raises(SimulationError):
+        t.start(-1.0)
+
+
+def test_remaining_and_deadline(loop):
+    t = Timer(loop, "t", lambda: None)
+    t.start(10.0)
+    assert t.deadline == 10.0
+    assert t.remaining == 10.0
+    loop.schedule(4.0, lambda: None)
+    loop.run_until(4.0)
+    assert t.remaining == pytest.approx(6.0)
+    t.cancel()
+    assert t.deadline is None and t.remaining is None
+
+
+def test_zero_duration_fires_immediately_on_run(loop):
+    fired = []
+    t = Timer(loop, "t", lambda: fired.append(loop.now))
+    t.start(0.0)
+    loop.run()
+    assert fired == [0.0]
+
+
+# --------------------------------------------------------------------- #
+# TimerService
+# --------------------------------------------------------------------- #
+
+
+def test_service_returns_same_timer_for_name(loop):
+    svc = TimerService(loop, "n1")
+    a = svc.timer("election", lambda: None)
+    b = svc.timer("election", lambda: None)
+    assert a is b
+
+
+def test_service_drop_cancels(loop):
+    svc = TimerService(loop, "n1")
+    fired = []
+    svc.timer("hb", lambda: fired.append(1)).start(5.0)
+    svc.drop("hb")
+    loop.run()
+    assert fired == []
+    assert svc.get("hb") is None
+
+
+def test_freeze_thaw_preserves_remaining(loop):
+    svc = TimerService(loop, "n1")
+    fired = []
+    svc.timer("t", lambda: fired.append(loop.now)).start(10.0)
+    loop.run_until(4.0)
+    svc.freeze()
+    loop.run_until(50.0)  # frozen: nothing fires
+    assert fired == []
+    svc.thaw()
+    loop.run()
+    assert fired == [56.0]  # 50 + remaining 6
+
+
+def test_freeze_twice_rejected(loop):
+    svc = TimerService(loop, "n1")
+    svc.freeze()
+    with pytest.raises(SimulationError):
+        svc.freeze()
+
+
+def test_thaw_without_freeze_rejected(loop):
+    svc = TimerService(loop, "n1")
+    with pytest.raises(SimulationError):
+        svc.thaw()
+
+
+def test_freeze_skips_idle_timers(loop):
+    svc = TimerService(loop, "n1")
+    svc.timer("idle", lambda: None)  # never started
+    svc.timer("live", lambda: None).start(10.0)
+    svc.freeze()
+    svc.thaw()
+    assert svc.get("idle") is not None
+    assert not svc.get("idle").running
+    assert svc.get("live").running
+
+
+def test_cancel_all_clears_frozen_state(loop):
+    svc = TimerService(loop, "n1")
+    svc.timer("t", lambda: None).start(5.0)
+    svc.freeze()
+    svc.cancel_all()
+    # After cancel_all the service is usable again (crash semantics).
+    svc.freeze()
+    svc.thaw()
+
+
+def test_names_sorted(loop):
+    svc = TimerService(loop, "n1")
+    svc.timer("b", lambda: None)
+    svc.timer("a", lambda: None)
+    assert svc.names() == ["a", "b"]

@@ -1,0 +1,70 @@
+"""TraceLog queries."""
+
+from repro.sim.tracing import TraceLog
+
+
+def make_log():
+    t = TraceLog()
+    t.record(1.0, "n1", "a", x=1)
+    t.record(2.0, "n2", "b")
+    t.record(3.0, "n1", "a", x=2)
+    t.record(4.0, "n3", "c")
+    return t
+
+
+def test_len_and_all_order():
+    t = make_log()
+    assert len(t) == 4
+    assert [r.time for r in t.all()] == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_of_kind():
+    t = make_log()
+    assert [r.get("x") for r in t.of_kind("a")] == [1, 2]
+    assert t.of_kind("missing") == []
+
+
+def test_of_kinds_merged_in_time_order():
+    t = make_log()
+    got = t.of_kinds("a", "c")
+    assert [r.time for r in got] == [1.0, 3.0, 4.0]
+
+
+def test_where_with_kind_prefilter():
+    t = make_log()
+    got = t.where(lambda r: r.get("x") == 2, kind="a")
+    assert len(got) == 1 and got[0].time == 3.0
+
+
+def test_first_after():
+    t = make_log()
+    assert t.first_after(2.5).time == 3.0
+    assert t.first_after(2.5, kind="c").time == 4.0
+    assert t.first_after(2.5, node="n1").time == 3.0
+    assert t.first_after(10.0) is None
+
+
+def test_first_after_inclusive():
+    t = make_log()
+    assert t.first_after(2.0).time == 2.0
+
+
+def test_last_before():
+    t = make_log()
+    assert t.last_before(2.5).time == 2.0
+    assert t.last_before(3.5, kind="a").time == 3.0
+    assert t.last_before(0.5) is None
+
+
+def test_record_returns_record():
+    t = TraceLog()
+    rec = t.record(5.0, "n", "k", foo="bar")
+    assert rec.get("foo") == "bar"
+    assert rec.get("missing", 7) == 7
+
+
+def test_clear():
+    t = make_log()
+    t.clear()
+    assert len(t) == 0
+    assert t.of_kind("a") == []
