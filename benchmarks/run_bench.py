@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Run the pytest-benchmark suite, snapshot results, flag regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py               # full suite
+    PYTHONPATH=src python benchmarks/run_bench.py -k core_perf  # subset
+    PYTHONPATH=src python benchmarks/run_bench.py --threshold 0.10
+    PYTHONPATH=src python benchmarks/run_bench.py --compare-only old.json new.json
+
+Each run writes ``BENCH_<timestamp>.json`` (raw ``--benchmark-json``
+output) into ``--results-dir`` (default ``benchmarks/results/``), then
+compares per-benchmark mean times against the most recent previous
+snapshot in that directory.  Exits non-zero when any benchmark regressed
+by more than ``--threshold`` (default 20 %), so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+
+DEFAULT_THRESHOLD = 0.20
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+SNAPSHOT_PREFIX = "BENCH_"
+
+
+def load_means(path: pathlib.Path) -> dict[str, float]:
+    """Benchmark name → mean seconds from a ``--benchmark-json`` file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    means: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        means[bench["fullname"]] = float(bench["stats"]["mean"])
+    return means
+
+
+def compare(
+    old: dict[str, float], new: dict[str, float], threshold: float
+) -> tuple[list[str], list[str]]:
+    """Return (report lines, regressed benchmark names)."""
+    lines: list[str] = []
+    regressed: list[str] = []
+    width = max((len(n) for n in new), default=10)
+    for name in sorted(new):
+        mean = new[name]
+        base = old.get(name)
+        if base is None or base <= 0.0:
+            lines.append(f"{name:<{width}}  {mean * 1e3:10.3f} ms  (new)")
+            continue
+        ratio = mean / base - 1.0
+        marker = ""
+        if ratio > threshold:
+            marker = "  << REGRESSION"
+            regressed.append(name)
+        elif ratio < -threshold:
+            marker = "  (improved)"
+        lines.append(
+            f"{name:<{width}}  {mean * 1e3:10.3f} ms  vs {base * 1e3:10.3f} ms  "
+            f"{ratio:+7.1%}{marker}"
+        )
+    for name in sorted(set(old) - set(new)):
+        lines.append(f"{name:<{width}}  (dropped from suite)")
+    return lines, regressed
+
+
+def previous_snapshot(results_dir: pathlib.Path, exclude: pathlib.Path) -> pathlib.Path | None:
+    snaps = sorted(
+        p
+        for p in results_dir.glob(f"{SNAPSHOT_PREFIX}*.json")
+        if p.resolve() != exclude.resolve()
+    )
+    return snaps[-1] if snaps else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="max tolerated mean-time regression fraction (default 0.20)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        type=pathlib.Path,
+        default=BENCH_DIR / "results",
+        help="where snapshots live (default benchmarks/results/)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        help="explicit baseline snapshot (default: latest previous one)",
+    )
+    parser.add_argument(
+        "--compare-only",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help="skip running; just compare two snapshot files",
+    )
+    parser.add_argument(
+        "--no-fail",
+        action="store_true",
+        help="report regressions but exit 0 anyway",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments forwarded to pytest (e.g. -k core_perf)",
+    )
+    # parse_known_args: unknown flags (-k, -x, --benchmark-*) flow to pytest.
+    args, passthrough = parser.parse_known_args(argv)
+    args.pytest_args = [*passthrough, *args.pytest_args]
+
+    if args.compare_only:
+        old_path, new_path = map(pathlib.Path, args.compare_only)
+        try:
+            old_means, new_means = load_means(old_path), load_means(new_path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read snapshot: {exc}", file=sys.stderr)
+            return 2
+        lines, regressed = compare(old_means, new_means, args.threshold)
+        print("\n".join(lines) if lines else "no benchmarks in common")
+        if regressed and not args.no_fail:
+            print(f"\n{len(regressed)} benchmark(s) regressed > {args.threshold:.0%}")
+            return 1
+        return 0
+
+    args.results_dir.mkdir(parents=True, exist_ok=True)
+    stamp = datetime.datetime.now().strftime("%Y%m%d-%H%M%S")
+    snapshot = args.results_dir / f"{SNAPSHOT_PREFIX}{stamp}.json"
+
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_DIR),
+        "-q",
+        "--benchmark-only",
+        f"--benchmark-json={snapshot}",
+        *args.pytest_args,
+    ]
+    print("+", " ".join(cmd))
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        print(f"benchmark run failed (exit {proc.returncode})", file=sys.stderr)
+        return proc.returncode
+    print(f"\nsnapshot written: {snapshot}")
+
+    baseline = args.baseline or previous_snapshot(args.results_dir, snapshot)
+    if baseline is None:
+        print("no previous snapshot to compare against — baseline recorded.")
+        return 0
+    print(f"comparing against: {baseline}\n")
+    lines, regressed = compare(
+        load_means(baseline), load_means(snapshot), args.threshold
+    )
+    print("\n".join(lines))
+    if regressed and not args.no_fail:
+        print(f"\n{len(regressed)} benchmark(s) regressed > {args.threshold:.0%}")
+        return 1
+    print("\nno regressions beyond threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

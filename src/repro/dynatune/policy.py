@@ -319,7 +319,9 @@ class DynatunePolicy:
         return self.config.default_heartbeat_interval_ms
 
     def heartbeat_meta(self, follower: str, now_ms: float) -> HeartbeatMeta:
-        st = self._paths.setdefault(follower, _FollowerPathState())
+        st = self._paths.get(follower)
+        if st is None:
+            st = self._paths[follower] = _FollowerPathState()
         st.next_seq += 1
         return HeartbeatMeta(
             seq=st.next_seq,
@@ -333,7 +335,9 @@ class DynatunePolicy:
     ) -> None:
         if meta is None:
             return
-        st = self._paths.setdefault(follower, _FollowerPathState())
+        st = self._paths.get(follower)
+        if st is None:
+            st = self._paths[follower] = _FollowerPathState()
         rtt = now_ms - meta.echo_ts
         if rtt >= 0.0:
             st.last_rtt_ms = rtt

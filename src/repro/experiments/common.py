@@ -25,7 +25,15 @@ from typing import Callable
 from repro.dynatune.config import DynatuneConfig
 from repro.dynatune.policy import DynatunePolicy, StaticPolicy, TuningPolicy
 
-__all__ = ["SYSTEMS", "Scale", "QUICK", "PAPER", "get_scale", "make_policy_factory"]
+__all__ = [
+    "SYSTEMS",
+    "Scale",
+    "QUICK",
+    "PAPER",
+    "get_scale",
+    "get_jobs",
+    "make_policy_factory",
+]
 
 #: The four evaluated systems, by paper name.
 SYSTEMS: tuple[str, ...] = ("raft", "raft-low", "dynatune", "fix-k")
@@ -92,6 +100,28 @@ def get_scale() -> Scale:
     if name == "quick":
         return QUICK
     raise ValueError(f"REPRO_SCALE must be 'quick' or 'paper', got {name!r}")
+
+
+def get_jobs() -> int:
+    """Worker processes selected by ``REPRO_JOBS`` (default: 1).
+
+    ``REPRO_JOBS=1`` (or unset) runs everything in-process — the fully
+    deterministic, debugger-friendly mode.  ``REPRO_JOBS=N`` fans
+    independent runs/trials across ``N`` processes via
+    :mod:`repro.experiments.runner`; ``REPRO_JOBS=0`` or ``auto`` uses
+    every available core.  Results are independent of the value: the job
+    count changes wall-clock, never the trial decomposition or any seed.
+    """
+    raw = os.environ.get("REPRO_JOBS", "1").strip().lower()
+    if raw in ("auto", "0"):
+        return os.cpu_count() or 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_JOBS must be an integer or 'auto', got {raw!r}") from None
+    if jobs < 1:
+        raise ValueError(f"REPRO_JOBS must be >= 1 (or 0/'auto'), got {jobs!r}")
+    return jobs
 
 
 def fmt_ms(v: float | None) -> str:

@@ -30,8 +30,16 @@ from repro.cluster.builder import ClusterConfig, build_cluster
 from repro.cluster.harness import ClusterHarness
 from repro.cluster.measurements import FailureEpisode, extract_failure_episodes
 from repro.experiments.common import get_scale, make_policy_factory
+from repro.experiments.runner import run_sharded_trials, run_tasks
 
-__all__ = ["Fig4Config", "SystemElectionResult", "Fig4Result", "run", "main"]
+__all__ = [
+    "Fig4Config",
+    "SystemElectionResult",
+    "Fig4Result",
+    "run",
+    "run_trials",
+    "main",
+]
 
 PAPER_NUMBERS = {
     "raft": {"detection": 1205.0, "ots": 1449.0, "randomized_timeout": 1454.0, "election": 244.0},
@@ -165,12 +173,67 @@ def run_system(system: str, config: Fig4Config) -> SystemElectionResult:
     )
 
 
-def run(config: Fig4Config | None = None) -> Fig4Result:
-    cfg = config if config is not None else Fig4Config.quick()
-    return Fig4Result(
-        config=cfg,
-        systems={s: run_system(s, cfg) for s in cfg.systems},
+def _run_system_task(args: tuple[str, Fig4Config]) -> SystemElectionResult:
+    """Module-level worker for :func:`repro.experiments.runner.run_tasks`."""
+    system, cfg = args
+    return run_system(system, cfg)
+
+
+def _merge_system_results(
+    system: str, parts: list[SystemElectionResult]
+) -> SystemElectionResult:
+    """Concatenate per-shard samples and recompute the derived statistics."""
+    episodes = tuple(e for p in parts for e in p.episodes)
+    detection = np.concatenate([p.detection_ms for p in parts])
+    ots = np.concatenate([p.ots_ms for p in parts])
+    election = np.concatenate([p.election_ms for p in parts])
+    rts = np.concatenate([p.randomized_timeout_ms for p in parts])
+    return SystemElectionResult(
+        system=system,
+        episodes=episodes,
+        detection_ms=detection,
+        ots_ms=ots,
+        election_ms=election,
+        randomized_timeout_ms=rts,
+        detection_summary=summarize(detection),
+        ots_summary=summarize(ots),
+        detection_cdf=empirical_cdf(detection),
+        ots_cdf=empirical_cdf(ots),
     )
+
+
+def run(config: Fig4Config | None = None, *, jobs: int | None = None) -> Fig4Result:
+    """Run every system of the experiment (in parallel across systems when
+    ``jobs``/``REPRO_JOBS`` allows); results are identical for any job count."""
+    cfg = config if config is not None else Fig4Config.quick()
+    results = run_tasks(_run_system_task, [(s, cfg) for s in cfg.systems], jobs=jobs)
+    return Fig4Result(config=cfg, systems=dict(zip(cfg.systems, results)))
+
+
+def run_trials(
+    config: Fig4Config | None = None,
+    *,
+    n_trials: int,
+    jobs: int | None = None,
+) -> Fig4Result:
+    """Shard the failure loop into ``n_trials`` independent trials.
+
+    Each trial runs ``n_failures / n_trials`` leader kills on its own
+    cluster seeded with ``derive_trial_seed(seed, trial)``; per-system
+    samples are concatenated in trial order.  The decomposition (and thus
+    every number in the result) depends only on ``(config, n_trials)`` —
+    ``jobs`` moves trials between processes without changing anything.
+    """
+    cfg = config if config is not None else Fig4Config.quick()
+    merged = run_sharded_trials(
+        _run_system_task,
+        cfg.systems,
+        cfg,
+        n_trials=n_trials,
+        merge=_merge_system_results,
+        jobs=jobs,
+    )
+    return Fig4Result(config=cfg, systems=merged)
 
 
 def main() -> Fig4Result:  # pragma: no cover - exercised via __main__

@@ -25,6 +25,7 @@ import numpy as np
 from repro.cluster.builder import ClusterConfig, build_cluster
 from repro.cluster.harness import ClusterHarness
 from repro.experiments.common import get_scale, make_policy_factory
+from repro.experiments.runner import run_tasks
 from repro.net.schedule import NetworkSchedule, loss_staircase_profile
 from repro.sim.events import PRIORITY_CONTROL
 
@@ -170,13 +171,22 @@ def run_one(system: str, n_nodes: int, config: Fig7Config) -> LossRunResult:
     )
 
 
-def run(config: Fig7Config | None = None) -> Fig7Result:
+def _run_one_task(args: tuple[str, int, Fig7Config]) -> LossRunResult:
+    """Module-level worker for :func:`repro.experiments.runner.run_tasks`."""
+    system, n_nodes, cfg = args
+    return run_one(system, n_nodes, cfg)
+
+
+def run(config: Fig7Config | None = None, *, jobs: int | None = None) -> Fig7Result:
+    """Run the (system × cluster size) grid, in parallel across grid cells
+    when ``jobs``/``REPRO_JOBS`` allows; each cell is an independent
+    simulation, so results are identical for any job count."""
     cfg = config if config is not None else Fig7Config.quick()
-    runs: dict[tuple[str, int], LossRunResult] = {}
-    for n in cfg.sizes:
-        for system in cfg.systems:
-            runs[(system, n)] = run_one(system, n, cfg)
-    return Fig7Result(config=cfg, runs=runs)
+    grid = [(system, n) for n in cfg.sizes for system in cfg.systems]
+    results = run_tasks(
+        _run_one_task, [(system, n, cfg) for system, n in grid], jobs=jobs
+    )
+    return Fig7Result(config=cfg, runs=dict(zip(grid, results)))
 
 
 def main() -> Fig7Result:  # pragma: no cover - exercised via __main__

@@ -31,7 +31,7 @@ class Message:
     channel: str
     size_bytes: int = 128
     send_time: float = 0.0
-    uid: int = dataclasses.field(default_factory=lambda: next(_msg_counter))
+    uid: int = dataclasses.field(default_factory=_msg_counter.__next__)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = type(self.payload).__name__

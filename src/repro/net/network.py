@@ -21,13 +21,32 @@ from repro.net.transport import (
     CHANNEL_UDP,
     TcpChannelState,
     tcp_transmission_plan,
-    udp_transmission_plan,
 )
 from repro.sim.events import PRIORITY_MESSAGE
 from repro.sim.loop import EventLoop
 from repro.sim.rng import RngRegistry
 
 __all__ = ["Network", "Endpoint"]
+
+
+class _Delivery:
+    """Allocation-light delivery callback (replaces a per-send closure).
+
+    Binds the endpoint and the link's stats object at send time — endpoints
+    and links are never detached, so the bindings cannot go stale.
+    """
+
+    __slots__ = ("_endpoint", "_stats", "_src", "_payload")
+
+    def __init__(self, endpoint: "Endpoint", stats: LinkStats, src: str, payload: Any) -> None:
+        self._endpoint = endpoint
+        self._stats = stats
+        self._src = src
+        self._payload = payload
+
+    def __call__(self) -> None:
+        self._stats.delivered += 1
+        self._endpoint.deliver(self._src, self._payload)
 
 
 class Endpoint(Protocol):
@@ -154,41 +173,105 @@ class Network:
 
         Returns the :class:`Message` envelope (mostly for tests); delivery,
         if any, happens via scheduled loop events.
-        """
-        msg = Message(
-            src=src,
-            dst=dst,
-            payload=payload,
-            channel=channel,
-            size_bytes=size_bytes,
-            send_time=self.loop.now,
-        )
-        link = self.link(src, dst)
-        link.stats.sent += 1
-        link.stats.bytes_sent += size_bytes
 
-        if not link.up or self.partitioned(src, dst):
+        This is the per-message hot path: link, stats and endpoint are each
+        looked up once, the delivery callback is a slotted :class:`_Delivery`
+        rather than a fresh closure, and partition checks short-circuit on
+        the (common) unpartitioned case.
+        """
+        loop = self.loop
+        now = loop.now
+        msg = Message(src, dst, payload, channel, size_bytes, now)
+        try:
+            link = self._links[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no link {src!r} -> {dst!r} installed") from None
+        stats = link.stats
+        stats.sent += 1
+        stats.bytes_sent += size_bytes
+
+        partition_of = self._partition_of
+        if not link.up or (
+            partition_of is not None
+            and partition_of.get(src) != partition_of.get(dst)
+        ):
             self.partition_drops += 1
-            link.stats.dropped += 1
+            stats.dropped += 1
             return msg
 
         if channel == CHANNEL_UDP:
-            plan = udp_transmission_plan(link)
-        elif channel == CHANNEL_TCP:
-            state = self._tcp_state.setdefault((src, dst), TcpChannelState())
-            plan = tcp_transmission_plan(link, state, self.loop.now)
+            # Inlined udp_transmission_plan: the datagram path is the
+            # heartbeat hot path, and the common deliver-no-duplicate case
+            # needs no TransmissionPlan allocation.  Draw order (drop,
+            # delay, duplicate) must match the transport module exactly —
+            # it defines the per-link RNG stream consumption.
+            if link.draw_drop():
+                stats.dropped += 1
+                return msg
+            delay_ms = link.draw_delay()
+            endpoint = self._endpoints.get(dst)
+            if link.duplicate_p <= 0.0:
+                if endpoint is not None:
+                    # delay models clamp samples >= 0, so the internal
+                    # validation-free push is safe here.
+                    loop._push_event(
+                        now + delay_ms,
+                        _Delivery(endpoint, stats, src, payload),
+                        PRIORITY_MESSAGE,
+                    )
+                return msg
+            # Duplicate draw (and its delay draw) must happen before any
+            # scheduling so the RNG stream matches the transport module;
+            # the primary is scheduled first so it keeps the lower seq.
+            dup_delay = None
+            if link.draw_duplicate():
+                dup_delay = link.draw_delay()
+            if endpoint is not None:
+                loop._push_event(
+                    now + delay_ms,
+                    _Delivery(endpoint, stats, src, payload),
+                    PRIORITY_MESSAGE,
+                )
+            if dup_delay is not None:
+                stats.duplicated += 1
+                if endpoint is not None:
+                    loop._push_event(
+                        now + dup_delay,
+                        _Delivery(endpoint, stats, src, payload),
+                        PRIORITY_MESSAGE,
+                    )
+            return msg
+        if channel == CHANNEL_TCP:
+            state = self._tcp_state.get((src, dst))
+            if state is None:
+                state = self._tcp_state[(src, dst)] = TcpChannelState()
+            plan = tcp_transmission_plan(link, state, now)
         else:
             raise ValueError(f"unknown channel {channel!r}")
 
         if not plan.deliver:
-            link.stats.dropped += 1
+            stats.dropped += 1
             return msg
 
-        link.stats.retransmits += plan.retransmits
-        self._schedule_delivery(msg, plan.delay_ms)
+        stats.retransmits += plan.retransmits
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None:
+            # No attached endpoint: delivery would be a no-op, so skip the
+            # event entirely (counters match the delivery-time-lookup path).
+            stats.duplicated += len(plan.duplicates)
+            return msg
+        loop.schedule(
+            plan.delay_ms,
+            _Delivery(endpoint, stats, src, payload),
+            priority=PRIORITY_MESSAGE,
+        )
         for extra_delay in plan.duplicates:
-            link.stats.duplicated += 1
-            self._schedule_delivery(msg, extra_delay)
+            stats.duplicated += 1
+            loop.schedule(
+                extra_delay,
+                _Delivery(endpoint, stats, src, payload),
+                priority=PRIORITY_MESSAGE,
+            )
         return msg
 
     def broadcast(
@@ -203,18 +286,6 @@ class Network:
         """Send the same payload to several peers (independent link draws)."""
         for dst in dsts:
             self.send(src, dst, payload, channel=channel, size_bytes=size_bytes)
-
-    def _schedule_delivery(self, msg: Message, delay_ms: float) -> None:
-        def _deliver() -> None:
-            endpoint = self._endpoints.get(msg.dst)
-            if endpoint is None:
-                return
-            link = self._links.get((msg.src, msg.dst))
-            if link is not None:
-                link.stats.delivered += 1
-            endpoint.deliver(msg.src, msg.payload)
-
-        self.loop.schedule(delay_ms, _deliver, priority=PRIORITY_MESSAGE)
 
     # ------------------------------------------------------------------ #
     # diagnostics

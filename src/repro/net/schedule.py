@@ -17,6 +17,7 @@ packets already in flight keep the delay they sampled at send time.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 from typing import Callable
 
@@ -62,6 +63,21 @@ class NetworkSchedule:
 
     def __init__(self, actions: list[ScheduleAction]) -> None:
         self.actions = sorted(actions, key=lambda a: a.at_ms)
+        # Precomputed lookup tables for value_at(): sorted action times plus
+        # the latest non-None rtt/loss as of each action index, so a query
+        # is one bisect instead of a scan over the whole schedule.
+        self._times: list[float] = [a.at_ms for a in self.actions]
+        self._rtt_at: list[float | None] = []
+        self._loss_at: list[float | None] = []
+        rtt: float | None = None
+        loss: float | None = None
+        for action in self.actions:
+            if action.rtt_ms is not None:
+                rtt = action.rtt_ms
+            if action.loss is not None:
+                loss = action.loss
+            self._rtt_at.append(rtt)
+            self._loss_at.append(loss)
 
     def __len__(self) -> int:
         return len(self.actions)
@@ -95,18 +111,13 @@ class NetworkSchedule:
         """The (rtt, loss) targets in force at time ``t_ms``.
 
         Returns the most recent non-``None`` value of each dimension;
-        useful for plotting the ground-truth line of Fig. 6.
+        useful for plotting the ground-truth line of Fig. 6.  O(log n) via
+        bisect over the precomputed sorted action times.
         """
-        rtt: float | None = None
-        loss: float | None = None
-        for action in self.actions:
-            if action.at_ms > t_ms:
-                break
-            if action.rtt_ms is not None:
-                rtt = action.rtt_ms
-            if action.loss is not None:
-                loss = action.loss
-        return rtt, loss
+        i = bisect.bisect_right(self._times, t_ms) - 1
+        if i < 0:
+            return None, None
+        return self._rtt_at[i], self._loss_at[i]
 
 
 class _Applier:

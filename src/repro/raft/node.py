@@ -136,6 +136,13 @@ class RaftNode(Process):
         self._last_append_response: dict[str, float] = {}
 
         self._election_timer = self.timers.timer("election", self._on_election_timeout)
+        # Per-peer heartbeat timer names and callbacks, precomputed once:
+        # _schedule_heartbeat runs every tick and would otherwise build a
+        # fresh f-string and closure per beat.
+        self._hb_timer_names = {peer: f"hb/{peer}" for peer in self.peers}
+        self._hb_timer_cbs = {
+            peer: (lambda p=peer: self._heartbeat_tick(p)) for peer in self.peers
+        }
         self._started = False
 
     # ------------------------------------------------------------------ #
@@ -245,7 +252,7 @@ class RaftNode(Process):
             self.loop.now, self.name, "step_down", term=self.current_term
         )
         for peer in self.peers:
-            self.timers.drop(f"hb/{peer}")
+            self.timers.drop(self._hb_timer_names[peer])
         self.timers.drop("hb")
         self.timers.drop("quorum")
         self.policy.on_step_down(self.loop.now)
@@ -369,7 +376,7 @@ class RaftNode(Process):
             interval *= float(self.rng.random())
         if self.config.heartbeat_timer_jitter_ms > 0.0:
             interval += self.config.heartbeat_timer_jitter_ms * float(self.rng.random())
-        self.timers.timer(f"hb/{peer}", lambda p=peer: self._heartbeat_tick(p)).reset(
+        self.timers.timer(self._hb_timer_names[peer], self._hb_timer_cbs[peer]).reset(
             interval
         )
 
@@ -385,9 +392,11 @@ class RaftNode(Process):
             size=64 if meta is None else 88,
         )
         self.metrics.heartbeats_sent += 1
-        self._charge("heartbeat_send")
-        if meta is not None:
-            self._charge("tuning")
+        cm = self.cost_model
+        if cm is not None:
+            cm.charge(self.name, "heartbeat_send")
+            if meta is not None:
+                cm.charge(self.name, "tuning")
 
     def _heartbeat_tick(self, peer: str) -> None:
         if self.role is not Role.LEADER:
@@ -575,7 +584,9 @@ class RaftNode(Process):
 
     def _on_heartbeat(self, m: HeartbeatRequest) -> None:
         self.metrics.heartbeats_received += 1
-        self._charge("heartbeat_recv")
+        cm = self.cost_model
+        if cm is not None:
+            cm.charge(self.name, "heartbeat_recv")
         if m.term < self.current_term:
             self._send(
                 m.leader,
@@ -592,8 +603,8 @@ class RaftNode(Process):
             self.commit_index = min(m.commit, self.log.last_index)
             self._apply_committed()
         meta = self.policy.on_heartbeat(m.leader, m.meta, self.loop.now)
-        if m.meta is not None:
-            self._charge("tuning")
+        if cm is not None and m.meta is not None:
+            cm.charge(self.name, "tuning")
         self._arm_election_timer()
         self._send(
             m.leader,
@@ -606,11 +617,14 @@ class RaftNode(Process):
             channel=self.policy.heartbeat_channel,
             size=64 if meta is None else 88,
         )
-        self._charge("heartbeat_resp_send")
+        if cm is not None:
+            cm.charge(self.name, "heartbeat_resp_send")
 
     def _on_heartbeat_response(self, m: HeartbeatResponse) -> None:
         self.metrics.heartbeat_responses_received += 1
-        self._charge("heartbeat_resp_recv")
+        cm = self.cost_model
+        if cm is not None:
+            cm.charge(self.name, "heartbeat_resp_recv")
         if m.term > self.current_term:
             self._become_follower(m.term, None)
             return
@@ -618,8 +632,8 @@ class RaftNode(Process):
             return
         self._last_peer_response[m.follower] = self.loop.now
         self.policy.on_heartbeat_response(m.follower, m.meta, self.loop.now)
-        if m.meta is not None:
-            self._charge("tuning")
+        if cm is not None and m.meta is not None:
+            cm.charge(self.name, "tuning")
         if (
             self.config.heartbeat_response_catchup
             and self.match_index.get(m.follower, 0) < self.log.last_index

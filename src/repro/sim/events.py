@@ -14,11 +14,31 @@ Events are totally ordered by ``(time, priority, seq)``:
 
 Determinism of this total order is what makes every experiment in the paper
 reproducible bit-for-bit from a seed.
+
+Representation
+--------------
+
+An :class:`Event` *is* its own heap entry: a ``list`` subclass laid out as
+``[time, priority, seq, callback]`` plus one ``loop`` slot.  This buys the
+two properties the hot path needs:
+
+* heap sifts compare events with ``list``'s C implementation, element-wise
+  over ``(time, priority, seq)`` — and because ``seq`` is unique the
+  comparison never reaches the trailing callback.  No ``__lt__`` is
+  defined on the subclass (that would drop every comparison back into the
+  interpreter) and no per-comparison key tuples are allocated;
+* one object per scheduled event — the entry doubles as the cancellation
+  handle returned by :meth:`EventLoop.schedule`, so there is no separate
+  ``EventHandle`` allocation and no wrapper indirection.
+
+Cancellation clears slot 3 (the callback) to ``None``, which both marks the
+event dead for the loop's lazy deletion and releases the closure
+immediately.  External code should use the named accessors (``.time``,
+``.cancelled``, ``.cancel()``), not the list layout.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any, Callable
 
 __all__ = ["Event", "EventHandle", "PRIORITY_MESSAGE", "PRIORITY_TIMER", "PRIORITY_CONTROL"]
@@ -31,52 +51,40 @@ PRIORITY_CONTROL: int = 5
 PRIORITY_TIMER: int = 10
 
 
-@dataclasses.dataclass(slots=True)
-class Event:
-    """A scheduled callback.
+class Event(list):
+    """A scheduled callback, doubling as heap entry and cancellation handle.
 
-    Attributes:
-        time: absolute firing time (ms).
-        priority: tie-break priority (lower first).
-        seq: global insertion sequence number (FIFO tie-break).
-        callback: zero-argument callable invoked when the event fires.
-        cancelled: set by :meth:`EventHandle.cancel`; cancelled events are
-            skipped by the loop (lazy deletion — cheaper than heap surgery).
+    Construct with the 4-element layout ``Event((time, priority, seq,
+    callback))`` and assign :attr:`loop` (done by
+    :meth:`~repro.sim.loop.EventLoop.schedule`); a cancelled event has
+    ``callback`` slot ``None``.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], Any]
-    cancelled: bool = False
+    __slots__ = ("loop",)
 
-    def sort_key(self) -> tuple[float, int, int]:
-        return (self.time, self.priority, self.seq)
-
-    def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
-
-
-class EventHandle:
-    """Cancellation handle returned by :meth:`EventLoop.schedule`.
-
-    Holding a handle does not keep the event alive in any special way; it
-    only allows the owner to cancel it before it fires.
-    """
-
-    __slots__ = ("_event",)
-
-    def __init__(self, event: Event) -> None:
-        self._event = event
+    # NOTE: deliberately no __init__/__lt__/__eq__ overrides — list's
+    # C-level construction and comparison are the whole point.
 
     @property
     def time(self) -> float:
         """Absolute virtual time at which the event will fire."""
-        return self._event.time
+        return self[0]
+
+    @property
+    def priority(self) -> int:
+        return self[1]
+
+    @property
+    def seq(self) -> int:
+        return self[2]
+
+    @property
+    def callback(self) -> Callable[[], Any] | None:
+        return self[3]
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self[3] is None
 
     def cancel(self) -> bool:
         """Cancel the event.
@@ -85,11 +93,25 @@ class EventHandle:
             ``True`` if the event was live and is now cancelled, ``False``
             if it had already been cancelled (idempotent).
         """
-        if self._event.cancelled:
+        if self[3] is None:
             return False
-        self._event.cancelled = True
+        self[3] = None
+        try:
+            loop = self.loop
+        except AttributeError:  # constructed outside a loop (tests)
+            return True
+        if loop is not None:
+            loop._note_cancelled()
         return True
 
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self[0], self[1], self[2])
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self._event.cancelled else "pending"
-        return f"EventHandle(t={self._event.time!r}, {state})"
+        state = "cancelled" if self[3] is None else "pending"
+        return f"Event(t={self[0]!r}, prio={self[1]!r}, seq={self[2]!r}, {state})"
+
+
+#: Backwards-compatible alias: the scheduler hands out :class:`Event`
+#: objects directly instead of wrapping each one in a separate handle.
+EventHandle = Event

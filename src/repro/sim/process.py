@@ -99,7 +99,7 @@ class Process:
         Silently drops the message if the process is not running — a slept
         or crashed server neither processes nor buffers traffic.
         """
-        if not self.alive:
+        if self._state is not ProcessState.RUNNING:
             return
         self.on_message(sender, payload)
 

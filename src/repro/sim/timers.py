@@ -6,8 +6,11 @@ follower** (each leader-follower pair has its own tuned interval ``h``,
 §III-B).  This module provides the small abstraction both need:
 
 * :class:`Timer` — a named one-shot timer with ``start / reset / cancel``
-  and an expiry callback.  Resetting cancels the pending expiration and
-  schedules a fresh one (lazy deletion in the loop keeps this O(log n)).
+  and an expiry callback.  Resets are **lazy** (the asyncio/Go timer trick):
+  the timer tracks a *logical deadline* separately from the one event it
+  keeps scheduled, so the per-heartbeat reset that pushes the deadline out
+  is two attribute writes — no heap traffic at all.  Only when the stale
+  event fires early does the timer re-arm itself at the true deadline.
 * :class:`TimerService` — a per-node factory that can freeze and thaw all
   of a node's timers, which is how the "container sleep" fault of §IV-B1 is
   implemented: a paused node's timers stop and its callbacks never run.
@@ -30,23 +33,30 @@ class Timer:
     When it expires it invokes ``callback()`` once; restart it explicitly if
     periodic behaviour is wanted (Raft heartbeat loops restart themselves in
     the callback, which lets Dynatune change the interval between ticks).
+
+    Internally the logical ``_deadline`` is authoritative; ``_handle`` is
+    the single scheduled loop event, which may lag behind the deadline after
+    lazy resets.  Invariant: whenever the timer is running, a live event is
+    scheduled at some time ``<= _deadline``.
     """
 
-    __slots__ = ("_loop", "name", "_callback", "_handle", "_duration")
+    __slots__ = ("_loop", "name", "_callback", "_handle", "_handle_time", "_duration", "_deadline")
 
     def __init__(self, loop: EventLoop, name: str, callback: Callable[[], Any]) -> None:
         self._loop = loop
         self.name = name
         self._callback = callback
         self._handle = None
+        self._handle_time = 0.0
         self._duration: float | None = None
+        self._deadline: float | None = None
 
     # -- state ---------------------------------------------------------- #
 
     @property
     def running(self) -> bool:
         """Whether an expiration is currently pending."""
-        return self._handle is not None and not self._handle.cancelled
+        return self._deadline is not None
 
     @property
     def duration(self) -> float | None:
@@ -56,16 +66,14 @@ class Timer:
     @property
     def deadline(self) -> float | None:
         """Absolute expiry time (ms) if running, else ``None``."""
-        if self.running:
-            return self._handle.time  # type: ignore[union-attr]
-        return None
+        return self._deadline
 
     @property
     def remaining(self) -> float | None:
         """Time (ms) until expiry if running, else ``None``."""
-        if self.running:
-            return self._handle.time - self._loop.now  # type: ignore[union-attr]
-        return None
+        if self._deadline is None:
+            return None
+        return self._deadline - self._loop.now
 
     # -- control -------------------------------------------------------- #
 
@@ -76,39 +84,51 @@ class Timer:
             SimulationError: if the timer is already running (use
                 :meth:`reset` to re-arm) or ``duration`` is invalid.
         """
-        if self.running:
+        if self._deadline is not None:
             raise SimulationError(f"timer {self.name!r} already running; use reset()")
-        self._arm(duration)
+        self.reset(duration)
 
     def reset(self, duration: float) -> None:
         """(Re-)arm the timer, cancelling any pending expiration.
 
-        This is the operation a follower performs on every heartbeat.
+        This is the operation a follower performs on every heartbeat.  The
+        fast path (new deadline at or beyond the scheduled event, i.e. every
+        heartbeat-driven extension) touches only this object's attributes.
         """
-        self.cancel()
-        self._arm(duration)
-
-    def cancel(self) -> bool:
-        """Disarm the timer.  Returns ``True`` if it had been running."""
-        if self._handle is not None and not self._handle.cancelled:
-            self._handle.cancel()
-            self._handle = None
-            return True
-        self._handle = None
-        return False
-
-    def _arm(self, duration: float) -> None:
         if not (duration >= 0.0):
             raise SimulationError(
                 f"timer {self.name!r} duration must be >= 0, got {duration!r}"
             )
-        self._duration = float(duration)
-        self._handle = self._loop.schedule(
-            duration, self._fire, priority=PRIORITY_TIMER
-        )
+        deadline = self._loop.now + duration
+        self._duration = duration
+        self._deadline = deadline
+        if self._handle is not None:
+            if self._handle_time <= deadline:
+                return  # lazy: the stale event re-arms when it fires
+            self._handle.cancel()  # deadline moved earlier: re-arm eagerly
+        self._handle = self._loop._push_event(deadline, self._fire, PRIORITY_TIMER)
+        self._handle_time = deadline
+
+    def cancel(self) -> bool:
+        """Disarm the timer.  Returns ``True`` if it had been running."""
+        was_running = self._deadline is not None
+        self._deadline = None
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        return was_running
 
     def _fire(self) -> None:
         self._handle = None
+        deadline = self._deadline
+        if deadline is None:  # pragma: no cover - cancel also cancels the event
+            return
+        if deadline > self._loop.now:
+            # Stale event from a lazy reset: re-arm at the true deadline.
+            self._handle = self._loop._push_event(deadline, self._fire, PRIORITY_TIMER)
+            self._handle_time = deadline
+            return
+        self._deadline = None
         self._callback()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

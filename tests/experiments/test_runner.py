@@ -1,0 +1,128 @@
+"""Parallel experiment runner: determinism, seed derivation, job wiring."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4_election as fig4
+from repro.experiments.common import get_jobs
+from repro.experiments.runner import derive_trial_seed, run_tasks, split_counts
+
+
+# --------------------------------------------------------------------- #
+# seed derivation
+# --------------------------------------------------------------------- #
+
+
+def test_derive_trial_seed_deterministic():
+    assert derive_trial_seed(42, 3) == derive_trial_seed(42, 3)
+
+
+def test_derive_trial_seed_distinct_across_trials_and_seeds():
+    seeds = {derive_trial_seed(s, t) for s in range(20) for t in range(50)}
+    assert len(seeds) == 20 * 50
+
+
+def test_derive_trial_seed_positive_63_bit():
+    for t in range(100):
+        v = derive_trial_seed(1, t)
+        assert 0 <= v < 2**63
+
+
+def test_derive_trial_seed_not_sequential():
+    # Adjacent trials must not produce adjacent seeds (stream decorrelation).
+    a = derive_trial_seed(42, 0)
+    b = derive_trial_seed(42, 1)
+    assert abs(a - b) > 1_000_000
+
+
+# --------------------------------------------------------------------- #
+# work splitting
+# --------------------------------------------------------------------- #
+
+
+def test_split_counts_even():
+    assert split_counts(12, 4) == [3, 3, 3, 3]
+
+
+def test_split_counts_remainder_front_loaded():
+    assert split_counts(10, 4) == [3, 3, 2, 2]
+
+
+def test_split_counts_more_parts_than_total():
+    assert split_counts(3, 10) == [1, 1, 1]
+
+
+def test_split_counts_validation():
+    with pytest.raises(ValueError):
+        split_counts(0, 2)
+    with pytest.raises(ValueError):
+        split_counts(5, 0)
+
+
+# --------------------------------------------------------------------- #
+# task fan-out
+# --------------------------------------------------------------------- #
+
+
+def _square(x):  # module-level: picklable
+    return x * x
+
+
+def test_run_tasks_sequential():
+    assert run_tasks(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+
+def test_run_tasks_parallel_matches_sequential_order():
+    args = list(range(20))
+    assert run_tasks(_square, args, jobs=4) == run_tasks(_square, args, jobs=1)
+
+
+def test_get_jobs_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert get_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    assert get_jobs() == 4
+    monkeypatch.setenv("REPRO_JOBS", "auto")
+    assert get_jobs() >= 1
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert get_jobs() >= 1
+    monkeypatch.setenv("REPRO_JOBS", "-2")
+    with pytest.raises(ValueError):
+        get_jobs()
+    monkeypatch.setenv("REPRO_JOBS", "lots")
+    with pytest.raises(ValueError):
+        get_jobs()
+
+
+# --------------------------------------------------------------------- #
+# figure experiments through the runner
+# --------------------------------------------------------------------- #
+
+_SMALL = fig4.Fig4Config(
+    n_failures=3, warmup_ms=8_000.0, sleep_ms=6_000.0, settle_ms=6_000.0
+)
+
+
+def test_fig4_parallel_systems_bit_identical():
+    seq = fig4.run(_SMALL, jobs=1)
+    par = fig4.run(_SMALL, jobs=2)
+    for s in _SMALL.systems:
+        assert np.array_equal(seq.systems[s].detection_ms, par.systems[s].detection_ms)
+        assert np.array_equal(seq.systems[s].ots_ms, par.systems[s].ots_ms)
+
+
+def test_fig4_trials_independent_of_job_count():
+    a = fig4.run_trials(_SMALL, n_trials=2, jobs=1)
+    b = fig4.run_trials(_SMALL, n_trials=2, jobs=3)
+    for s in _SMALL.systems:
+        assert np.array_equal(a.systems[s].detection_ms, b.systems[s].detection_ms)
+
+
+def test_fig4_trials_collect_all_shards():
+    r = fig4.run_trials(_SMALL, n_trials=3, jobs=1)
+    for s in _SMALL.systems:
+        # one resolved episode per kill, three single-kill trials
+        assert len(r.systems[s].detection_ms) == 3
+        assert r.systems[s].detection_summary.mean == pytest.approx(
+            float(r.systems[s].detection_ms.mean())
+        )

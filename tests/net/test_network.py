@@ -150,6 +150,57 @@ def test_delivery_to_detached_endpoint_is_noop(net):
     loop.run()  # must not raise
 
 
+def test_udp_send_path_matches_transport_reference(net):
+    """Network.send inlines udp_transmission_plan; pin the two together.
+
+    The inlined fast path must consume the per-link RNG stream in exactly
+    the reference order (drop, delay, duplicate, duplicate-delay) and
+    produce the same outcomes, or seeded experiments stop being
+    reproducible.  Drive an identically-seeded twin link through
+    udp_transmission_plan and compare deliveries, delays and counters.
+    """
+    from repro.net.loss_models import BernoulliLoss
+    from repro.net.transport import udp_transmission_plan
+    from repro.sim.rng import RngRegistry
+
+    loop, network, a, b, c = net
+    link = network.link("a", "b")
+    link.loss = BernoulliLoss(0.3)
+    link.duplicate_p = 0.4
+    link.rng = RngRegistry(777).stream("pin")
+
+    twin = Link(
+        "a",
+        "b",
+        delay=link.delay,
+        loss=BernoulliLoss(0.3),
+        duplicate_p=0.4,
+        rng=RngRegistry(777).stream("pin"),
+    )
+
+    deliveries: list[float] = []
+    b.deliver = lambda sender, payload: deliveries.append(loop.now)  # type: ignore[method-assign]
+
+    n_msgs = 200
+    expected: list[float] = []
+    for _ in range(n_msgs):
+        t0 = loop.now
+        network.send("a", "b", "x", channel="udp")
+        plan = udp_transmission_plan(twin)
+        if plan.deliver:
+            expected.append(t0 + plan.delay_ms)
+            expected.extend(t0 + d for d in plan.duplicates)
+    loop.run()
+
+    assert sorted(deliveries) == pytest.approx(sorted(expected))
+    # Both streams must have advanced identically: next draw agrees.
+    assert link.rng.random() == twin.rng.random()
+    stats = link.stats
+    assert stats.sent == n_msgs
+    assert stats.delivered == len(expected)
+    assert stats.dropped == n_msgs - (len(expected) - stats.duplicated)
+
+
 def test_tcp_loss_delays_but_delivers(net):
     loop, network, a, b, c = net
     network.link("a", "b").loss = BernoulliLoss(0.9)

@@ -87,6 +87,35 @@ def test_value_at_before_start():
     assert s.value_at(50.0) == (None, None)
 
 
+def test_value_at_exact_action_time_inclusive():
+    s = NetworkSchedule(
+        [
+            ScheduleAction(at_ms=100.0, rtt_ms=70.0),
+            ScheduleAction(at_ms=200.0, rtt_ms=90.0, loss=0.1),
+        ]
+    )
+    assert s.value_at(100.0) == (70.0, None)  # boundary applies the action
+    assert s.value_at(199.999) == (70.0, None)
+    assert s.value_at(200.0) == (90.0, 0.1)
+
+
+def test_value_at_empty_schedule():
+    assert NetworkSchedule([]).value_at(123.0) == (None, None)
+
+
+def test_value_at_carries_forward_each_dimension_independently():
+    s = NetworkSchedule(
+        [
+            ScheduleAction(at_ms=0.0, rtt_ms=50.0),
+            ScheduleAction(at_ms=10.0, loss=0.2),
+            ScheduleAction(at_ms=20.0, rtt_ms=80.0),
+        ]
+    )
+    assert s.value_at(5.0) == (50.0, None)
+    assert s.value_at(15.0) == (50.0, 0.2)
+    assert s.value_at(25.0) == (80.0, 0.2)
+
+
 def test_install_applies_actions_at_times():
     loop = EventLoop()
     network = Network(loop, RngRegistry(1))

@@ -1,0 +1,257 @@
+"""Kernel invariants: golden-seed determinism, lazy timers, compaction.
+
+The golden digests below were captured from the *pre-rework* kernel (the
+seed implementation with per-``Event`` ``__lt__`` heap ordering, eager
+timer resets and closure-based deliveries).  The current kernel — tuple
+-ordered list events, sorted-batch drain, lazy timer rearm, slotted
+delivery callables — must reproduce the exact same traces bit for bit:
+same seeds ⇒ same event total order ⇒ same measurements.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.cluster.harness import ClusterHarness
+from repro.experiments.common import make_policy_factory
+from repro.sim.loop import EventLoop, SimulationError
+from repro.sim.timers import Timer, TimerService
+
+# sha256 of the full trace of a 5-node, seed-42, 5-leader-kill run,
+# captured on the seed kernel (see module docstring).
+GOLDEN_TRACE_DIGESTS = {
+    "raft": "7b845a085f128dc52b7a564b8f0076f808bc4b385b78ba1d3e46d0d119879a6e",
+    "dynatune": "4e83b9d18c5bc839edb2f578611ec7e2b21510ffd477fcf3d38cf02c4770b44a",
+}
+
+
+def election_trace_digest(system: str) -> str:
+    cluster = build_cluster(
+        ClusterConfig(n_nodes=5, seed=42, rtt_ms=100.0, loss=0.0),
+        make_policy_factory(system),
+    )
+    cluster.start()
+    harness = ClusterHarness(cluster)
+    harness.run_leader_failure_loop(
+        5, warmup_ms=8_000.0, sleep_ms=6_000.0, settle_ms=8_000.0
+    )
+    m = hashlib.sha256()
+    for r in cluster.trace.all():
+        m.update(f"{r.time!r}|{r.node}|{r.kind}|{sorted(r.fields.items())!r}\n".encode())
+    return m.hexdigest()
+
+
+@pytest.mark.parametrize("system", sorted(GOLDEN_TRACE_DIGESTS))
+def test_golden_seed_election_trace(system):
+    """Kernel rework preserves the bit-exact event total order."""
+    assert election_trace_digest(system) == GOLDEN_TRACE_DIGESTS[system]
+
+
+def test_same_seed_same_digest_twice():
+    """The digest itself is stable run-to-run (no hidden global state)."""
+    assert election_trace_digest("raft") == election_trace_digest("raft")
+
+
+# --------------------------------------------------------------------- #
+# lazy timer semantics
+# --------------------------------------------------------------------- #
+
+
+def test_lazy_reset_does_not_touch_heap():
+    """Extending resets are attribute writes: the heap must not grow."""
+    loop = EventLoop()
+    t = Timer(loop, "el", lambda: None)
+    t.start(1e9)
+    before = loop.pending
+    for _ in range(10_000):
+        t.reset(1e9)
+    assert loop.pending == before  # still the single scheduled event
+
+
+def test_lazy_reset_fires_at_logical_deadline():
+    loop = EventLoop()
+    fired = []
+    t = Timer(loop, "el", lambda: fired.append(loop.now))
+    t.start(10.0)
+    for i in range(1, 6):
+        loop.schedule(2.0 * i, lambda: t.reset(10.0))
+    loop.run()
+    assert fired == [20.0]  # last reset at 10 + duration 10
+
+
+def test_stale_event_rearms_not_fires():
+    """The stale scheduled event must re-arm silently, not invoke the cb."""
+    loop = EventLoop()
+    fired = []
+    t = Timer(loop, "el", lambda: fired.append(loop.now))
+    t.start(10.0)
+    loop.schedule(5.0, lambda: t.reset(10.0))  # deadline becomes 15
+    loop.run_until(10.0)  # the stale event at t=10 fires internally
+    assert fired == []
+    assert t.running
+    assert t.deadline == 15.0
+    loop.run_until(20.0)
+    assert fired == [15.0]
+    assert not t.running
+
+
+def test_shrinking_reset_rearms_eagerly():
+    """A reset to an *earlier* deadline cannot ride the stale event."""
+    loop = EventLoop()
+    fired = []
+    t = Timer(loop, "el", lambda: fired.append(loop.now))
+    t.start(100.0)
+    t.reset(5.0)
+    loop.run()
+    assert fired == [5.0]
+
+
+def test_deadline_and_remaining_track_logical_state():
+    loop = EventLoop()
+    t = Timer(loop, "el", lambda: None)
+    t.start(10.0)
+    t.reset(30.0)  # lazy: scheduled event still at 10, deadline at 30
+    assert t.deadline == 30.0
+    assert t.remaining == 30.0
+    loop.run_until(12.0)  # stale event consumed, re-armed at 30
+    assert t.deadline == 30.0
+    assert t.remaining == pytest.approx(18.0)
+
+
+def test_freeze_thaw_with_lazy_deadline():
+    """TimerService freeze/thaw must capture the *logical* remaining time."""
+    loop = EventLoop()
+    fired = []
+    svc = TimerService(loop, "n1")
+    t = svc.timer("el", lambda: fired.append(loop.now))
+    t.start(10.0)
+    loop.run_until(4.0)
+    t.reset(10.0)  # deadline 14, stale event still armed for 10
+    svc.freeze()
+    loop.run_until(50.0)
+    assert fired == []
+    svc.thaw()  # remaining was 10
+    loop.run_until(100.0)
+    assert fired == [60.0]
+
+
+def test_cancel_discards_lazy_deadline():
+    loop = EventLoop()
+    fired = []
+    t = Timer(loop, "el", lambda: fired.append(loop.now))
+    t.start(10.0)
+    t.reset(30.0)
+    assert t.cancel() is True
+    loop.run()
+    assert fired == []
+    assert t.cancel() is False
+
+
+# --------------------------------------------------------------------- #
+# heap compaction
+# --------------------------------------------------------------------- #
+
+
+def test_compaction_bounds_cancel_storm():
+    """100k schedule+cancel cycles must not grow the pending set."""
+    loop = EventLoop()
+    for i in range(100_000):
+        loop.schedule(1_000.0 + i, lambda: None).cancel()
+    # Compaction keeps the dead fraction bounded; without it the heap
+    # would hold all 100k corpses.
+    assert loop.pending < 1_000
+    loop.run()
+    assert loop.executed == 0
+
+
+def test_compaction_bounds_mixed_storm():
+    """Live events survive compaction; dead ones are reclaimed."""
+    loop = EventLoop()
+    live = []
+    fired = []
+    for i in range(50_000):
+        h = loop.schedule(10.0 + i * 0.001, lambda: fired.append(None))
+        if i % 100 == 0:
+            live.append(h)
+        else:
+            h.cancel()
+    assert loop.pending < 5_000
+    loop.run()
+    assert len(fired) == len(live) == 500
+
+
+def test_timer_reset_storm_keeps_heap_tiny():
+    """The benchmark scenario: per-heartbeat resets leave no heap trail."""
+    loop = EventLoop()
+    t = Timer(loop, "el", lambda: None)
+    t.start(1e12)
+    for _ in range(100_000):
+        t.reset(1e12)
+    assert loop.pending <= 2
+
+
+# --------------------------------------------------------------------- #
+# loop execution contracts
+# --------------------------------------------------------------------- #
+
+
+def test_run_is_not_reentrant():
+    loop = EventLoop()
+    errors = []
+
+    def evil():
+        try:
+            loop.run()
+        except SimulationError as e:
+            errors.append(e)
+
+    loop.schedule(1.0, evil)
+    loop.run()
+    assert len(errors) == 1
+
+
+def test_step_is_not_reentrant():
+    loop = EventLoop()
+    errors = []
+
+    def evil():
+        try:
+            loop.step()
+        except SimulationError as e:
+            errors.append(e)
+
+    loop.schedule(1.0, evil)
+    loop.run()
+    assert len(errors) == 1
+
+
+def test_events_scheduled_mid_run_interleave_correctly():
+    """In-run schedules (live heap) merge into the sorted batch order."""
+    loop = EventLoop()
+    fired = []
+    loop.schedule(10.0, lambda: fired.append("a"))
+    loop.schedule(30.0, lambda: fired.append("c"))
+
+    def inject():
+        loop.schedule(5.0, lambda: fired.append("b"))  # lands at t=25
+
+    loop.schedule(20.0, inject)
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_zero_delay_chain_mid_run():
+    loop = EventLoop()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            loop.schedule(0.0, lambda: chain(n + 1))
+
+    loop.schedule(1.0, lambda: chain(1))
+    loop.schedule(1.0, lambda: fired.append("tail"))
+    loop.run()
+    # Zero-delay events queue after already-pending same-instant events.
+    assert fired == [1, "tail", 2, 3]

@@ -124,6 +124,13 @@ def test_run_until_advances_clock_without_events():
     assert loop.now == 42.0
 
 
+def test_run_until_int_target_keeps_clock_float():
+    loop = EventLoop()
+    loop.run_until(5000)
+    assert isinstance(loop.now, float)
+    assert repr(loop.now) == "5000.0"
+
+
 def test_run_until_past_rejected():
     loop = EventLoop()
     loop.run_until(10.0)
@@ -140,6 +147,63 @@ def test_run_max_events_guard():
     loop.schedule(1.0, reschedule)
     with pytest.raises(SimulationError, match="max_events"):
         loop.run(max_events=100)
+
+
+def test_run_exactly_max_events_is_fine():
+    loop = EventLoop()
+    for _ in range(5):
+        loop.schedule(1.0, lambda: None)
+    assert loop.run(max_events=5) == 5
+
+
+def test_run_one_over_max_events_raises():
+    loop = EventLoop()
+    for _ in range(6):
+        loop.schedule(1.0, lambda: None)
+    with pytest.raises(SimulationError, match="max_events"):
+        loop.run(max_events=5)
+
+
+def test_run_until_exactly_max_events_is_fine():
+    # run() and run_until() share the boundary: exactly max_events within
+    # the bound is not an error.
+    loop = EventLoop()
+    for i in range(5):
+        loop.schedule(float(i), lambda: None)
+    loop.schedule(100.0, lambda: None)  # beyond the bound: doesn't count
+    assert loop.run_until(10.0, max_events=5) == 5
+
+
+def test_run_until_one_over_max_events_raises():
+    loop = EventLoop()
+    for i in range(6):
+        loop.schedule(float(i), lambda: None)
+    with pytest.raises(SimulationError, match="max_events"):
+        loop.run_until(10.0, max_events=5)
+
+
+def test_clock_view_is_live():
+    # loop.clock may be held across events; its now must track the loop.
+    loop = EventLoop()
+    clock = loop.clock
+    loop.run_until(42.0)
+    assert clock.now == 42.0
+    assert loop.clock is clock  # stable identity, no per-access allocation
+
+
+def test_next_event_time_unavailable_mid_run():
+    loop = EventLoop()
+    errors = []
+
+    def probe():
+        try:
+            loop.next_event_time()
+        except SimulationError as e:
+            errors.append(e)
+
+    loop.schedule(1.0, probe)
+    loop.run()
+    assert len(errors) == 1
 
 
 def test_executed_counter():

@@ -1,0 +1,77 @@
+"""benchmarks/run_bench.py: snapshot comparison and regression gating."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+RUN_BENCH = REPO / "benchmarks" / "run_bench.py"
+
+
+def _snapshot(path: pathlib.Path, means: dict[str, float]) -> pathlib.Path:
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"fullname": name, "stats": {"mean": mean}}
+                    for name, mean in means.items()
+                ]
+            }
+        )
+    )
+    return path
+
+
+def _compare(old, new, *extra):
+    return subprocess.run(
+        [sys.executable, str(RUN_BENCH), "--compare-only", str(old), str(new), *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.fixture
+def snapshots(tmp_path):
+    old = _snapshot(tmp_path / "old.json", {"t::a": 0.010, "t::b": 0.020})
+    return old, tmp_path
+
+
+def test_regression_fails(snapshots):
+    old, tmp = snapshots
+    new = _snapshot(tmp / "new.json", {"t::a": 0.0125, "t::b": 0.020})
+    proc = _compare(old, new)
+    assert proc.returncode == 1
+    assert "REGRESSION" in proc.stdout
+
+
+def test_within_threshold_passes(snapshots):
+    old, tmp = snapshots
+    new = _snapshot(tmp / "new.json", {"t::a": 0.0115, "t::b": 0.019})
+    proc = _compare(old, new)
+    assert proc.returncode == 0, proc.stdout
+
+
+def test_custom_threshold(snapshots):
+    old, tmp = snapshots
+    new = _snapshot(tmp / "new.json", {"t::a": 0.0125, "t::b": 0.020})
+    proc = _compare(old, new, "--threshold", "0.5")
+    assert proc.returncode == 0, proc.stdout
+
+
+def test_no_fail_flag(snapshots):
+    old, tmp = snapshots
+    new = _snapshot(tmp / "new.json", {"t::a": 0.1, "t::b": 0.1})
+    proc = _compare(old, new, "--no-fail")
+    assert proc.returncode == 0
+
+
+def test_new_and_dropped_benchmarks_reported(snapshots):
+    old, tmp = snapshots
+    new = _snapshot(tmp / "new.json", {"t::a": 0.010, "t::c": 0.005})
+    proc = _compare(old, new)
+    assert proc.returncode == 0
+    assert "(new)" in proc.stdout
+    assert "dropped" in proc.stdout
