@@ -110,6 +110,15 @@ def main(argv: list[str] | None = None) -> int:
         help="report regressions but exit 0 anyway",
     )
     parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "breakage check only: run every benchmark once with timing "
+            "disabled, write no snapshot, compare nothing (CI's cheap gate "
+            "that the benchmarked paths still execute)"
+        ),
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments forwarded to pytest (e.g. -k core_perf)",
@@ -131,6 +140,19 @@ def main(argv: list[str] | None = None) -> int:
             print(f"\n{len(regressed)} benchmark(s) regressed > {args.threshold:.0%}")
             return 1
         return 0
+
+    if args.smoke:
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(BENCH_DIR),
+            "-q",
+            "--benchmark-disable",
+            *args.pytest_args,
+        ]
+        print("+", " ".join(cmd))
+        return subprocess.run(cmd).returncode
 
     args.results_dir.mkdir(parents=True, exist_ok=True)
     stamp = datetime.datetime.now().strftime("%Y%m%d-%H%M%S")

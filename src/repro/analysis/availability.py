@@ -1,0 +1,63 @@
+"""Availability summaries over leaderless (OTS) intervals.
+
+The scenario matrix reduces each run to "how unavailable was the service
+and how hard did it thrash" — the BALLAST-style figures of merit for
+partition/heal timelines.  Input is the interval list produced by
+:func:`repro.cluster.measurements.leaderless_intervals`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+__all__ = ["AvailabilityStats", "availability_stats"]
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class AvailabilityStats:
+    """Unavailability profile of one run window.
+
+    Attributes:
+        window_ms: length of the observation window.
+        unavailable_ms: total leaderless time inside the window.
+        unavailable_fraction: ``unavailable_ms / window_ms`` (0 for an
+            empty window).
+        n_outages: number of distinct leaderless intervals.
+        longest_outage_ms: the worst single interval (0 with no outage).
+    """
+
+    window_ms: float
+    unavailable_ms: float
+    unavailable_fraction: float
+    n_outages: int
+    longest_outage_ms: float
+
+
+def availability_stats(
+    intervals: Sequence[tuple[float, float]],
+    *,
+    t_start: float,
+    t_end: float,
+) -> AvailabilityStats:
+    """Summarise leaderless ``intervals`` clipped to ``[t_start, t_end]``.
+
+    Intervals wholly outside the window are dropped; straddling ones are
+    clipped, so warmup noise before ``t_start`` never pollutes the figure.
+    """
+    if t_end < t_start:
+        raise ValueError(f"t_end must be >= t_start, got [{t_start!r}, {t_end!r}]")
+    window = t_end - t_start
+    clipped: list[float] = []
+    for a, b in intervals:
+        lo, hi = max(a, t_start), min(b, t_end)
+        if hi > lo:
+            clipped.append(hi - lo)
+    total = float(sum(clipped))
+    return AvailabilityStats(
+        window_ms=window,
+        unavailable_ms=total,
+        unavailable_fraction=(total / window) if window > 0.0 else 0.0,
+        n_outages=len(clipped),
+        longest_outage_ms=max(clipped, default=0.0),
+    )

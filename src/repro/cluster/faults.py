@@ -40,24 +40,38 @@ def pause_for(
     """Sleep ``node`` for ``duration_ms`` (the §IV-B1 leader-failure shape).
 
     Emits ``kind`` at pause time — the failure timestamp the measurement
-    layer keys on — and resumes the node afterwards (guarded, in case a
-    test resumed it manually).
+    layer keys on — and resumes the node afterwards.  The resume is
+    generation-guarded: if the node was resumed manually and paused *again*
+    before this call's timer fires, only the latest pause's resume applies.
+    A bare ``state is PAUSED`` check would let the first (stale) timer cut
+    the second pause short.
     """
     if duration_ms <= 0:
         raise ValueError(f"duration must be > 0 ms, got {duration_ms!r}")
     node.trace.record(loop.now, node.name, kind, duration_ms=duration_ms)
     node.pause()
+    token = getattr(node, "_pause_generation", 0) + 1
+    node._pause_generation = token
 
     def _resume() -> None:
-        if node.state is ProcessState.PAUSED:
+        if (
+            node.state is ProcessState.PAUSED
+            and getattr(node, "_pause_generation", 0) == token
+        ):
             node.resume()
 
     loop.schedule(duration_ms, _resume, priority=PRIORITY_CONTROL)
 
 
 def crash(node: RaftNode) -> None:
-    """Crash ``node`` (volatile state will be lost on recovery)."""
+    """Crash ``node`` (volatile state will be lost on recovery).
+
+    Bumps the node's crash generation so any auto-recovery timer armed for
+    an *earlier* crash (e.g. by a Churn scenario step) recognises itself as
+    stale and leaves this crash's downtime intact.
+    """
     node.trace.record(node.loop.now, node.name, "fault_crash")
+    node._crash_generation = getattr(node, "_crash_generation", 0) + 1
     node.crash()
 
 

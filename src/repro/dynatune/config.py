@@ -43,6 +43,14 @@ class DynatuneConfig:
             revert to defaults when the election timer expires.  ``False``
             is an **ablation** (keep the tuned parameters through
             suspected failures); DESIGN.md §4 motivates measuring it.
+        reset_on_sample_gap: discard the measurement window when a
+            heartbeat arrives after a silence longer than twice the
+            election timeout in force — a gap only a frozen-timer outage
+            (container pause, partition healing around a paused node) can
+            produce, since any live randomizedTimeout draw in ``[Et, 2Et)``
+            would have fired and triggered the ordinary fallback.  Without
+            the reset, the post-heal ID span counts the whole outage as
+            loss and K explodes to ``k_max`` until the window slides out.
     """
 
     safety_factor: float = 2.0
@@ -58,6 +66,7 @@ class DynatuneConfig:
     fixed_k: int | None = None
     heartbeat_channel: str = "udp"
     fallback_on_timeout: bool = True
+    reset_on_sample_gap: bool = True
 
     def __post_init__(self) -> None:
         if self.safety_factor < 0.0:

@@ -34,9 +34,10 @@ from repro.dynatune.config import DynatuneConfig
 from repro.dynatune.measurement import PathMeasurement
 from repro.dynatune.metadata import HeartbeatMeta, HeartbeatResponseMeta
 from repro.dynatune.tuner import (
+    HeartbeatTuning,
     required_heartbeats,
     tune_election_timeout,
-    tune_heartbeat_interval,
+    tune_heartbeat,
 )
 
 __all__ = ["TuningPolicy", "StaticPolicy", "DynatunePolicy"]
@@ -210,11 +211,19 @@ class DynatunePolicy:
         self._tuned_et: float | None = None
         self._tuned_h: float | None = None
         self._last_rtt_seq = 0
+        self._last_hb_ms: float | None = None
         # leader half
         self._paths: dict[str, _FollowerPathState] = {}
         # diagnostics
         self.fallbacks = 0
         self.retunes = 0
+        #: Measurement windows discarded because a heartbeat gap spanned a
+        #: partition/pause outage (see :meth:`on_heartbeat`).
+        self.gap_resets = 0
+        #: Retunes where the h floor bound (effective K < requested K).
+        self.floor_clamps = 0
+        #: Metadata of the most recent retune (clamp provenance, §III-D2).
+        self.last_tuning: HeartbeatTuning | None = None
 
     # -- introspection (used by experiments/tests) ------------------------- #
 
@@ -253,6 +262,21 @@ class DynatunePolicy:
             self.on_leader_change(leader, now_ms)
         if meta is None:
             return None
+        if (
+            self.config.reset_on_sample_gap
+            and self._last_hb_ms is not None
+            and now_ms - self._last_hb_ms > 2.0 * self.election_timeout_ms(leader)
+        ):
+            # The gap outlasted every possible randomizedTimeout draw
+            # ([Et, 2Et)), yet no fallback ran — the follower was paused or
+            # partitioned with frozen timers.  The window predates the
+            # outage: its RTTs describe the old path and the ID span counts
+            # the whole outage as loss, which would explode K (and collapse
+            # h) for up to maxListSize heartbeats after the heal.  Restart
+            # measurement instead, exactly like the §III-B fallback.
+            self._reset_follower_state()
+            self.gap_resets += 1
+        self._last_hb_ms = now_ms
         self._meas.record_id(meta.seq)
         if meta.rtt_sample_ms is not None and meta.rtt_sample_seq > self._last_rtt_seq:
             self._last_rtt_seq = meta.rtt_sample_seq
@@ -282,10 +306,21 @@ class DynatunePolicy:
             if cfg.fixed_k is not None
             else required_heartbeats(p, cfg.arrival_probability, k_max=cfg.k_max)
         )
-        h = tune_heartbeat_interval(et, k, floor_ms=cfg.h_floor_ms)
+        tuning = tune_heartbeat(et, k, floor_ms=cfg.h_floor_ms)
         self._tuned_et = et
-        self._tuned_h = h
+        self._tuned_h = tuning.h_ms
+        self.last_tuning = tuning
+        if tuning.floor_clamped:
+            self.floor_clamps += 1
         self.retunes += 1
+
+    def _reset_follower_state(self) -> None:
+        """Discard the window and tuned values (back to Step 0 defaults)."""
+        self._meas.reset()
+        self._tuned_et = None
+        self._tuned_h = None
+        self._last_rtt_seq = 0
+        self._last_hb_ms = None
 
     def on_election_timeout(self, now_ms: float) -> None:  # noqa: ARG002
         """Fallback (§III-B): discard data, revert to defaults.
@@ -295,20 +330,14 @@ class DynatunePolicy:
         """
         if not self.config.fallback_on_timeout:
             return
-        self._meas.reset()
-        self._tuned_et = None
-        self._tuned_h = None
-        self._last_rtt_seq = 0
+        self._reset_follower_state()
         self.fallbacks += 1
 
     def on_leader_change(self, leader: str | None, now_ms: float) -> None:  # noqa: ARG002
         if leader == self._leader:
             return
         self._leader = leader
-        self._meas.reset()
-        self._tuned_et = None
-        self._tuned_h = None
-        self._last_rtt_seq = 0
+        self._reset_follower_state()
 
     # -- leader half --------------------------------------------------------- #
 
@@ -343,7 +372,16 @@ class DynatunePolicy:
             st.last_rtt_ms = rtt
             st.rtt_seq += 1
         if meta.tuned_h_ms is not None:
-            st.applied_h_ms = max(meta.tuned_h_ms, self.config.h_floor_ms)
+            # Apply the follower's h as-is: tune_heartbeat already clamped
+            # it into [min(h_floor, Et), Et], and a piggybacked h *below*
+            # h_floor means the follower's whole Et window is shorter than
+            # the floor — re-raising it here would space heartbeats past
+            # the election timer (the K·h ≤ Et violation again, just moved
+            # to the leader side).  Values no well-formed follower can
+            # produce (< min(h_floor, et_floor)) are ignored instead of
+            # "repaired": that is the §II-B heartbeat-storm guard.
+            if meta.tuned_h_ms >= min(self.config.h_floor_ms, self.config.et_floor_ms):
+                st.applied_h_ms = meta.tuned_h_ms
 
     def on_become_leader(self, now_ms: float) -> None:  # noqa: ARG002
         # Fresh leadership: per-follower sequence spaces restart, and no

@@ -19,14 +19,25 @@ Edge cases the formulas must survive in a live system:
   paper warns about in §II-B.
 * Tuned values are clamped to configured floors so that a degenerate
   measurement (e.g. ``μ ≈ 0`` on a loopback-fast path) cannot arm a
-  zero-length timer.
+  zero-length timer.  Clamping ``h`` up to the floor silently *lowers* the
+  number of heartbeats that fit inside one ``Et`` window, so
+  :func:`tune_heartbeat` re-derives the effective ``K`` (and never lets
+  ``h`` exceed ``Et`` itself) instead of pretending the requested ``K``
+  still holds — the §III-D2 guarantee is ``K·h ≤ Et``, not ``h = Et/K``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 
-__all__ = ["required_heartbeats", "tune_election_timeout", "tune_heartbeat_interval"]
+__all__ = [
+    "HeartbeatTuning",
+    "required_heartbeats",
+    "tune_election_timeout",
+    "tune_heartbeat",
+    "tune_heartbeat_interval",
+]
 
 
 def tune_election_timeout(
@@ -87,15 +98,63 @@ def required_heartbeats(
     return min(k, k_max)
 
 
+@dataclasses.dataclass(slots=True, frozen=True)
+class HeartbeatTuning:
+    """Result of :func:`tune_heartbeat` — the interval plus its provenance.
+
+    Attributes:
+        h_ms: the heartbeat interval to apply.
+        requested_k: the redundancy ``K`` the loss formula asked for.
+        effective_k: heartbeats that actually fit in one ``Et`` window at
+            ``h_ms`` (equals ``requested_k`` unless a clamp bound).
+        floor_clamped: True when ``floor_ms`` (or the ``h ≤ Et`` cap)
+            overrode ``Et / K`` — the signal that the measured loss regime
+            is asking for more redundancy than the floor permits.
+    """
+
+    h_ms: float
+    requested_k: int
+    effective_k: int
+    floor_clamped: bool
+
+
+def tune_heartbeat(
+    et_ms: float,
+    k: int,
+    *,
+    floor_ms: float = 1.0,
+) -> HeartbeatTuning:
+    """``h = Et / K``, clamped to ``[floor_ms, Et]``, with honest metadata.
+
+    The §III-D2 requirement is that the ``K`` heartbeats spaced ``h`` apart
+    all land inside one ``Et`` window (``K·h ≤ Et``).  When ``Et / K``
+    falls below ``floor_ms`` the floor wins — but then fewer than ``K``
+    beats fit, so the *effective* ``K`` is re-derived as ``⌊Et / h⌋``
+    (min 1) rather than silently reporting the unattainable request.
+    ``h`` is additionally capped at ``Et`` so a floor above the tuned
+    election timeout can never space heartbeats past the window entirely.
+    """
+    if et_ms <= 0.0:
+        raise ValueError(f"election timeout must be > 0 ms, got {et_ms!r}")
+    if k < 1:
+        raise ValueError(f"K must be >= 1, got {k!r}")
+    if floor_ms <= 0.0:
+        raise ValueError(f"floor must be > 0 ms, got {floor_ms!r}")
+    h = et_ms / k
+    if h >= floor_ms:
+        return HeartbeatTuning(h_ms=h, requested_k=k, effective_k=k, floor_clamped=False)
+    h = min(floor_ms, et_ms)
+    # The 1e-9 slack keeps an exact multiple (Et = m·h up to float error)
+    # from rounding the count down to m−1.
+    effective = max(1, math.floor(et_ms / h + 1e-9))
+    return HeartbeatTuning(h_ms=h, requested_k=k, effective_k=effective, floor_clamped=True)
+
+
 def tune_heartbeat_interval(
     et_ms: float,
     k: int,
     *,
     floor_ms: float = 1.0,
 ) -> float:
-    """``h = Et / K`` clamped below by ``floor_ms``."""
-    if et_ms <= 0.0:
-        raise ValueError(f"election timeout must be > 0 ms, got {et_ms!r}")
-    if k < 1:
-        raise ValueError(f"K must be >= 1, got {k!r}")
-    return max(et_ms / k, floor_ms)
+    """``h = Et / K`` clamped to ``[floor_ms, Et]`` (see :func:`tune_heartbeat`)."""
+    return tune_heartbeat(et_ms, k, floor_ms=floor_ms).h_ms

@@ -73,6 +73,7 @@ class Network:
         self._links: dict[tuple[str, str], Link] = {}
         self._tcp_state: dict[tuple[str, str], TcpChannelState] = {}
         self._partition_of: dict[str, int] | None = None
+        self._implicit_group = 0
         #: Messages dropped because of partitions (diagnostics).
         self.partition_drops = 0
 
@@ -81,10 +82,19 @@ class Network:
     # ------------------------------------------------------------------ #
 
     def attach(self, endpoint: Endpoint) -> None:
-        """Register a process under its name."""
+        """Register a process under its name.
+
+        Attaching while a partition is in force places the newcomer in the
+        implicit final group — the same group un-listed nodes landed in when
+        :meth:`set_partitions` ran.  Without this, a late endpoint had no
+        group id at all and ``partitioned()`` compared ``None`` != gid: cut
+        off from every grouped node yet fully connected to other late nodes.
+        """
         if endpoint.name in self._endpoints:
             raise ValueError(f"endpoint {endpoint.name!r} already attached")
         self._endpoints[endpoint.name] = endpoint
+        if self._partition_of is not None and endpoint.name not in self._partition_of:
+            self._partition_of[endpoint.name] = self._implicit_group
 
     def endpoint(self, name: str) -> Endpoint:
         return self._endpoints[name]
@@ -147,6 +157,7 @@ class Network:
         for name in rest:
             partition_of[name] = len(groups)
         self._partition_of = partition_of
+        self._implicit_group = len(groups)
 
     def clear_partitions(self) -> None:
         self._partition_of = None

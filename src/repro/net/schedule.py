@@ -40,17 +40,35 @@ __all__ = [
 class ScheduleAction:
     """One timed mutation of the network.
 
+    The original form drove only the paper's global ``tc`` knobs (every
+    pair's RTT/loss); the scenario engine needs the rest of what the fabric
+    can do, so an action may also target one pair or mutate partitions.
+
     Attributes:
         at_ms: absolute virtual time the action applies.
-        rtt_ms: if set, retarget every pair's RTT.
-        loss: if set, retarget every link's loss rate.
+        rtt_ms: if set, retarget the RTT — of every pair, or of ``pair``.
+        loss: if set, retarget the loss rate — globally, or of ``pair``.
+        pair: when set, ``rtt_ms``/``loss`` apply to this (a, b) path only
+            (both directions, like targeted ``tc`` on one container pair).
+        partitions: when set, install these partition groups (nodes absent
+            from every group form the implicit final group).
+        heal: when True, clear all partitions.
         label: human-readable description (shows up in traces).
     """
 
     at_ms: float
     rtt_ms: float | None = None
     loss: float | None = None
+    pair: tuple[str, str] | None = None
+    partitions: tuple[frozenset[str], ...] | None = None
+    heal: bool = False
     label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.pair is not None and self.rtt_ms is None and self.loss is None:
+            raise ValueError("pair-targeted action needs rtt_ms and/or loss")
+        if self.partitions is not None and self.heal:
+            raise ValueError("an action cannot both partition and heal")
 
 
 class NetworkSchedule:
@@ -72,10 +90,13 @@ class NetworkSchedule:
         rtt: float | None = None
         loss: float | None = None
         for action in self.actions:
-            if action.rtt_ms is not None:
-                rtt = action.rtt_ms
-            if action.loss is not None:
-                loss = action.loss
+            # Only global actions move the ground-truth line; a pair-level
+            # tweak leaves every other path at the previous target.
+            if action.pair is None:
+                if action.rtt_ms is not None:
+                    rtt = action.rtt_ms
+                if action.loss is not None:
+                    loss = action.loss
             self._rtt_at.append(rtt)
             self._loss_at.append(loss)
 
@@ -136,12 +157,25 @@ class _Applier:
         self._observer = observer
 
     def __call__(self) -> None:
-        if self._action.rtt_ms is not None:
-            self._network.set_all_rtt(self._action.rtt_ms)
-        if self._action.loss is not None:
-            self._network.set_all_loss(self._action.loss)
+        action = self._action
+        network = self._network
+        if action.pair is not None:
+            a, b = action.pair
+            if action.rtt_ms is not None:
+                network.set_rtt(a, b, action.rtt_ms)
+            if action.loss is not None:
+                network.set_loss(a, b, action.loss)
+        else:
+            if action.rtt_ms is not None:
+                network.set_all_rtt(action.rtt_ms)
+            if action.loss is not None:
+                network.set_all_loss(action.loss)
+        if action.partitions is not None:
+            network.set_partitions([set(g) for g in action.partitions])
+        elif action.heal:
+            network.clear_partitions()
         if self._observer is not None:
-            self._observer(self._action)
+            self._observer(action)
 
 
 # ---------------------------------------------------------------------- #

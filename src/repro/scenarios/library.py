@@ -1,0 +1,326 @@
+"""The canonical scenario library — the partition-heavy regimes BALLAST
+stresses and the paper's §IV-C scripts cannot express.
+
+Every builder takes the cluster's node names and returns a fully concrete
+:class:`~repro.scenarios.scenario.Scenario` (pure data; dump any of them
+with ``scenario.to_json()`` to seed a config file).  Default timings keep
+a whole scenario under ~40 s of virtual time so the full matrix stays
+CI-sized; pass ``start_ms``/duration overrides for longer studies.
+
+The nine canonical entries:
+
+========================== ==================================================
+``symmetric_split``        half/half partition, heal, repeat
+``minority_partition``     a leaderless minority islanded (majority sails on)
+``majority_partition``     the leader islanded with a minority; majority
+                           re-elects, heal forces the deposed leader back
+``rolling_partitions``     each node isolated in turn
+``flapping_wan_link``      one inter-node link blinking on a short period
+``asymmetric_geo``         one node's paths degraded (RTT+loss), others clean
+``leader_churn_loop``      whoever leads gets put to sleep, repeatedly
+``correlated_stall_storm`` simultaneous short pauses across several nodes
+``partition_rtt_spike``    a split lands mid RTT-spike (SEER's worst case)
+========================== ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.cluster.measurements import LEADER_FAILURE_KIND
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.steps import (
+    LEADER_SELECTOR,
+    Churn,
+    Flap,
+    Heal,
+    Partition,
+    Pause,
+    Repeat,
+    SetLoss,
+    SetRtt,
+)
+
+__all__ = [
+    "SCENARIO_BUILDERS",
+    "scenario_names",
+    "build_scenario",
+    "build_all",
+    "symmetric_split",
+    "minority_partition",
+    "majority_partition",
+    "rolling_partitions",
+    "flapping_wan_link",
+    "asymmetric_geo",
+    "leader_churn_loop",
+    "correlated_stall_storm",
+    "partition_rtt_spike",
+]
+
+
+def _names(names: Sequence[str]) -> list[str]:
+    names = list(names)
+    if len(names) < 3:
+        raise ValueError(f"scenarios need >= 3 nodes, got {len(names)}")
+    return names
+
+
+def symmetric_split(
+    names: Sequence[str],
+    *,
+    start_ms: float = 5_000.0,
+    hold_ms: float = 5_000.0,
+    cycles: int = 2,
+    gap_ms: float = 10_000.0,
+) -> Scenario:
+    """Split the cluster down the middle, heal, and do it again."""
+    names = _names(names)
+    half = tuple(names[: (len(names) + 1) // 2])
+    repeat = Repeat(every_ms=gap_ms, times=cycles) if cycles > 1 else None
+    return Scenario(
+        "symmetric_split",
+        [
+            Partition(at_ms=start_ms, groups=(half,), repeat=repeat),
+            Heal(at_ms=start_ms + hold_ms, repeat=repeat),
+        ],
+        description="half/half partition, heal, repeat",
+    )
+
+
+def minority_partition(
+    names: Sequence[str],
+    *,
+    start_ms: float = 5_000.0,
+    hold_ms: float = 8_000.0,
+) -> Scenario:
+    """Island a leaderless minority; the majority keeps (or regains) quorum."""
+    names = _names(names)
+    minority = tuple(names[-((len(names) - 1) // 2) :])
+    return Scenario(
+        "minority_partition",
+        [
+            Partition(at_ms=start_ms, groups=(minority,)),
+            Heal(at_ms=start_ms + hold_ms),
+        ],
+        description="leaderless minority islanded; majority sails on",
+    )
+
+
+def majority_partition(
+    names: Sequence[str],
+    *,
+    start_ms: float = 5_000.0,
+    hold_ms: float = 8_000.0,
+    cycles: int = 2,
+    gap_ms: float = 12_000.0,
+) -> Scenario:
+    """Island the *leader* (with one companion) away from the majority.
+
+    The majority side must detect and re-elect; the heal forces the
+    deposed leader to fall back in line — the history where stale tuned
+    timeouts are most dangerous.
+    """
+    names = _names(names)
+    repeat = Repeat(every_ms=gap_ms, times=cycles) if cycles > 1 else None
+    return Scenario(
+        "majority_partition",
+        [
+            Partition(
+                at_ms=start_ms,
+                groups=((LEADER_SELECTOR, names[0]),),
+                repeat=repeat,
+            ),
+            Heal(at_ms=start_ms + hold_ms, repeat=repeat),
+        ],
+        description="leader islanded with a minority; majority re-elects",
+    )
+
+
+def rolling_partitions(
+    names: Sequence[str],
+    *,
+    start_ms: float = 4_000.0,
+    hold_ms: float = 4_000.0,
+    gap_ms: float = 6_000.0,
+) -> Scenario:
+    """Isolate each node in turn, healing between victims."""
+    names = _names(names)
+    steps = []
+    for i, name in enumerate(names):
+        t = start_ms + i * gap_ms
+        steps.append(Partition(at_ms=t, groups=((name,),)))
+        steps.append(Heal(at_ms=t + hold_ms))
+    return Scenario(
+        "rolling_partitions",
+        steps,
+        description="each node isolated in turn",
+    )
+
+
+def flapping_wan_link(
+    names: Sequence[str],
+    *,
+    start_ms: float = 4_000.0,
+    down_ms: float = 900.0,
+    period_ms: float = 2_400.0,
+    flaps: int = 10,
+) -> Scenario:
+    """One inter-node link blinking down/up on a short period."""
+    names = _names(names)
+    return Scenario(
+        "flapping_wan_link",
+        [
+            Flap(
+                at_ms=start_ms,
+                a=names[0],
+                b=names[1],
+                down_ms=down_ms,
+                repeat=Repeat(every_ms=period_ms, times=flaps),
+            )
+        ],
+        description="one WAN link flapping on a short period",
+    )
+
+
+def asymmetric_geo(
+    names: Sequence[str],
+    *,
+    start_ms: float = 5_000.0,
+    hold_ms: float = 12_000.0,
+    degraded_rtt_ms: float = 320.0,
+    degraded_loss: float = 0.08,
+    base_rtt_ms: float = 100.0,
+) -> Scenario:
+    """Degrade every path of one node (RTT + loss) while the rest stay clean."""
+    names = _names(names)
+    victim = names[0]
+    steps = []
+    for peer in names[1:]:
+        steps.append(
+            SetRtt(at_ms=start_ms, rtt_ms=degraded_rtt_ms, pair=(victim, peer))
+        )
+        steps.append(SetLoss(at_ms=start_ms, loss=degraded_loss, pair=(victim, peer)))
+        steps.append(
+            SetRtt(at_ms=start_ms + hold_ms, rtt_ms=base_rtt_ms, pair=(victim, peer))
+        )
+        steps.append(SetLoss(at_ms=start_ms + hold_ms, loss=0.0, pair=(victim, peer)))
+    return Scenario(
+        "asymmetric_geo",
+        steps,
+        description="one node's paths impaired, everyone else clean",
+    )
+
+
+def leader_churn_loop(
+    names: Sequence[str],
+    *,
+    start_ms: float = 5_000.0,
+    sleep_ms: float = 3_000.0,
+    period_ms: float = 9_000.0,
+    kills: int = 3,
+) -> Scenario:
+    """Put whoever currently leads to sleep, on a loop (declarative §IV-B1)."""
+    _names(names)
+    return Scenario(
+        "leader_churn_loop",
+        [
+            Pause(
+                at_ms=start_ms,
+                node=LEADER_SELECTOR,
+                duration_ms=sleep_ms,
+                trace_kind=LEADER_FAILURE_KIND,
+                repeat=Repeat(every_ms=period_ms, times=kills),
+            )
+        ],
+        description="repeated leader container-sleeps",
+    )
+
+
+def correlated_stall_storm(
+    names: Sequence[str],
+    *,
+    start_ms: float = 5_000.0,
+    stall_ms: float = 450.0,
+    period_ms: float = 3_000.0,
+    rounds: int = 4,
+) -> Scenario:
+    """Simultaneous sub-timeout stalls on several nodes (shared-host noise)."""
+    names = _names(names)
+    victims = names[: max(2, len(names) // 2)]
+    return Scenario(
+        "correlated_stall_storm",
+        [
+            Pause(
+                at_ms=start_ms,
+                node=name,
+                duration_ms=stall_ms,
+                repeat=Repeat(every_ms=period_ms, times=rounds),
+            )
+            for name in victims
+        ],
+        description="correlated short pauses across several nodes",
+    )
+
+
+def partition_rtt_spike(
+    names: Sequence[str],
+    *,
+    start_ms: float = 4_000.0,
+    spike_rtt_ms: float = 500.0,
+    base_rtt_ms: float = 100.0,
+    partition_after_ms: float = 4_000.0,
+    hold_ms: float = 6_000.0,
+) -> Scenario:
+    """A split landing in the middle of an RTT spike.
+
+    Dynatune's followers have just re-tuned upward for the spike when the
+    partition cuts their sample streams — the regime SEER identifies as
+    the breaking point of naive timeout tuning.
+    """
+    names = _names(names)
+    minority = tuple(names[-((len(names) - 1) // 2) :])
+    t_split = start_ms + partition_after_ms
+    return Scenario(
+        "partition_rtt_spike",
+        [
+            SetRtt(at_ms=start_ms, rtt_ms=spike_rtt_ms),
+            Partition(at_ms=t_split, groups=(minority,)),
+            Heal(at_ms=t_split + hold_ms),
+            SetRtt(at_ms=t_split + hold_ms + 2_000.0, rtt_ms=base_rtt_ms),
+        ],
+        description="minority partition during a radical RTT spike",
+    )
+
+
+#: Name → builder for every canonical scenario.
+SCENARIO_BUILDERS: dict[str, Callable[..., Scenario]] = {
+    "symmetric_split": symmetric_split,
+    "minority_partition": minority_partition,
+    "majority_partition": majority_partition,
+    "rolling_partitions": rolling_partitions,
+    "flapping_wan_link": flapping_wan_link,
+    "asymmetric_geo": asymmetric_geo,
+    "leader_churn_loop": leader_churn_loop,
+    "correlated_stall_storm": correlated_stall_storm,
+    "partition_rtt_spike": partition_rtt_spike,
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """The library's scenario names, in canonical order."""
+    return tuple(SCENARIO_BUILDERS)
+
+
+def build_scenario(name: str, names: Sequence[str], **overrides: object) -> Scenario:
+    """Instantiate one library scenario for a concrete node list."""
+    builder = SCENARIO_BUILDERS.get(name)
+    if builder is None:
+        raise ValueError(
+            f"unknown scenario {name!r}; expected one of {sorted(SCENARIO_BUILDERS)}"
+        )
+    return builder(names, **overrides)
+
+
+def build_all(names: Sequence[str]) -> list[Scenario]:
+    """Every library scenario, instantiated for ``names``."""
+    return [build_scenario(n, names) for n in scenario_names()]

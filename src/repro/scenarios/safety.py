@@ -1,0 +1,150 @@
+"""Raft safety monitoring across split/heal cycles.
+
+The partition scenarios exercise exactly the histories where naive tuning
+breaks Raft in the wild: leadership contested across a split, commit
+pipelines cut mid-replication, nodes rejoining with stale state.
+:class:`SafetyChecker` samples the live cluster on a fixed cadence and
+checks, over the whole run:
+
+* **election safety** — at most one ``become_leader`` per term, and no
+  ``safety_violation_two_leaders`` trace record;
+* **monotone commit** — a node's commit index never moves backwards
+  within one incarnation (a crash legitimately resets the volatile commit
+  index, so monotonicity restarts after each ``process_crashed``);
+* **no committed-entry loss** — every ``(index, term)`` pair ever
+  observed at or below a commit index stays in every node's log at that
+  index for the rest of the run (committed entries are never overwritten).
+
+Commit indices are sound under-approximations of "truly committed" even
+on a deposed leader (it cannot advance commit without a majority), so the
+sampled pairs are all genuinely committed entries — the check has no
+false positives by construction.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.builder import Cluster
+from repro.sim.events import PRIORITY_CONTROL
+from repro.sim.process import ProcessState
+
+__all__ = ["SafetyChecker"]
+
+
+class SafetyChecker:
+    """Periodic safety sampler + end-of-run verifier for one cluster."""
+
+    def __init__(self, cluster: Cluster, *, interval_ms: float = 250.0) -> None:
+        if interval_ms <= 0.0:
+            raise ValueError(f"interval_ms must be > 0, got {interval_ms!r}")
+        self.cluster = cluster
+        self.interval_ms = interval_ms
+        #: Violations detected during sampling (monotonicity breaks).
+        self.violations: list[str] = []
+        #: index → term of a committed entry observed there.
+        self._committed: dict[int, int] = {}
+        #: node → (commit index, crash count) at the previous sample.
+        self._last: dict[str, tuple[int, int]] = {}
+        self._installed = False
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+
+    def install(self) -> None:
+        """Arm the periodic sampler (idempotent)."""
+        if self._installed:
+            return
+        self._installed = True
+        self.cluster.loop.schedule(
+            self.interval_ms, self._tick, priority=PRIORITY_CONTROL
+        )
+
+    def _crash_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for rec in self.cluster.trace.of_kind("process_crashed"):
+            counts[rec.node] = counts.get(rec.node, 0) + 1
+        return counts
+
+    def _tick(self) -> None:
+        self.sample()
+        self.cluster.loop.schedule(
+            self.interval_ms, self._tick, priority=PRIORITY_CONTROL
+        )
+
+    def sample(self) -> None:
+        """Record one safety observation (also callable directly by tests)."""
+        crashes = self._crash_counts()
+        now = self.cluster.loop.now
+        for name, node in self.cluster.nodes.items():
+            if node.state is ProcessState.CRASHED:
+                # A crashed node's volatile state is limbo: commit_index
+                # still shows the pre-crash value and only resets at
+                # recovery, so sampling it would pin a stale high-water
+                # mark onto the post-recovery incarnation.
+                continue
+            commit = node.commit_index
+            incarnation = crashes.get(name, 0)
+            prev = self._last.get(name)
+            if prev is not None:
+                prev_commit, prev_incarnation = prev
+                if incarnation == prev_incarnation and commit < prev_commit:
+                    self.violations.append(
+                        f"t={now:g}: commit index of {name} moved backwards "
+                        f"({prev_commit} -> {commit}) without a crash"
+                    )
+            # Record every index the commit advanced over since the last
+            # sample (not just the endpoint): an entry committed and then
+            # lost *between* samples must still be caught.  After a crash
+            # the commit restarts at 0 and the prefix is re-recorded —
+            # harmless, and re-checking it against earlier terms is free
+            # extra coverage.
+            start = prev[0] if prev is not None and prev[1] == incarnation else 0
+            self._last[name] = (commit, incarnation)
+            for index in range(min(start, commit) + 1, commit + 1):
+                term = node.log.term_at(index)
+                seen = self._committed.get(index)
+                if seen is None:
+                    self._committed[index] = term
+                elif seen != term:
+                    self.violations.append(
+                        f"t={now:g}: index {index} committed with term {term} "
+                        f"on {name} but term {seen} was committed there earlier"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # verification
+    # ------------------------------------------------------------------ #
+
+    def verify(self) -> list[str]:
+        """All violations over the run (empty list = every property held)."""
+        self.sample()  # capture the final state too
+        problems = list(self.violations)
+
+        by_term: dict[int, set[str]] = {}
+        for rec in self.cluster.trace.of_kind("become_leader"):
+            by_term.setdefault(rec.get("term"), set()).add(rec.node)
+        for term, nodes in sorted(by_term.items()):
+            if len(nodes) > 1:
+                problems.append(
+                    f"election safety: term {term} elected {sorted(nodes)}"
+                )
+        for rec in self.cluster.trace.of_kind("safety_violation_two_leaders"):
+            problems.append(
+                f"t={rec.time:g}: two leaders observed in term {rec.get('term')} "
+                f"({rec.node} vs {rec.get('other')})"
+            )
+
+        for name, node in self.cluster.nodes.items():
+            for index, term in self._committed.items():
+                if index <= node.commit_index and node.log.term_at(index) != term:
+                    problems.append(
+                        f"committed entry lost: {name} holds term "
+                        f"{node.log.term_at(index)} at index {index}, "
+                        f"but term {term} was committed there"
+                    )
+        return problems
+
+    def assert_safe(self) -> None:
+        """Raise ``AssertionError`` listing every violated property."""
+        problems = self.verify()
+        assert not problems, "safety violations:\n  " + "\n  ".join(problems)

@@ -1,0 +1,215 @@
+"""The :class:`Scenario`: a named, replayable fault/network timeline.
+
+A scenario is to faults what :class:`~repro.net.schedule.NetworkSchedule`
+is to network weather — a list of timed, typed steps that *installs* onto
+a cluster as control-priority events and holds no run state, so one
+scenario object can drive any number of independent runs.  Unlike the
+schedule it spans all three layers (weather, connectivity, node faults)
+and is pure data: ``Scenario.from_dict``/``to_dict`` (and the JSON
+convenience wrappers) round-trip the whole timeline, so a scenario can be
+checked into a repo as a ``.json`` file and replayed bit-for-bit.
+
+Every applied step occurrence emits one ``scenario_step`` trace record
+(node ``"scenario"``) carrying the scenario name, step kind, occurrence
+index and the step's resolved effect — the ground truth experiment
+reports overlay on their measured series.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from repro.cluster.builder import Cluster
+from repro.scenarios.steps import LEADER_SELECTOR, Step, step_from_dict
+from repro.sim.events import PRIORITY_CONTROL
+from repro.sim.process import Process
+
+__all__ = ["Scenario", "ScenarioRuntime"]
+
+
+class ScenarioRuntime:
+    """Resolution context handed to steps at apply time."""
+
+    __slots__ = ("cluster", "network", "loop", "trace", "_flap_tokens")
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.network = cluster.network
+        self.loop = cluster.loop
+        self.trace = cluster.trace
+        self._flap_tokens: dict[tuple[str, str], int] = {}
+
+    def next_flap_token(self, a: str, b: str) -> int:
+        """Start a new down-window on the ``a``↔``b`` link; returns its token.
+
+        Only the restore callback holding the *latest* token may bring the
+        link back up — a stale timer from an earlier, overlapping flap must
+        not cut a newer down-window short (same guard as ``pause_for``).
+        """
+        key = (a, b) if a <= b else (b, a)
+        token = self._flap_tokens.get(key, 0) + 1
+        self._flap_tokens[key] = token
+        return token
+
+    def flap_token(self, a: str, b: str) -> int:
+        key = (a, b) if a <= b else (b, a)
+        return self._flap_tokens.get(key, 0)
+
+    def resolve(self, selector: str) -> str | None:
+        """Selector → concrete node name (``None`` if unresolvable now)."""
+        if selector == LEADER_SELECTOR:
+            return self.cluster.leader()
+        return selector if selector in self.cluster.nodes else None
+
+    def process(self, selector: str) -> Process | None:
+        name = self.resolve(selector)
+        return self.cluster.nodes.get(name) if name is not None else None
+
+
+class _StepApplier:
+    """Bound callback for one step occurrence (no late-binding closures)."""
+
+    __slots__ = ("_scenario", "_step", "_rt", "_occurrence", "_observer")
+
+    def __init__(
+        self,
+        scenario: "Scenario",
+        step: Step,
+        rt: ScenarioRuntime,
+        occurrence: int,
+        observer: Callable[[Step], None] | None,
+    ) -> None:
+        self._scenario = scenario
+        self._step = step
+        self._rt = rt
+        self._occurrence = occurrence
+        self._observer = observer
+
+    def __call__(self) -> None:
+        rt = self._rt
+        fields = self._step.apply(rt, self._occurrence)
+        rt.trace.record(
+            rt.loop.now,
+            "scenario",
+            "scenario_step",
+            scenario=self._scenario.name,
+            step=self._step.kind,
+            occurrence=self._occurrence,
+            **fields,
+        )
+        if self._observer is not None:
+            self._observer(self._step)
+
+
+class Scenario:
+    """A named sequence of typed steps (see :mod:`repro.scenarios.steps`).
+
+    Args:
+        name: identifier used in traces and reports.
+        steps: the timeline; order is irrelevant (times are absolute).
+        description: one-line human summary.
+    """
+
+    def __init__(
+        self, name: str, steps: list[Step] | tuple[Step, ...], *, description: str = ""
+    ) -> None:
+        if not name:
+            raise ValueError("scenario needs a non-empty name")
+        self.name = name
+        self.steps: tuple[Step, ...] = tuple(steps)
+        self.description = description
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Scenario({self.name!r}, {len(self.steps)} steps, end={self.end_ms:g} ms)"
+
+    @property
+    def end_ms(self) -> float:
+        """Time the last step occurrence has fully played out."""
+        return max((s.extent_ms for s in self.steps), default=0.0)
+
+    def referenced_nodes(self) -> set[str]:
+        """Concrete node names the timeline mentions (selectors excluded)."""
+        names: set[str] = set()
+        for step in self.steps:
+            for field in ("node", "a", "b"):
+                value = getattr(step, field, None)
+                if isinstance(value, str):
+                    names.add(value)
+            pair = getattr(step, "pair", None)
+            if pair is not None:
+                names.update(pair)
+            for group in getattr(step, "groups", ()) or ():
+                names.update(group)
+            names.update(getattr(step, "nodes", ()) or ())
+        return {n for n in names if not n.startswith("@")}
+
+    def validate_against(self, known_names: set[str]) -> None:
+        """Raise if the timeline names nodes the cluster does not have."""
+        unknown = self.referenced_nodes() - known_names
+        if unknown:
+            raise ValueError(
+                f"scenario {self.name!r} references unknown nodes {sorted(unknown)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # installation
+    # ------------------------------------------------------------------ #
+
+    def install(
+        self,
+        cluster: Cluster,
+        *,
+        on_apply: Callable[[Step], None] | None = None,
+    ) -> None:
+        """Register every step occurrence as a future control event.
+
+        Args:
+            cluster: the wired cluster (install before or at time zero of
+                the timeline; occurrences in the past are rejected by the
+                loop).
+            on_apply: optional observer invoked after each occurrence.
+        """
+        self.validate_against(set(cluster.names))
+        rt = ScenarioRuntime(cluster)
+        for step in self.steps:
+            for occurrence, t in enumerate(step.occurrence_times()):
+                cluster.loop.schedule_at(
+                    t,
+                    _StepApplier(self, step, rt, occurrence, on_apply),
+                    priority=PRIORITY_CONTROL,
+                )
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "steps": [s.to_dict() for s in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Scenario":
+        unknown = set(data) - {"name", "description", "steps"}
+        if unknown:
+            raise ValueError(f"scenario dict got unknown keys {sorted(unknown)}")
+        if "name" not in data or "steps" not in data:
+            raise ValueError("scenario dict needs 'name' and 'steps'")
+        return cls(
+            data["name"],
+            [step_from_dict(s) for s in data["steps"]],
+            description=data.get("description", ""),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,520 @@
+"""Typed scenario steps — the vocabulary of the declarative timeline.
+
+Each step is a frozen dataclass naming one fault or network mutation at an
+absolute virtual time ``at_ms``, optionally replayed on a cadence via
+``repeat``.  Steps are *data*: every step round-trips through
+``to_dict``/``step_from_dict`` (and therefore JSON), so a scenario can live
+in a config file as easily as in code.
+
+The step vocabulary spans all three impairment layers:
+
+* network weather — :class:`SetRtt`, :class:`SetLoss` (global or per-pair,
+  the generalized ``tc`` knobs);
+* connectivity — :class:`Partition`, :class:`Heal`, :class:`Flap` (one
+  link blinking down and up);
+* node faults — :class:`Pause`, :class:`Crash`, :class:`Recover`,
+  :class:`Churn` (a rolling crash/pause cycle over a node list).
+
+Node references are *selectors*: either a concrete node name or the
+dynamic ``"@leader"``, resolved against the live cluster at the instant
+the step applies (a leader-churn loop keeps chasing whoever currently
+leads).  A selector that resolves to nothing — no leader during an
+outage — skips that occurrence and records the skip in the trace rather
+than failing the run: fault timelines must be robust to the very outages
+they create.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from typing import Any, ClassVar
+
+from repro.cluster.faults import crash as crash_node
+from repro.cluster.faults import pause_for, recover_node
+from repro.sim.events import PRIORITY_CONTROL
+from repro.sim.process import ProcessState
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from repro.scenarios.scenario import ScenarioRuntime
+
+__all__ = [
+    "LEADER_SELECTOR",
+    "Repeat",
+    "Step",
+    "SetRtt",
+    "SetLoss",
+    "Partition",
+    "Heal",
+    "Pause",
+    "Crash",
+    "Recover",
+    "Flap",
+    "Churn",
+    "step_from_dict",
+    "STEP_TYPES",
+]
+
+#: Dynamic selector resolved to the current leader at apply time.
+LEADER_SELECTOR = "@leader"
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class Repeat:
+    """Replay a step ``times`` times, ``every_ms`` apart (first at ``at_ms``)."""
+
+    every_ms: float
+    times: int
+
+    def __post_init__(self) -> None:
+        if self.every_ms <= 0.0:
+            raise ValueError(f"every_ms must be > 0, got {self.every_ms!r}")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"every_ms": self.every_ms, "times": self.times}
+
+
+def _check_selector(value: str, field: str) -> None:
+    if not isinstance(value, str) or not value:
+        raise ValueError(f"{field} must be a non-empty node selector, got {value!r}")
+    if value.startswith("@") and value != LEADER_SELECTOR:
+        # A typo'd dynamic selector would pass install-time name validation
+        # (which exempts "@"-tokens) and then silently skip every
+        # occurrence — fail at construction instead.
+        raise ValueError(
+            f"{field}: unknown dynamic selector {value!r} "
+            f"(only {LEADER_SELECTOR!r} is defined)"
+        )
+
+
+class Step:
+    """Base behaviour shared by every step dataclass.
+
+    Subclasses declare ``kind`` (the serialized tag), a ``_TUPLE_FIELDS``
+    map for JSON list→tuple coercion, and implement
+    :meth:`apply`; duration-carrying steps also override
+    :meth:`effect_duration_ms`.
+    """
+
+    kind: ClassVar[str]
+    #: Fields whose JSON form is a (possibly nested) list.
+    _TUPLE_FIELDS: ClassVar[tuple[str, ...]] = ()
+
+    # These annotations are provided by every subclass dataclass.
+    at_ms: float
+    repeat: Repeat | None
+
+    def _validate_base(self) -> None:
+        if self.at_ms < 0.0:
+            raise ValueError(f"at_ms must be >= 0, got {self.at_ms!r}")
+
+    def occurrence_times(self) -> list[float]:
+        """Absolute times this step applies (one per repeat occurrence)."""
+        if self.repeat is None:
+            return [self.at_ms]
+        return [
+            self.at_ms + i * self.repeat.every_ms for i in range(self.repeat.times)
+        ]
+
+    def effect_duration_ms(self) -> float:
+        """How long one occurrence's effect takes to play out (0 = instant)."""
+        return 0.0
+
+    @property
+    def extent_ms(self) -> float:
+        """Time the step's last occurrence has fully played out."""
+        return self.occurrence_times()[-1] + self.effect_duration_ms()
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        """Execute one occurrence; return trace fields (``skipped`` flags)."""
+        raise NotImplementedError
+
+    # -- serialization ----------------------------------------------------- #
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {"kind": self.kind}
+        for f in dataclasses.fields(self):  # type: ignore[arg-type]
+            value = getattr(self, f.name)
+            if f.name == "repeat":
+                if value is not None:
+                    d["repeat"] = value.to_dict()
+                continue
+            if isinstance(value, tuple):
+                value = _tuple_to_list(value)
+            d[f.name] = value
+        return d
+
+
+def _tuple_to_list(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_tuple_to_list(v) for v in value]
+    return value
+
+
+def _list_to_tuple(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_list_to_tuple(v) for v in value)
+    return value
+
+
+def step_from_dict(data: dict[str, Any]) -> Step:
+    """Reconstruct a step from its ``to_dict`` form (strict: no extra keys)."""
+    if "kind" not in data:
+        raise ValueError(f"step dict needs a 'kind' key, got {sorted(data)}")
+    payload = dict(data)
+    kind = payload.pop("kind")
+    cls = STEP_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown step kind {kind!r}; expected one of {sorted(STEP_TYPES)}"
+        )
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(payload) - field_names
+    if unknown:
+        raise ValueError(f"step {kind!r} got unknown keys {sorted(unknown)}")
+    repeat = payload.pop("repeat", None)
+    if repeat is not None:
+        repeat = Repeat(**repeat)
+    for name in cls._TUPLE_FIELDS:
+        if payload.get(name) is not None:
+            payload[name] = _list_to_tuple(payload[name])
+    return cls(repeat=repeat, **payload)
+
+
+# --------------------------------------------------------------------- #
+# network weather
+# --------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class SetRtt(Step):
+    """Retarget RTT — of every pair, or of ``pair`` only."""
+
+    kind: ClassVar[str] = "set_rtt"
+    _TUPLE_FIELDS: ClassVar[tuple[str, ...]] = ("pair",)
+
+    at_ms: float
+    rtt_ms: float
+    pair: tuple[str, str] | None = None
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        if self.rtt_ms < 0.0:
+            raise ValueError(f"rtt_ms must be >= 0, got {self.rtt_ms!r}")
+        if self.pair is not None:
+            if len(self.pair) != 2:
+                raise ValueError(f"pair must name two nodes, got {self.pair!r}")
+            for sel in self.pair:
+                _check_selector(sel, "pair")
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        if self.pair is None:
+            rt.network.set_all_rtt(self.rtt_ms)
+            return {"rtt_ms": self.rtt_ms}
+        a, b = (rt.resolve(s) for s in self.pair)
+        if a is None or b is None or a == b:
+            return {"skipped": True, "reason": "pair unresolved"}
+        rt.network.set_rtt(a, b, self.rtt_ms)
+        return {"rtt_ms": self.rtt_ms, "a": a, "b": b}
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class SetLoss(Step):
+    """Retarget loss rate — of every link, or of ``pair`` only."""
+
+    kind: ClassVar[str] = "set_loss"
+    _TUPLE_FIELDS: ClassVar[tuple[str, ...]] = ("pair",)
+
+    at_ms: float
+    loss: float
+    pair: tuple[str, str] | None = None
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        if not (0.0 <= self.loss <= 1.0):
+            raise ValueError(f"loss must be in [0, 1], got {self.loss!r}")
+        if self.pair is not None:
+            if len(self.pair) != 2:
+                raise ValueError(f"pair must name two nodes, got {self.pair!r}")
+            for sel in self.pair:
+                _check_selector(sel, "pair")
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        if self.pair is None:
+            rt.network.set_all_loss(self.loss)
+            return {"loss": self.loss}
+        a, b = (rt.resolve(s) for s in self.pair)
+        if a is None or b is None or a == b:
+            return {"skipped": True, "reason": "pair unresolved"}
+        rt.network.set_loss(a, b, self.loss)
+        return {"loss": self.loss, "a": a, "b": b}
+
+
+# --------------------------------------------------------------------- #
+# connectivity
+# --------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class Partition(Step):
+    """Install partition groups (unlisted nodes form the implicit rest).
+
+    Groups may use selectors: ``(("@leader",),)`` isolates whoever leads
+    at the instant the step fires.
+    """
+
+    kind: ClassVar[str] = "partition"
+    _TUPLE_FIELDS: ClassVar[tuple[str, ...]] = ("groups",)
+
+    at_ms: float
+    groups: tuple[tuple[str, ...], ...]
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        if not self.groups:
+            raise ValueError("partition needs at least one group")
+        for group in self.groups:
+            if not group:
+                raise ValueError("partition groups must be non-empty")
+            for sel in group:
+                _check_selector(sel, "group member")
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        resolved: list[set[str]] = []
+        seen: set[str] = set()
+        for group in self.groups:
+            names = {n for n in (rt.resolve(s) for s in group) if n is not None}
+            names -= seen  # "@leader" may coincide with an explicit member
+            if not names:
+                return {"skipped": True, "reason": "group unresolved"}
+            seen |= names
+            resolved.append(names)
+        rt.network.set_partitions(resolved)
+        return {"groups": [sorted(g) for g in resolved]}
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class Heal(Step):
+    """Clear all partitions."""
+
+    kind: ClassVar[str] = "heal"
+
+    at_ms: float
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        rt.network.clear_partitions()
+        return {}
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class Flap(Step):
+    """Blink the ``a``↔``b`` link down for ``down_ms`` (both directions).
+
+    One occurrence is one blink; a flapping link is a ``Flap`` with a
+    ``repeat`` whose ``every_ms`` is the flap period.
+    """
+
+    kind: ClassVar[str] = "flap"
+
+    at_ms: float
+    a: str
+    b: str
+    down_ms: float
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        _check_selector(self.a, "a")
+        _check_selector(self.b, "b")
+        if self.down_ms <= 0.0:
+            raise ValueError(f"down_ms must be > 0, got {self.down_ms!r}")
+        if self.repeat is not None and self.repeat.every_ms <= self.down_ms:
+            raise ValueError("flap period must exceed down_ms (link must come back up)")
+
+    def effect_duration_ms(self) -> float:
+        return self.down_ms
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        a, b = rt.resolve(self.a), rt.resolve(self.b)
+        if a is None or b is None or a == b:
+            return {"skipped": True, "reason": "pair unresolved"}
+        links = [rt.network.link(a, b), rt.network.link(b, a)]
+        for link in links:
+            link.up = False
+        token = rt.next_flap_token(a, b)
+
+        def _up() -> None:
+            # Only the latest down-window's restore applies; a stale timer
+            # from an overlapping earlier flap must not raise the link early.
+            if rt.flap_token(a, b) == token:
+                for link in links:
+                    link.up = True
+
+        rt.loop.schedule(self.down_ms, _up, priority=PRIORITY_CONTROL)
+        return {"a": a, "b": b, "down_ms": self.down_ms}
+
+
+# --------------------------------------------------------------------- #
+# node faults
+# --------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class Pause(Step):
+    """Container-sleep ``node`` for ``duration_ms`` (auto-resume).
+
+    ``trace_kind`` is the trace record :func:`~repro.cluster.faults.
+    pause_for` emits at pause time; pass ``"fault_leader_pause"`` when the
+    pause *is* a leader failure so the measurement layer counts it.
+    """
+
+    kind: ClassVar[str] = "pause"
+
+    at_ms: float
+    node: str
+    duration_ms: float
+    trace_kind: str = "fault_pause"
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        _check_selector(self.node, "node")
+        if self.duration_ms <= 0.0:
+            raise ValueError(f"duration_ms must be > 0, got {self.duration_ms!r}")
+
+    def effect_duration_ms(self) -> float:
+        return self.duration_ms
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        proc = rt.process(self.node)
+        if proc is None:
+            return {"skipped": True, "reason": "node unresolved"}
+        if proc.state is not ProcessState.RUNNING:
+            return {"skipped": True, "reason": f"node {proc.name} not running"}
+        pause_for(rt.loop, proc, self.duration_ms, kind=self.trace_kind)
+        return {"target": proc.name, "duration_ms": self.duration_ms}
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class Crash(Step):
+    """Crash ``node`` (volatile state lost; recover via :class:`Recover`)."""
+
+    kind: ClassVar[str] = "crash"
+
+    at_ms: float
+    node: str
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        _check_selector(self.node, "node")
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        proc = rt.process(self.node)
+        if proc is None:
+            return {"skipped": True, "reason": "node unresolved"}
+        if proc.state is ProcessState.CRASHED:
+            return {"skipped": True, "reason": f"node {proc.name} already crashed"}
+        crash_node(proc)
+        return {"target": proc.name}
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class Recover(Step):
+    """Restart a crashed ``node`` (no-op on a node that is not crashed)."""
+
+    kind: ClassVar[str] = "recover"
+
+    at_ms: float
+    node: str
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        _check_selector(self.node, "node")
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        proc = rt.process(self.node)
+        if proc is None:
+            return {"skipped": True, "reason": "node unresolved"}
+        if proc.state is not ProcessState.CRASHED:
+            return {"skipped": True, "reason": f"node {proc.name} not crashed"}
+        recover_node(proc)
+        return {"target": proc.name}
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class Churn(Step):
+    """Rolling fault over ``nodes``: occurrence ``i`` hits ``nodes[i % n]``.
+
+    With ``fault="crash"`` each hit is a crash followed by a recovery
+    after ``down_ms``; with ``fault="pause"`` it is a container sleep.
+    Pair with ``repeat`` to cycle through the list (and around it).
+    """
+
+    kind: ClassVar[str] = "churn"
+    _TUPLE_FIELDS: ClassVar[tuple[str, ...]] = ("nodes",)
+
+    at_ms: float
+    nodes: tuple[str, ...]
+    down_ms: float
+    fault: str = "crash"
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        if not self.nodes:
+            raise ValueError("churn needs at least one node")
+        for sel in self.nodes:
+            _check_selector(sel, "node")
+        if self.down_ms <= 0.0:
+            raise ValueError(f"down_ms must be > 0, got {self.down_ms!r}")
+        if self.fault not in ("crash", "pause"):
+            raise ValueError(f"fault must be 'crash' or 'pause', got {self.fault!r}")
+
+    def effect_duration_ms(self) -> float:
+        return self.down_ms
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        selector = self.nodes[occurrence % len(self.nodes)]
+        proc = rt.process(selector)
+        if proc is None:
+            return {"skipped": True, "reason": "node unresolved"}
+        if self.fault == "pause":
+            if proc.state is not ProcessState.RUNNING:
+                return {"skipped": True, "reason": f"node {proc.name} not running"}
+            pause_for(rt.loop, proc, self.down_ms, kind="fault_pause")
+            return {"target": proc.name, "fault": "pause", "down_ms": self.down_ms}
+        if proc.state is ProcessState.CRASHED:
+            return {"skipped": True, "reason": f"node {proc.name} already crashed"}
+        crash_node(proc)
+        # Generation guard (same class as pause_for/Flap): if anything
+        # crashes this node again before the timer fires, the newer
+        # crash's downtime wins and this recover is stale.
+        token = getattr(proc, "_crash_generation", 0)
+
+        def _recover(p=proc) -> None:
+            if (
+                p.state is ProcessState.CRASHED
+                and getattr(p, "_crash_generation", 0) == token
+            ):
+                recover_node(p)
+
+        rt.loop.schedule(self.down_ms, _recover, priority=PRIORITY_CONTROL)
+        return {"target": proc.name, "fault": "crash", "down_ms": self.down_ms}
+
+
+#: Registry used by :func:`step_from_dict` (kind tag → class).
+STEP_TYPES: dict[str, type[Step]] = {
+    cls.kind: cls
+    for cls in (SetRtt, SetLoss, Partition, Heal, Pause, Crash, Recover, Flap, Churn)
+}

@@ -109,3 +109,33 @@ def test_stalls_do_not_break_raft_with_default_timeout():
     t0 = c.loop.now
     c.run_for(120_000)
     assert [r for r in c.trace.of_kind("election_start") if r.time > t0] == []
+
+
+def test_pause_for_overlapping_calls_respect_latest_duration():
+    """A stale resume timer from an earlier pause must not cut the latest
+    pause short (generation-token guard)."""
+    c = make_raft_cluster(3)
+    node = c.node("n1")
+    pause_for(c.loop, node, 1_000.0)  # resume timer fires at t+1000
+    c.run_for(300.0)
+    node.resume()  # manual wake at t+300
+    pause_for(c.loop, node, 2_000.0)  # should sleep until t+2300
+    c.run_for(1_000.0)  # t+1300: the FIRST timer has fired by now
+    assert node.state is ProcessState.PAUSED
+    c.run_for(1_200.0)  # t+2500: the second pause's own timer resumes it
+    assert node.state is ProcessState.RUNNING
+
+
+def test_pause_for_generation_survives_many_cycles():
+    c = make_raft_cluster(3)
+    node = c.node("n2")
+    for _ in range(5):
+        pause_for(c.loop, node, 400.0)
+        c.run_for(100.0)
+        node.resume()
+        c.run_for(50.0)
+    pause_for(c.loop, node, 5_000.0)
+    c.run_for(2_000.0)  # every stale timer has fired
+    assert node.state is ProcessState.PAUSED
+    c.run_for(3_500.0)
+    assert node.state is ProcessState.RUNNING

@@ -79,12 +79,15 @@ def test_leader_half_applies_piggybacked_h():
     assert p.heartbeat_interval_ms("f") == 42.0
 
 
-def test_leader_half_clamps_h_to_floor():
+def test_leader_half_rejects_h_no_follower_could_tune():
+    """An h below min(h_floor, et_floor) cannot come from tune_heartbeat;
+    the leader ignores it (storm guard) rather than clamping it *up*,
+    which would space heartbeats past the follower's election window."""
     p = DynatunePolicy(DynatuneConfig(h_floor_ms=5.0))
     p.on_heartbeat_response(
         "f", HeartbeatResponseMeta(echo_seq=1, echo_ts=0.0, tuned_h_ms=0.001), 1.0
     )
-    assert p.heartbeat_interval_ms("f") == 5.0
+    assert p.heartbeat_interval_ms("f") == p.config.default_heartbeat_interval_ms
 
 
 def test_become_leader_resets_paths():
@@ -220,3 +223,109 @@ def test_fix_k_et_still_tunes():
 def test_channel_from_config():
     assert DynatunePolicy().heartbeat_channel == "udp"
     assert DynatunePolicy(DynatuneConfig(heartbeat_channel="tcp")).heartbeat_channel == "tcp"
+
+
+# -- partition-induced sample gaps ------------------------------------------ #
+
+
+def _feed_heartbeats(p, start_ms, count, *, spacing_ms=100.0, rtt_ms=50.0, seq0=0):
+    """Drive the follower half with well-formed heartbeats from leader L."""
+    now = start_ms
+    for i in range(count):
+        p.on_heartbeat(
+            "L",
+            HeartbeatMeta(
+                seq=seq0 + i + 1,
+                send_ts=now,
+                rtt_sample_ms=rtt_ms,
+                rtt_sample_seq=seq0 + i + 1,
+            ),
+            now,
+        )
+        now += spacing_ms
+    return now
+
+
+def test_gap_longer_than_twice_et_resets_window():
+    p = DynatunePolicy()
+    end = _feed_heartbeats(p, 0.0, 15)
+    assert p.tuned_et_ms is not None
+    tuned_et = p.tuned_et_ms
+    # Silence far beyond any randomized draw of the tuned Et, with no
+    # election timeout (frozen timers during a pause/partition heal).
+    p.on_heartbeat(
+        "L",
+        HeartbeatMeta(seq=500, send_ts=end + 50_000.0, rtt_sample_ms=50.0, rtt_sample_seq=500),
+        end + 50_000.0,
+    )
+    assert p.gap_resets == 1
+    assert p.tuned_et_ms is None  # back to Step 0
+    assert 2.0 * tuned_et < 50_000.0  # the gap really exceeded the threshold
+
+
+def test_gap_reset_prevents_k_explosion_after_outage():
+    """Without the reset, the post-heal ID span counts the outage as loss."""
+    cfg = DynatuneConfig(reset_on_sample_gap=False)
+    p_old = DynatunePolicy(cfg)
+    p_new = DynatunePolicy()
+    for p in (p_old, p_new):
+        end = _feed_heartbeats(p, 0.0, 15)
+        # outage: 400 heartbeats lost, then the stream resumes
+        _feed_heartbeats(p, end + 60_000.0, 15, seq0=400)
+    # Legacy behavior: the ID gap looks like ~96% loss, K explodes and h
+    # collapses to the floor.  The gap reset starts a fresh window instead.
+    assert p_old.measurement.loss_rate() > 0.9
+    assert p_new.measurement.loss_rate() < 0.05
+    assert p_new.gap_resets == 1
+    assert p_new.tuned_h_ms is None or p_new.tuned_h_ms > p_old.tuned_h_ms
+
+
+def test_small_gaps_do_not_reset():
+    p = DynatunePolicy()
+    end = _feed_heartbeats(p, 0.0, 15)
+    last_hb = end - 100.0  # _feed_heartbeats returns last time + spacing
+    # The next beat lands within 2*Et of the previous one: normal cadence.
+    et = p.election_timeout_ms("L")
+    t = last_hb + 1.5 * et
+    p.on_heartbeat(
+        "L",
+        HeartbeatMeta(seq=16, send_ts=t, rtt_sample_ms=50.0, rtt_sample_seq=16),
+        t,
+    )
+    assert p.gap_resets == 0
+    assert p.tuned_et_ms is not None
+
+
+def test_retune_surfaces_floor_clamp_metadata():
+    cfg = DynatuneConfig(h_floor_ms=200.0)
+    p = DynatunePolicy(cfg)
+    _feed_heartbeats(p, 0.0, 15, rtt_ms=50.0)
+    # tuned Et ~= 50 ms < floor 200 ms -> h capped at Et, effective K = 1
+    assert p.last_tuning is not None
+    assert p.last_tuning.floor_clamped
+    assert p.floor_clamps >= 1
+    assert p.tuned_h_ms == pytest.approx(p.tuned_et_ms)
+    assert p.last_tuning.effective_k == 1
+
+
+def test_leader_applies_follower_h_below_its_own_floor():
+    """A follower whose Et < floor piggybacks h = Et; the leader must honor
+    it — re-raising it to the floor would space heartbeats past the
+    follower's whole election window (K·h <= Et, leader side)."""
+    cfg = DynatuneConfig(h_floor_ms=200.0)
+    leader = DynatunePolicy(cfg)
+    follower_h = 50.0  # the follower's capped h (= its tuned Et)
+    leader.on_heartbeat_response(
+        "f",
+        HeartbeatResponseMeta(echo_seq=1, echo_ts=0.0, tuned_h_ms=follower_h),
+        40.0,
+    )
+    assert leader.heartbeat_interval_ms("f") == follower_h
+
+
+def test_leader_rejects_degenerate_piggybacked_h():
+    leader = DynatunePolicy()
+    leader.on_heartbeat_response(
+        "f", HeartbeatResponseMeta(echo_seq=1, echo_ts=0.0, tuned_h_ms=0.0), 40.0
+    )
+    assert leader.heartbeat_interval_ms("f") == leader.config.default_heartbeat_interval_ms

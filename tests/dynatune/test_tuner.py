@@ -165,3 +165,62 @@ def test_k_exact_boundary_is_not_overshot():
     # p = 0.1, x = 0.999: p^3 = 1e-3 exactly -> K = 3, not 4.
     assert required_heartbeats(0.1, 0.999) == 3
     assert math.isclose(1 - 0.1**3, 0.999)
+
+
+# -- tune_heartbeat metadata (floor clamp must not break K·h <= Et) -------- #
+
+
+def test_tune_heartbeat_unclamped_reports_requested_k():
+    from repro.dynatune.tuner import tune_heartbeat
+
+    t = tune_heartbeat(600.0, 6, floor_ms=1.0)
+    assert t.h_ms == 100.0
+    assert t.requested_k == 6
+    assert t.effective_k == 6
+    assert not t.floor_clamped
+
+
+def test_tune_heartbeat_floor_rederives_effective_k():
+    from repro.dynatune.tuner import tune_heartbeat
+
+    # Et/K = 0.2 ms < floor 1 ms: only 10 one-ms beats fit in 10 ms.
+    t = tune_heartbeat(10.0, 50, floor_ms=1.0)
+    assert t.h_ms == 1.0
+    assert t.floor_clamped
+    assert t.effective_k == 10
+    assert t.effective_k * t.h_ms <= 10.0 + 1e-9
+
+
+def test_tune_heartbeat_floor_above_et_caps_h_at_et():
+    from repro.dynatune.tuner import tune_heartbeat
+
+    # A floor larger than Et must not space heartbeats past the window.
+    t = tune_heartbeat(5.0, 3, floor_ms=20.0)
+    assert t.h_ms == 5.0
+    assert t.effective_k == 1
+    assert t.floor_clamped
+
+
+def test_tune_heartbeat_validation():
+    from repro.dynatune.tuner import tune_heartbeat
+
+    with pytest.raises(ValueError):
+        tune_heartbeat(100.0, 1, floor_ms=0.0)
+
+
+@settings(max_examples=300)
+@given(
+    et=st.floats(min_value=0.5, max_value=1e5),
+    k=st.integers(min_value=1, max_value=200),
+    floor=st.floats(min_value=1e-3, max_value=1e3),
+)
+def test_heartbeats_always_fit_inside_et(et, k, floor):
+    """The §III-D2 guarantee: effective_k heartbeats at h fit in one Et."""
+    from repro.dynatune.tuner import tune_heartbeat
+
+    t = tune_heartbeat(et, k, floor_ms=floor)
+    assert t.h_ms <= et + 1e-9
+    assert t.effective_k >= 1
+    assert t.effective_k * t.h_ms <= et * (1.0 + 1e-9)
+    if not t.floor_clamped:
+        assert t.effective_k == k

@@ -209,3 +209,43 @@ def test_tcp_loss_delays_but_delivers(net):
         network.send("a", "b", "x", channel="tcp")
     loop.run()
     assert len(b.got) == 20  # reliable despite 90% loss
+
+
+# -- partitions vs. late attachment ---------------------------------------- #
+
+
+def test_attach_after_partition_joins_implicit_group(net):
+    loop, network, a, b, c = net
+    network.set_partitions([{"a"}, {"b"}])  # c lands in the implicit group 2
+    late = Sink("d")
+    network.attach(late)
+    # The newcomer must behave exactly like the unlisted node "c": cut off
+    # from the named groups but connected to the implicit rest group.
+    assert network.partitioned("d", "a")
+    assert network.partitioned("d", "b")
+    assert not network.partitioned("d", "c")
+
+
+def test_attach_after_partition_delivers_within_rest_group(net):
+    loop, network, a, b, c = net
+    network.set_partitions([{"a"}])
+    late = Sink("d")
+    network.attach(late)
+    from repro.net.link import Link
+
+    for src, dst in (("c", "d"), ("d", "c"), ("a", "d"), ("d", "a")):
+        network.add_link(Link(src, dst))
+    network.send("c", "d", "hello", channel="udp")
+    network.send("a", "d", "blocked", channel="udp")
+    loop.run()
+    assert late.got == [("c", "hello")]
+    assert network.partition_drops == 1
+
+
+def test_clear_partitions_resets_late_attach_state(net):
+    loop, network, a, b, c = net
+    network.set_partitions([{"a"}])
+    network.clear_partitions()
+    late = Sink("e")
+    network.attach(late)
+    assert not network.partitioned("e", "a")

@@ -161,3 +161,60 @@ def test_actions_sorted_by_time():
         ]
     )
     assert [a.at_ms for a in s.actions] == [100.0, 200.0]
+
+
+# -- generalized actions: per-pair and partition mutations ------------------ #
+
+
+def _three_node_net():
+    from repro.net.network import Network
+    from repro.net.topology import uniform_topology
+    from repro.sim.loop import EventLoop
+    from repro.sim.rng import RngRegistry
+
+    loop = EventLoop()
+    network = Network(loop, RngRegistry(3))
+    uniform_topology(network, ["a", "b", "c"], rtt_ms=100.0)
+    return loop, network
+
+
+def test_pair_action_targets_one_path_only():
+    loop, network = _three_node_net()
+    NetworkSchedule(
+        [ScheduleAction(at_ms=10.0, rtt_ms=400.0, pair=("a", "b"))]
+    ).install(loop, network)
+    loop.run()
+    assert network.link("a", "b").rtt_ms == pytest.approx(400.0)
+    assert network.link("b", "a").rtt_ms == pytest.approx(400.0)
+    assert network.link("a", "c").rtt_ms == pytest.approx(100.0)
+
+
+def test_partition_and_heal_actions():
+    loop, network = _three_node_net()
+    NetworkSchedule(
+        [
+            ScheduleAction(at_ms=10.0, partitions=(frozenset({"a"}),)),
+            ScheduleAction(at_ms=20.0, heal=True),
+        ]
+    ).install(loop, network)
+    loop.run_until(15.0)
+    assert network.partitioned("a", "b")
+    loop.run_until(25.0)
+    assert not network.partitioned("a", "b")
+
+
+def test_pair_actions_do_not_move_the_global_value_at_line():
+    sched = NetworkSchedule(
+        [
+            ScheduleAction(at_ms=0.0, rtt_ms=50.0),
+            ScheduleAction(at_ms=10.0, rtt_ms=500.0, pair=("a", "b")),
+        ]
+    )
+    assert sched.value_at(20.0) == (50.0, None)
+
+
+def test_action_validation():
+    with pytest.raises(ValueError):
+        ScheduleAction(at_ms=0.0, pair=("a", "b"))  # pair with nothing to set
+    with pytest.raises(ValueError):
+        ScheduleAction(at_ms=0.0, partitions=(frozenset({"a"}),), heal=True)

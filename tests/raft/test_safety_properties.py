@@ -19,11 +19,14 @@ from __future__ import annotations
 
 import dataclasses
 
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.cluster.builder import ClusterConfig, build_cluster
 from repro.dynatune.policy import DynatunePolicy, StaticPolicy
 from repro.raft.state_machine import kv_put
+from repro.scenarios.library import build_scenario, scenario_names
+from repro.scenarios.safety import SafetyChecker
 from repro.sim.process import ProcessState
 
 
@@ -185,3 +188,49 @@ def test_liveness_after_arbitrary_fault_storm():
     cluster = run_scenario(99, faults, policy="static")
     leader = cluster.run_until_leader(timeout_ms=30_000)
     assert leader is not None
+
+
+# -- scenario-library safety: every canonical timeline, both policies ------- #
+#
+# The library scenarios are the *adversarial* histories (splits, heals,
+# flapping links, leader churn) — exactly where at-most-one-leader-per-term,
+# committed-entry preservation and commit monotonicity must be re-proven.
+
+
+def run_library_scenario(name: str, policy: str, *, seed: int = 31):
+    policy_factory = (
+        (lambda n: StaticPolicy(300.0, 50.0))
+        if policy == "static"
+        else (lambda n: DynatunePolicy())
+    )
+    cluster = build_cluster(
+        ClusterConfig(n_nodes=5, seed=seed, rtt_ms=40.0), policy_factory
+    )
+    scenario = build_scenario(name, cluster.names)
+    checker = SafetyChecker(cluster, interval_ms=250.0)
+    checker.install()
+    scenario.install(cluster)
+    client = cluster.add_client("cl", retry_timeout_ms=400.0)
+    client.max_retries = 200
+    writes = [0]
+
+    def _write() -> None:
+        writes[0] += 1
+        client.submit(kv_put(f"w{writes[0]}", writes[0]))
+        cluster.loop.schedule(1_500.0, _write)
+
+    cluster.loop.schedule(700.0, _write)
+    cluster.start()
+    # Run through the scenario plus a heal/convergence tail.
+    cluster.run_until(scenario.end_ms + 10_000.0)
+    return cluster, checker
+
+
+@pytest.mark.parametrize("name", scenario_names())
+@pytest.mark.parametrize("policy", ["static", "dynatune"])
+def test_library_scenarios_preserve_safety(name, policy):
+    cluster, checker = run_library_scenario(name, policy)
+    checker.assert_safe()
+    assert_invariants(cluster)
+    # The run must have exercised the log, or the checks prove nothing.
+    assert max(n.commit_index for n in cluster.nodes.values()) > 0

@@ -1,0 +1,112 @@
+"""SafetyChecker: the partition safety properties, positive and negative."""
+
+import pytest
+
+from repro.scenarios.safety import SafetyChecker
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.steps import Heal, Partition
+from repro.raft.state_machine import kv_put
+from tests.conftest import make_raft_cluster
+
+
+def test_clean_run_has_no_violations():
+    c = make_raft_cluster(3)
+    checker = SafetyChecker(c, interval_ms=200.0)
+    checker.install()
+    c.run_until_leader()
+    c.run_for(3_000.0)
+    assert checker.verify() == []
+
+
+def test_split_heal_cycle_with_writes_stays_safe():
+    c = make_raft_cluster(5, seed=9)
+    checker = SafetyChecker(c, interval_ms=200.0)
+    checker.install()
+    client = c.add_client("cl", retry_timeout_ms=400.0)
+    client.max_retries = 100
+    Scenario(
+        "splits",
+        [
+            Partition(at_ms=2_000.0, groups=(("n1", "n2", "n3"),)),
+            Heal(at_ms=6_000.0),
+            Partition(at_ms=8_000.0, groups=(("@leader",),)),
+            Heal(at_ms=12_000.0),
+        ],
+    ).install(c)
+    for i in range(8):
+        c.loop.schedule_at(500.0 + i * 1_800.0, lambda i=i: client.submit(kv_put(f"k{i}", i)))
+    c.run_until(18_000.0)
+    checker.assert_safe()
+    # the run must have actually committed something for the check to bite
+    assert max(n.commit_index for n in c.nodes.values()) > 0
+
+
+def test_interval_validation():
+    c = make_raft_cluster(3)
+    with pytest.raises(ValueError):
+        SafetyChecker(c, interval_ms=0.0)
+
+
+def test_detects_manufactured_commit_regression():
+    c = make_raft_cluster(3)
+    checker = SafetyChecker(c, interval_ms=200.0)
+    c.run_until_leader()
+    c.run_for(1_000.0)
+    checker.sample()
+    node = next(n for n in c.nodes.values() if n.commit_index > 0)
+    node.commit_index = 0  # corrupt volatile state without a crash
+    checker.sample()
+    assert any("moved backwards" in v for v in checker.violations)
+
+
+def test_detects_manufactured_committed_entry_loss():
+    c = make_raft_cluster(3)
+    checker = SafetyChecker(c, interval_ms=200.0)
+    c.run_until_leader()
+    c.run_for(1_000.0)
+    checker.sample()
+    node = next(n for n in c.nodes.values() if n.commit_index > 0)
+    # Rewrite the committed entry's term behind Raft's back.
+    entry = node.log.entry_at(node.commit_index)
+    node.log._entries[node.commit_index - 1] = type(entry)(
+        index=entry.index, term=entry.term + 99, command=entry.command
+    )
+    problems = checker.verify()
+    assert any("committed entry lost" in v for v in problems)
+    with pytest.raises(AssertionError):
+        checker.assert_safe()
+
+
+def test_crash_reset_is_not_a_regression():
+    c = make_raft_cluster(3)
+    checker = SafetyChecker(c, interval_ms=200.0)
+    checker.install()
+    c.run_until_leader()
+    c.run_for(1_000.0)
+    victim = c.node("n2")
+    victim.crash()
+    c.run_for(500.0)
+    victim.recover()  # commit index legitimately restarts at 0
+    c.run_for(3_000.0)
+    assert not any("moved backwards" in v for v in checker.verify())
+
+
+def test_entries_committed_between_samples_are_protected():
+    """Commit can advance several indices between sampler ticks; every
+    index passed over must still be recorded and checked."""
+    c = make_raft_cluster(3)
+    checker = SafetyChecker(c, interval_ms=200.0)
+    c.run_until_leader()
+    checker.sample()
+    client = c.add_client("cl", retry_timeout_ms=400.0)
+    for i in range(5):
+        client.submit(kv_put(f"k{i}", i))
+    c.run_for(3_000.0)
+    checker.sample()  # commit jumped over several indices since last sample
+    node = next(n for n in c.nodes.values() if n.commit_index >= 3)
+    mid = node.commit_index - 1  # an index strictly between two samples
+    entry = node.log.entry_at(mid)
+    node.log._entries[mid - 1] = type(entry)(
+        index=entry.index, term=entry.term + 7, command=entry.command
+    )
+    assert any(f"at index {mid}" in v for v in checker.verify())

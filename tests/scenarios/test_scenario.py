@@ -1,0 +1,212 @@
+"""Scenario installation: step application, selectors, traces, JSON."""
+
+import pytest
+
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.steps import (
+    Crash,
+    Flap,
+    Heal,
+    Partition,
+    Pause,
+    Recover,
+    Repeat,
+    SetLoss,
+    SetRtt,
+)
+from repro.sim.process import ProcessState
+from tests.conftest import make_raft_cluster
+
+
+def steps_of(cluster, **match):
+    records = cluster.trace.of_kind("scenario_step")
+    return [r for r in records if all(r.get(k) == v for k, v in match.items())]
+
+
+def test_network_weather_steps_apply():
+    c = make_raft_cluster(3)
+    Scenario(
+        "weather",
+        [
+            SetRtt(at_ms=100.0, rtt_ms=180.0),
+            SetLoss(at_ms=100.0, loss=0.25),
+            SetRtt(at_ms=200.0, rtt_ms=60.0, pair=("n1", "n2")),
+        ],
+    ).install(c)
+    c.run_until(300.0)
+    assert c.network.link("n2", "n3").rtt_ms == pytest.approx(180.0)
+    assert c.network.link("n1", "n2").rtt_ms == pytest.approx(60.0)
+    assert c.network.link("n1", "n3").loss.rate() == pytest.approx(0.25)
+    assert len(steps_of(c, step="set_rtt")) == 2
+
+
+def test_partition_and_heal_apply():
+    c = make_raft_cluster(3)
+    Scenario(
+        "split",
+        [
+            Partition(at_ms=100.0, groups=(("n1",),)),
+            Heal(at_ms=500.0),
+        ],
+    ).install(c)
+    c.run_until(200.0)
+    assert c.network.partitioned("n1", "n2")
+    assert not c.network.partitioned("n2", "n3")
+    c.run_until(600.0)
+    assert not c.network.partitioned("n1", "n2")
+
+
+def test_leader_selector_resolves_at_apply_time():
+    c = make_raft_cluster(3)
+    leader = c.run_until_leader()
+    t = c.loop.now + 100.0
+    Scenario(
+        "kill-leader",
+        [Pause(at_ms=t, node="@leader", duration_ms=2_000.0)],
+    ).install(c)
+    c.run_until(t + 50.0)
+    assert c.node(leader).state is ProcessState.PAUSED
+    rec = steps_of(c, step="pause")[0]
+    assert rec.get("target") == leader
+
+
+def test_unresolvable_leader_skips_and_traces():
+    c = make_raft_cluster(3)
+    # At t=1 ms no leader exists yet; the step must skip, not crash.
+    Scenario("early", [Pause(at_ms=1.0, node="@leader", duration_ms=500.0)]).install(c)
+    c.run_until(10.0)
+    rec = steps_of(c, step="pause")[0]
+    assert rec.get("skipped") is True
+
+
+def test_crash_recover_steps():
+    c = make_raft_cluster(3)
+    Scenario(
+        "cycle",
+        [
+            Crash(at_ms=100.0, node="n2"),
+            Recover(at_ms=1_000.0, node="n2"),
+            Recover(at_ms=1_100.0, node="n2"),  # second recover: skipped
+        ],
+    ).install(c)
+    c.run_until(500.0)
+    assert c.node("n2").state is ProcessState.CRASHED
+    c.run_until(1_200.0)
+    assert c.node("n2").state is ProcessState.RUNNING
+    recs = steps_of(c, step="recover")
+    assert [bool(r.get("skipped")) for r in recs] == [False, True]
+
+
+def test_flap_takes_link_down_and_back_up():
+    c = make_raft_cluster(3)
+    Scenario(
+        "blink",
+        [Flap(at_ms=100.0, a="n1", b="n2", down_ms=200.0)],
+    ).install(c)
+    c.run_until(150.0)
+    assert not c.network.link("n1", "n2").up
+    assert not c.network.link("n2", "n1").up
+    assert c.network.link("n1", "n3").up
+    c.run_until(400.0)
+    assert c.network.link("n1", "n2").up
+
+
+def test_repeat_applies_each_occurrence():
+    c = make_raft_cluster(3)
+    Scenario(
+        "pulse",
+        [SetRtt(at_ms=100.0, rtt_ms=99.0, repeat=Repeat(every_ms=100.0, times=4))],
+    ).install(c)
+    c.run_until(1_000.0)
+    recs = steps_of(c, step="set_rtt")
+    assert [r.get("occurrence") for r in recs] == [0, 1, 2, 3]
+
+
+def test_install_validates_node_names():
+    c = make_raft_cluster(3)
+    bad = Scenario("bad", [Crash(at_ms=10.0, node="n99")])
+    with pytest.raises(ValueError, match="unknown nodes"):
+        bad.install(c)
+
+
+def test_end_ms_spans_longest_effect():
+    sc = Scenario(
+        "extent",
+        [
+            SetRtt(at_ms=5_000.0, rtt_ms=10.0),
+            Pause(at_ms=1_000.0, node="n1", duration_ms=9_000.0),
+        ],
+    )
+    assert sc.end_ms == 10_000.0
+    assert Scenario("empty", []).end_ms == 0.0
+
+
+def test_scenario_json_round_trip():
+    sc = Scenario(
+        "rt",
+        [
+            Partition(at_ms=10.0, groups=(("n1", "@leader"),)),
+            Heal(at_ms=20.0, repeat=Repeat(every_ms=30.0, times=2)),
+        ],
+        description="round trip",
+    )
+    clone = Scenario.from_json(sc.to_json())
+    assert clone.name == sc.name
+    assert clone.description == sc.description
+    assert clone.steps == sc.steps
+
+
+def test_scenario_from_dict_strictness():
+    with pytest.raises(ValueError, match="unknown keys"):
+        Scenario.from_dict({"name": "x", "steps": [], "bogus": 1})
+    with pytest.raises(ValueError, match="'name' and 'steps'"):
+        Scenario.from_dict({"description": "no name"})
+
+
+def test_on_apply_observer_fires_per_occurrence():
+    c = make_raft_cluster(3)
+    seen = []
+    Scenario(
+        "obs",
+        [Heal(at_ms=50.0, repeat=Repeat(every_ms=50.0, times=3))],
+    ).install(c, on_apply=seen.append)
+    c.run_until(300.0)
+    assert len(seen) == 3
+
+
+def test_overlapping_flaps_keep_link_down_for_latest_window():
+    """A stale restore timer from an earlier flap must not raise the link
+    while a newer flap's down-window is still active."""
+    c = make_raft_cluster(3)
+    Scenario(
+        "overlap",
+        [
+            Flap(at_ms=100.0, a="n1", b="n2", down_ms=1_000.0),
+            Flap(at_ms=600.0, a="n1", b="n2", down_ms=1_000.0),
+        ],
+    ).install(c)
+    c.run_until(1_200.0)  # first flap's restore (t=1100) has fired
+    assert not c.network.link("n1", "n2").up
+    c.run_until(1_700.0)  # second flap's restore (t=1600) applies
+    assert c.network.link("n1", "n2").up
+
+
+def test_stale_churn_recover_does_not_cut_later_crash_short():
+    """A Churn occurrence's auto-recover timer must not revive a node that
+    a later Crash step took down for longer (crash-generation guard)."""
+    from repro.scenarios.steps import Churn
+
+    c = make_raft_cluster(3)
+    Scenario(
+        "stale-recover",
+        [
+            Churn(at_ms=100.0, nodes=("n1",), down_ms=5_000.0),  # recover armed t=5100
+            Recover(at_ms=1_000.0, node="n1"),
+            Crash(at_ms=2_000.0, node="n1"),  # down until its own Recover
+            Recover(at_ms=8_000.0, node="n1"),
+        ],
+    ).install(c)
+    c.run_until(6_000.0)  # churn's stale timer has fired by now
+    assert c.node("n1").state is ProcessState.CRASHED
+    c.run_until(9_000.0)
+    assert c.node("n1").state is ProcessState.RUNNING
