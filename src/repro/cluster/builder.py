@@ -136,12 +136,18 @@ class Cluster:
         *,
         rtt_ms: float | None = None,
         retry_timeout_ms: float = 1000.0,
+        history: object | None = None,
+        resubmit_on_timeout: bool = True,
     ) -> RaftClient:
         """Attach a client endpoint with links to every cluster node.
 
         Args:
             rtt_ms: client↔server RTT; defaults to the cluster's pairwise
                 RTT (clients co-located with the service, as in §IV-B2).
+            history: optional operation recorder (see
+                :class:`repro.fuzz.history.OpHistory`).
+            resubmit_on_timeout: pass ``False`` for the at-most-once client
+                the linearizability oracle requires.
         """
         rtt = self.config.rtt_ms if rtt_ms is None else rtt_ms
         client = RaftClient(
@@ -151,6 +157,8 @@ class Cluster:
             self.names,
             retry_timeout_ms=retry_timeout_ms,
             trace=self.trace,
+            history=history,
+            resubmit_on_timeout=resubmit_on_timeout,
         )
         for peer in self.names:
             for src, dst in ((name, peer), (peer, name)):

@@ -113,7 +113,7 @@ def _run_cell(task: tuple[str, str, int, ScenarioMatrixConfig]) -> ScenarioCellR
     )
     scenario = build_scenario(scenario_name, cluster.names)
     checker = SafetyChecker(cluster, interval_ms=config.safety_interval_ms)
-    checker.install()
+    checker.install(event_hooks=True)
     scenario.install(cluster)
     cluster.start()
     end = scenario.end_ms + config.settle_ms

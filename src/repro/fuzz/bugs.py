@@ -1,0 +1,115 @@
+"""Deterministic safety-bug injection — the oracle's proof of life.
+
+A fuzzer whose oracle has never caught anything is indistinguishable from
+one that cannot.  These injectors plant known, deterministic safety bugs
+into an otherwise healthy cluster so tests and CI can assert the whole
+pipeline — generation, workload, safety checking, linearizability
+checking, shrinking — actually fires end to end:
+
+* ``commit_rewrite`` — at a fixed virtual time, rewrite the term of the
+  entry at the victim's current commit index (a committed slot).  This is
+  the "commit-index regression / committed-entry loss" bug class; the
+  :class:`~repro.scenarios.safety.SafetyChecker`'s no-committed-entry-loss
+  property catches it.
+* ``stale_apply`` — every replica's state machine silently drops the
+  N-th put while acknowledging it (replicas stay identical, so no safety
+  property trips).  Only the *client-facing* oracle sees it: a later get
+  returns the overwritten value and the history stops being linearizable.
+
+Injectors mutate one concrete cluster instance; they are installed inside
+the trial worker, never pickled.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.builder import Cluster
+from repro.raft.log import LogEntry
+from repro.raft.state_machine import KVCommand, KVStore
+from repro.sim.events import PRIORITY_CONTROL
+from repro.sim.process import ProcessState
+
+__all__ = ["BUG_KINDS", "install_bug"]
+
+BUG_KINDS: tuple[str, ...] = ("commit_rewrite", "stale_apply")
+
+
+def _commit_rewrite(cluster: Cluster) -> None:
+    """Rewrite the committed tail of one running node's log.
+
+    Every entry from the victim's commit index to its log end gets its
+    term bumped by 1000, and the victim's ``current_term`` follows suit —
+    keeping the *structural* log invariants (term monotonicity) intact so
+    the protocol keeps running, while the *semantic* one (committed
+    entries are immutable) is now broken.  The inflated log tends to win
+    the next election and replicate the corruption, which is exactly how
+    a real commit-safety bug metastasizes.
+    """
+    for name in sorted(cluster.nodes):
+        node = cluster.nodes[name]
+        if node.state is ProcessState.RUNNING and node.commit_index >= 1:
+            index = node.commit_index
+            old_term = node.log.term_at(index)
+            # Reach into the log the way real corruption would: no API
+            # grows a "rewrite committed entries" method for a bug injector.
+            entries = node.log._entries
+            for i in range(index - 1, len(entries)):
+                e = entries[i]
+                entries[i] = LogEntry(
+                    term=e.term + 1_000, index=e.index, command=e.command
+                )
+            node.current_term += 1_000
+            cluster.trace.record(
+                cluster.loop.now,
+                name,
+                "bug_commit_rewrite",
+                index=index,
+                old_term=old_term,
+            )
+            return
+    # Nobody committed anything yet: the bug has nothing to corrupt and
+    # this trial is vacuously clean.
+
+
+class _LossyKV(KVStore):
+    """A KVStore that silently drops its ``drop_nth`` put (1-based)."""
+
+    def __init__(self, drop_nth: int) -> None:
+        super().__init__()
+        self._drop_nth = drop_nth
+        self._puts_seen = 0
+
+    def apply(self, command: Any) -> Any:
+        if isinstance(command, KVCommand) and command.op == "put":
+            self._puts_seen += 1
+            if self._puts_seen == self._drop_nth:
+                # Acknowledge without storing.  Every replica counts the
+                # same committed puts in the same order, so the divergence
+                # from the spec is identical cluster-wide.
+                self.applied_count += 1
+                return command.value
+        return super().apply(command)
+
+    def reset(self) -> None:
+        super().reset()
+        self._puts_seen = 0
+
+
+def install_bug(cluster: Cluster, kind: str, at_ms: float) -> None:
+    """Install bug ``kind`` on ``cluster`` (call before ``start()``).
+
+    ``commit_rewrite`` fires at virtual time ``at_ms``; ``stale_apply``
+    replaces every node's state machine immediately (``at_ms`` selects
+    nothing for it — the N-th committed put is the trigger).
+    """
+    if kind == "commit_rewrite":
+        cluster.loop.schedule_at(
+            at_ms, lambda: _commit_rewrite(cluster), priority=PRIORITY_CONTROL
+        )
+        return
+    if kind == "stale_apply":
+        for node in cluster.nodes.values():
+            node.state_machine = _LossyKV(drop_nth=3)
+        return
+    raise ValueError(f"unknown bug kind {kind!r}; expected one of {BUG_KINDS}")

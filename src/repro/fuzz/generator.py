@@ -1,0 +1,314 @@
+"""Seeded random scenario generation.
+
+:class:`ScenarioGen` composes random typed steps into *valid*
+:class:`~repro.scenarios.scenario.Scenario` timelines: every generated
+scenario passes the step constructors' validation, references only nodes
+the cluster has (plus the ``"@leader"`` selector), and round-trips
+byte-identically through ``to_dict``/``from_dict`` — the fuzz campaign's
+workers regenerate scenarios from seeds alone.
+
+Two biases aim the randomness at the regimes where adaptive election
+parameters break:
+
+* **conflict windows** — step times cluster around *other* steps' times,
+  offset by fractions of the election timeout, so faults land exactly
+  where detection/election races live (BALLAST's observation: adversarial
+  schedules, not uniform noise, break learned timeouts);
+* **wreckage with recovery** — a generated partition usually (not always)
+  gets a later heal and a crash usually gets a recover, so most timelines
+  return to a configuration where liveness — and therefore a non-trivial
+  client history — is possible, while a tail of scenarios still probes
+  permanent damage.
+
+All drawn numbers are rounded to fixed decimal grids and converted to
+built-in Python types, keeping JSON round-trips exact and diffs readable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.steps import (
+    LEADER_SELECTOR,
+    Churn,
+    Crash,
+    Flap,
+    Heal,
+    Partition,
+    Pause,
+    Recover,
+    Repeat,
+    SetLoss,
+    SetRtt,
+    Step,
+)
+
+__all__ = ["GenConfig", "ScenarioGen"]
+
+#: Step kinds and their relative draw weights.
+_KIND_WEIGHTS: tuple[tuple[str, float], ...] = (
+    ("partition", 0.22),
+    ("flap", 0.13),
+    ("set_rtt", 0.13),
+    ("set_loss", 0.10),
+    ("pause", 0.16),
+    ("crash", 0.10),
+    ("churn", 0.08),
+    ("heal", 0.08),
+)
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class GenConfig:
+    """Knobs of the scenario generator.
+
+    Attributes:
+        n_nodes: cluster size the scenarios target (nodes ``n1..nN``).
+        horizon_ms: steps are placed in ``[0, horizon_ms]``.
+        min_steps / max_steps: primary step count range (paired
+            heal/recover follow-ups may exceed ``max_steps``).
+        et_ms: election-timeout scale used for conflict-window offsets.
+        conflict_bias: probability a step time is drawn near an existing
+            step (offset by a fraction of ``et_ms``) instead of uniformly.
+        p_leader_selector: probability a node reference is ``"@leader"``.
+        p_repair: probability a partition/crash gets a heal/recover.
+        rtt_range_ms / loss_range / pause_range_ms / flap_down_range_ms:
+            parameter ranges for the corresponding step kinds.
+    """
+
+    n_nodes: int = 5
+    horizon_ms: float = 25_000.0
+    min_steps: int = 2
+    max_steps: int = 8
+    et_ms: float = 1_000.0
+    conflict_bias: float = 0.5
+    p_leader_selector: float = 0.25
+    p_repair: float = 0.8
+    rtt_range_ms: tuple[float, float] = (10.0, 400.0)
+    loss_range: tuple[float, float] = (0.0, 0.25)
+    pause_range_ms: tuple[float, float] = (100.0, 3_500.0)
+    flap_down_range_ms: tuple[float, float] = (50.0, 1_500.0)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 3:
+            raise ValueError(f"fuzz scenarios need >= 3 nodes, got {self.n_nodes!r}")
+        if not (1 <= self.min_steps <= self.max_steps):
+            raise ValueError("need 1 <= min_steps <= max_steps")
+        if self.horizon_ms <= 0.0 or self.et_ms <= 0.0:
+            raise ValueError("horizon_ms and et_ms must be > 0")
+        if not (0.0 <= self.conflict_bias <= 1.0):
+            raise ValueError("conflict_bias must be in [0, 1]")
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        return tuple(f"n{i}" for i in range(1, self.n_nodes + 1))
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        for field in ("rtt_range_ms", "loss_range", "pause_range_ms", "flap_down_range_ms"):
+            d[field] = list(d[field])
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GenConfig":
+        payload = dict(data)
+        for field in ("rtt_range_ms", "loss_range", "pause_range_ms", "flap_down_range_ms"):
+            if field in payload:
+                payload[field] = tuple(payload[field])
+        return cls(**payload)
+
+
+def _grid(value: float, decimals: int = 1) -> float:
+    """Snap a draw to a fixed decimal grid as a plain Python float."""
+    return float(round(float(value), decimals))
+
+
+class ScenarioGen:
+    """Deterministic scenario factory: ``generate(seed)`` is a pure function."""
+
+    def __init__(self, config: GenConfig | None = None) -> None:
+        self.config = config if config is not None else GenConfig()
+
+    # ------------------------------------------------------------------ #
+    # draws
+    # ------------------------------------------------------------------ #
+
+    def _draw_time(self, rng: np.random.Generator, anchors: list[float]) -> float:
+        cfg = self.config
+        if anchors and float(rng.random()) < cfg.conflict_bias:
+            # Conflict window: land within ~[-Et/2, +1.5 Et) of an existing
+            # step — where its detection/election race is still in flight.
+            anchor = anchors[int(rng.integers(len(anchors)))]
+            t = anchor + float(rng.uniform(-0.5, 1.5)) * cfg.et_ms
+        else:
+            t = float(rng.uniform(0.0, cfg.horizon_ms))
+        return _grid(min(max(t, 0.0), cfg.horizon_ms))
+
+    def _draw_node(self, rng: np.random.Generator) -> str:
+        cfg = self.config
+        if float(rng.random()) < cfg.p_leader_selector:
+            return LEADER_SELECTOR
+        return cfg.node_names[int(rng.integers(cfg.n_nodes))]
+
+    def _draw_pair(self, rng: np.random.Generator) -> tuple[str, str]:
+        names = self.config.node_names
+        i, j = rng.choice(len(names), size=2, replace=False)
+        a, b = names[int(i)], names[int(j)]
+        if float(rng.random()) < self.config.p_leader_selector:
+            a = LEADER_SELECTOR
+        return a, b
+
+    def _maybe_repeat(
+        self, rng: np.random.Generator, *, min_every_ms: float, p: float = 0.35
+    ) -> Repeat | None:
+        if float(rng.random()) >= p:
+            return None
+        every = _grid(min_every_ms * float(rng.uniform(1.2, 4.0)))
+        times = int(rng.integers(2, 6))
+        return Repeat(every_ms=every, times=times)
+
+    # ------------------------------------------------------------------ #
+    # step constructors
+    # ------------------------------------------------------------------ #
+
+    def _gen_partition(
+        self, rng: np.random.Generator, t: float, steps: list[Step]
+    ) -> None:
+        cfg = self.config
+        names = list(cfg.node_names)
+        # Island 1..n-1 victims, listed; the rest (and the clients) stay
+        # in the implicit group, so the majority side usually keeps its
+        # client-facing connectivity.
+        k = int(rng.integers(1, cfg.n_nodes))
+        victims = [names[int(i)] for i in rng.choice(cfg.n_nodes, size=k, replace=False)]
+        if float(rng.random()) < cfg.p_leader_selector:
+            victims[0] = LEADER_SELECTOR
+        if k >= 2 and float(rng.random()) < 0.4:
+            cut = int(rng.integers(1, k))
+            groups: tuple[tuple[str, ...], ...] = (
+                tuple(victims[:cut]),
+                tuple(victims[cut:]),
+            )
+        else:
+            groups = (tuple(victims),)
+        steps.append(Partition(at_ms=t, groups=groups))
+        if float(rng.random()) < cfg.p_repair:
+            heal_at = _grid(t + float(rng.uniform(500.0, 8_000.0)))
+            steps.append(Heal(at_ms=heal_at))
+
+    def _gen_crash(self, rng: np.random.Generator, t: float, steps: list[Step]) -> None:
+        cfg = self.config
+        node = self._draw_node(rng)
+        steps.append(Crash(at_ms=t, node=node))
+        if float(rng.random()) < cfg.p_repair:
+            back_at = _grid(t + float(rng.uniform(500.0, 6_000.0)))
+            # "@leader" at recovery time rarely resolves to the crashed
+            # node; recover a concrete node instead so the repair lands.
+            target = (
+                node
+                if node != LEADER_SELECTOR
+                else cfg.node_names[int(rng.integers(cfg.n_nodes))]
+            )
+            steps.append(Recover(at_ms=back_at, node=target))
+
+    def _gen_step(self, rng: np.random.Generator, t: float, steps: list[Step]) -> None:
+        cfg = self.config
+        draw = float(rng.random())
+        acc = 0.0
+        kind = _KIND_WEIGHTS[-1][0]
+        total = sum(w for _, w in _KIND_WEIGHTS)
+        for name, weight in _KIND_WEIGHTS:
+            acc += weight / total
+            if draw < acc:
+                kind = name
+                break
+        if kind == "partition":
+            self._gen_partition(rng, t, steps)
+        elif kind == "flap":
+            a, b = self._draw_pair(rng)
+            lo, hi = cfg.flap_down_range_ms
+            down = _grid(float(rng.uniform(lo, hi)))
+            steps.append(
+                Flap(
+                    at_ms=t,
+                    a=a,
+                    b=b,
+                    down_ms=down,
+                    repeat=self._maybe_repeat(rng, min_every_ms=down + 50.0, p=0.5),
+                )
+            )
+        elif kind == "set_rtt":
+            lo, hi = cfg.rtt_range_ms
+            rtt = _grid(float(rng.uniform(lo, hi)))
+            pair = self._draw_pair(rng) if float(rng.random()) < 0.5 else None
+            steps.append(
+                SetRtt(
+                    at_ms=t,
+                    rtt_ms=rtt,
+                    pair=pair,
+                    repeat=self._maybe_repeat(rng, min_every_ms=cfg.et_ms, p=0.25),
+                )
+            )
+        elif kind == "set_loss":
+            lo, hi = cfg.loss_range
+            loss = float(round(float(rng.uniform(lo, hi)), 3))
+            pair = self._draw_pair(rng) if float(rng.random()) < 0.5 else None
+            steps.append(SetLoss(at_ms=t, loss=loss, pair=pair))
+        elif kind == "pause":
+            lo, hi = cfg.pause_range_ms
+            duration = _grid(float(rng.uniform(lo, hi)))
+            steps.append(
+                Pause(
+                    at_ms=t,
+                    node=self._draw_node(rng),
+                    duration_ms=duration,
+                    repeat=self._maybe_repeat(rng, min_every_ms=duration + 100.0, p=0.3),
+                )
+            )
+        elif kind == "crash":
+            self._gen_crash(rng, t, steps)
+        elif kind == "churn":
+            names = list(cfg.node_names)
+            size = int(rng.integers(2, cfg.n_nodes + 1))
+            chosen = tuple(
+                names[int(i)] for i in rng.choice(cfg.n_nodes, size=size, replace=False)
+            )
+            down = _grid(float(rng.uniform(300.0, 3_000.0)))
+            fault = "crash" if float(rng.random()) < 0.5 else "pause"
+            steps.append(
+                Churn(
+                    at_ms=t,
+                    nodes=chosen,
+                    down_ms=down,
+                    fault=fault,
+                    repeat=self._maybe_repeat(rng, min_every_ms=down + 200.0, p=0.7),
+                )
+            )
+        else:  # heal
+            steps.append(Heal(at_ms=t))
+
+    # ------------------------------------------------------------------ #
+    # entry point
+    # ------------------------------------------------------------------ #
+
+    def generate(self, seed: int) -> Scenario:
+        """Generate the scenario for ``seed`` (pure: same seed, same bytes)."""
+        cfg = self.config
+        rng = np.random.default_rng(seed)
+        n_primary = int(rng.integers(cfg.min_steps, cfg.max_steps + 1))
+        steps: list[Step] = []
+        anchors: list[float] = []
+        for _ in range(n_primary):
+            t = self._draw_time(rng, anchors)
+            anchors.append(t)
+            self._gen_step(rng, t, steps)
+        scenario = Scenario(
+            f"fuzz-{seed}",
+            steps,
+            description=f"generated by ScenarioGen(seed={seed})",
+        )
+        scenario.validate_against(set(cfg.node_names))
+        return scenario

@@ -1,0 +1,157 @@
+"""One fuzz trial: cluster + scenario + workload + the full oracle.
+
+``run_trial(config, scenario)`` is the pure function everything else —
+campaign workers, the shrinker, the regression harness — is built from:
+it builds a cluster from the explicit seed, installs the scenario, an
+event-hooked :class:`~repro.scenarios.safety.SafetyChecker` and the
+at-most-once client workload, runs to a deterministic end time, and
+reduces the run to a picklable :class:`TrialResult` whose ``violations``
+tuple is empty iff every checked property held:
+
+* the partition-safety properties (one leader per term — sampled *and*
+  event-driven —, monotone commit, no committed-entry loss), and
+* linearizability of the recorded client history against the KV spec.
+
+An undecided linearizability search (budget exhausted) is reported via
+``lin_undecided`` rather than folded into ``violations`` — an oracle must
+not cry wolf on timeouts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.experiments.common import make_policy_factory
+from repro.fuzz.bugs import install_bug
+from repro.fuzz.history import OpHistory
+from repro.fuzz.linearizability import DEFAULT_BUDGET, check_history
+from repro.fuzz.workload import WorkloadConfig, WorkloadDriver
+from repro.scenarios.safety import SafetyChecker
+from repro.scenarios.scenario import Scenario
+
+__all__ = ["FuzzTrialConfig", "TrialResult", "run_trial"]
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class FuzzTrialConfig:
+    """Everything one trial needs besides the scenario itself.
+
+    The pair ``(config, scenario)`` fully determines a trial — that is
+    what the shrinker holds fixed (config) and minimizes (scenario), and
+    what a reproducer file serializes.
+    """
+
+    system: str = "raft"
+    n_nodes: int = 5
+    seed: int = 1
+    rtt_ms: float = 50.0
+    loss: float = 0.0
+    #: Run past the scenario's last effect (heal + converge window).
+    settle_ms: float = 6_000.0
+    #: Floor on total run time, so shrinking steps away cannot shrink the
+    #: run under an injected bug's fire time.
+    min_run_ms: float = 12_000.0
+    safety_interval_ms: float = 250.0
+    workload: WorkloadConfig = dataclasses.field(default_factory=WorkloadConfig)
+    lin_budget: int = DEFAULT_BUDGET
+    #: Optional injected bug (see :mod:`repro.fuzz.bugs`) — used to
+    #: validate the oracle; reproducer files never carry it.
+    inject: str | None = None
+    inject_at_ms: float = 9_000.0
+
+    def __post_init__(self) -> None:
+        if self.settle_ms < 0.0 or self.min_run_ms < 0.0:
+            raise ValueError("settle_ms and min_run_ms must be >= 0")
+
+    def end_ms(self, scenario: Scenario) -> float:
+        return max(scenario.end_ms + self.settle_ms, self.min_run_ms)
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        d["workload"] = self.workload.to_dict()
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzTrialConfig":
+        payload = dict(data)
+        if "workload" in payload:
+            payload["workload"] = WorkloadConfig.from_dict(payload["workload"])
+        return cls(**payload)
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class TrialResult:
+    """One trial reduced to its oracle verdict and coverage counters."""
+
+    violations: tuple[str, ...]
+    lin_undecided: bool
+    n_ops: int
+    n_completed: int
+    n_open: int
+    steps_applied: int
+    steps_skipped: int
+    first_leader_ms: float | None
+    duration_ms: float
+    lin_configs: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_trial(config: FuzzTrialConfig, scenario: Scenario) -> TrialResult:
+    """Run one (config, scenario) trial and return its oracle verdict."""
+    cluster = build_cluster(
+        ClusterConfig(
+            n_nodes=config.n_nodes,
+            seed=config.seed,
+            rtt_ms=config.rtt_ms,
+            loss=config.loss,
+        ),
+        make_policy_factory(config.system),
+    )
+    checker = SafetyChecker(cluster, interval_ms=config.safety_interval_ms)
+    checker.install(event_hooks=True)
+    scenario.install(cluster)
+
+    end = config.end_ms(scenario)
+    history = OpHistory()
+    driver = WorkloadDriver(
+        cluster,
+        config.workload,
+        history,
+        # Stop issuing early enough that the tail of ops can settle (or
+        # be abandoned) before the run ends.
+        stop_ms=max(
+            config.workload.start_ms, end - 2.0 * config.workload.op_timeout_ms
+        ),
+    )
+    driver.install()
+    if config.inject is not None:
+        install_bug(cluster, config.inject, config.inject_at_ms)
+
+    cluster.start()
+    cluster.run_until(end)
+
+    violations = list(checker.verify())
+    lin = check_history(history.ops(), budget=config.lin_budget)
+    if lin.decided and not lin.ok:
+        violations.append(f"linearizability: {lin.reason}")
+
+    leaders = cluster.trace.of_kind("become_leader")
+    steps = cluster.trace.of_kind("scenario_step")
+    skipped = sum(1 for r in steps if r.get("skipped"))
+    ops = history.ops()
+    return TrialResult(
+        violations=tuple(violations),
+        lin_undecided=not lin.decided,
+        n_ops=len(ops),
+        n_completed=sum(1 for o in ops if o.completed),
+        n_open=sum(1 for o in ops if not o.completed),
+        steps_applied=len(steps) - skipped,
+        steps_skipped=skipped,
+        first_leader_ms=leaders[0].time if leaders else None,
+        duration_ms=end,
+        lin_configs=lin.configs_explored,
+    )

@@ -1,0 +1,197 @@
+"""Concurrent-client KV workload whose operations form a checkable history.
+
+The driver attaches a handful of at-most-once clients
+(``resubmit_on_timeout=False`` — see :class:`~repro.raft.client.RaftClient`)
+to a cluster and runs each as a sequential loop: submit one operation,
+wait for its completion *or* its abandonment, think, submit the next.
+Every operation lands in a shared :class:`~repro.fuzz.history.OpHistory`
+the linearizability checker consumes afterwards.
+
+Design constraints, all load-bearing for the oracle:
+
+* **sequential clients** — a client never has two of its own ops open by
+  choice (an abandoned op may still complete late; that only tightens the
+  history), matching the sequential-process model linearizability assumes;
+* **contended keys** — the key space is tiny by default so concurrent
+  clients collide, which is where linearizability violations live;
+* **unique put values** — every put writes ``"<client>:<seq>"``, so the
+  checker can distinguish every write (the Jepsen register recipe);
+* **determinism** — all randomness comes from named streams of the
+  cluster's :class:`~repro.sim.rng.RngRegistry`, so a (seed, scenario)
+  pair replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.builder import Cluster
+from repro.fuzz.history import OpHistory
+from repro.raft.state_machine import kv_delete, kv_get, kv_put
+from repro.sim.events import PRIORITY_CONTROL
+
+__all__ = ["WorkloadConfig", "WorkloadDriver"]
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class WorkloadConfig:
+    """Shape of the fuzz workload.
+
+    Attributes:
+        n_clients: concurrent sequential clients.
+        n_keys: size of the (deliberately small) key space.
+        op_timeout_ms: client abandon timeout per operation.
+        think_min_ms / think_max_ms: uniform gap between an op settling
+            and the next submission.
+        p_put / p_get: op mix (the remainder are deletes).
+        start_ms: first submissions (staggered per client).
+        max_ops_per_client: hard cap keeping per-key sub-histories small
+            enough for the checker.
+    """
+
+    n_clients: int = 3
+    n_keys: int = 2
+    op_timeout_ms: float = 1200.0
+    think_min_ms: float = 40.0
+    think_max_ms: float = 260.0
+    p_put: float = 0.5
+    p_get: float = 0.35
+    start_ms: float = 400.0
+    max_ops_per_client: int = 40
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1 or self.n_keys < 1:
+            raise ValueError("workload needs >= 1 client and >= 1 key")
+        if self.op_timeout_ms <= 0.0:
+            raise ValueError("op_timeout_ms must be > 0")
+        if not (0.0 <= self.p_put and 0.0 <= self.p_get and self.p_put + self.p_get <= 1.0):
+            raise ValueError("op mix probabilities must be in [0, 1] and sum <= 1")
+        if self.think_min_ms < 0.0 or self.think_max_ms < self.think_min_ms:
+            raise ValueError("need 0 <= think_min_ms <= think_max_ms")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadConfig":
+        return cls(**data)
+
+
+class WorkloadDriver:
+    """Runs the closed-loop clients of one fuzz trial."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: WorkloadConfig,
+        history: OpHistory,
+        *,
+        stop_ms: float,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config
+        self.history = history
+        self.stop_ms = stop_ms
+        self.clients = []
+        #: per-client issued-op counter; doubles as the chaining token.
+        self._issued: list[int] = []
+        self._settled: list[bool] = []
+        self._rngs = []
+
+    def install(self) -> None:
+        """Attach the clients and schedule their first submissions."""
+        cfg = self.config
+        loop = self.cluster.loop
+        for i in range(cfg.n_clients):
+            name = f"fc{i + 1}"
+            client = self.cluster.add_client(
+                name,
+                retry_timeout_ms=cfg.op_timeout_ms,
+                history=self.history,
+                resubmit_on_timeout=False,
+            )
+            self.clients.append(client)
+            self._issued.append(0)
+            self._settled.append(True)
+            self._rngs.append(self.cluster.rngs.stream(f"fuzz/client/{name}"))
+            # Stagger the first ops so clients do not march in lockstep.
+            first = cfg.start_ms + float(self._rngs[i].uniform(0.0, cfg.think_max_ms))
+            loop.schedule_at(
+                first, _IssueOp(self, i, 0), priority=PRIORITY_CONTROL
+            )
+
+    # ------------------------------------------------------------------ #
+    # per-client loop
+    # ------------------------------------------------------------------ #
+
+    def _issue(self, ci: int, token: int) -> None:
+        if token != self._issued[ci]:
+            return  # a newer op already superseded this chain link
+        cfg = self.config
+        now = self.cluster.loop.now
+        if now >= self.stop_ms or self._issued[ci] >= cfg.max_ops_per_client:
+            return
+        rng = self._rngs[ci]
+        client = self.clients[ci]
+        key = f"k{int(rng.integers(cfg.n_keys)) + 1}"
+        draw = float(rng.random())
+        seq = self._issued[ci]
+        if draw < cfg.p_put:
+            command = kv_put(key, f"{client.name}:{seq}")
+        elif draw < cfg.p_put + cfg.p_get:
+            command = kv_get(key)
+        else:
+            command = kv_delete(key)
+        self._issued[ci] = seq + 1
+        self._settled[ci] = False
+        client.submit(command, on_complete=lambda done, c=ci, t=seq + 1: self._settle(c, t))
+        # Fallback: if the op neither completes nor is superseded by the
+        # time the client has abandoned it, move on regardless.
+        self.cluster.loop.schedule(
+            cfg.op_timeout_ms + cfg.think_max_ms,
+            _Settle(self, ci, seq + 1),
+            priority=PRIORITY_CONTROL,
+        )
+
+    def _settle(self, ci: int, token: int) -> None:
+        """An op completed or timed out; chain the next submission once."""
+        if token != self._issued[ci] or self._settled[ci]:
+            return
+        self._settled[ci] = True
+        rng = self._rngs[ci]
+        think = float(rng.uniform(self.config.think_min_ms, self.config.think_max_ms))
+        self.cluster.loop.schedule(
+            think, _IssueOp(self, ci, token), priority=PRIORITY_CONTROL
+        )
+
+    # -- stats ----------------------------------------------------------- #
+
+    @property
+    def ops_issued(self) -> int:
+        return sum(self._issued)
+
+
+class _IssueOp:
+    """Bound issue callback (no late-binding closures in the event loop)."""
+
+    __slots__ = ("_driver", "_ci", "_token")
+
+    def __init__(self, driver: WorkloadDriver, ci: int, token: int) -> None:
+        self._driver = driver
+        self._ci = ci
+        self._token = token
+
+    def __call__(self) -> None:
+        self._driver._issue(self._ci, self._token)
+
+
+class _Settle:
+    __slots__ = ("_driver", "_ci", "_token")
+
+    def __init__(self, driver: WorkloadDriver, ci: int, token: int) -> None:
+        self._driver = driver
+        self._ci = ci
+        self._token = token
+
+    def __call__(self) -> None:
+        self._driver._settle(self._ci, self._token)

@@ -43,6 +43,20 @@ class RaftClient:
     retries round-robin across the cluster.  This mirrors how etcd clients
     ride out leader failures and is what the quickstart example
     demonstrates.
+
+    Two hooks exist for the fuzz oracle:
+
+    * ``history`` — an operation recorder (``invoke``/``complete``/
+      ``abandon``) fed at submit, success and give-up time.  The
+      linearizability checker consumes these records.
+    * ``resubmit_on_timeout=False`` — at-most-once mode: a timed-out
+      request is *abandoned* (left in flight so a late answer can still
+      complete it, but never retransmitted).  Resending after a timeout
+      can duplicate a command in the log — the contacted leader may have
+      appended it before dying — and a duplicated write makes the service
+      genuinely non-linearizable, so the oracle's workload must not
+      resend.  Redirect-following stays on: a non-leader never appends,
+      so a redirect proves the previous copy left no trace.
     """
 
     def __init__(
@@ -55,6 +69,8 @@ class RaftClient:
         retry_timeout_ms: float = 1000.0,
         max_retries: int = 50,
         trace: TraceLog | None = None,
+        history: Any = None,
+        resubmit_on_timeout: bool = True,
     ) -> None:
         if not cluster:
             raise ValueError("client needs at least one cluster node")
@@ -65,6 +81,8 @@ class RaftClient:
         self.retry_timeout_ms = float(retry_timeout_ms)
         self.max_retries = int(max_retries)
         self.trace = trace if trace is not None else TraceLog()
+        self.history = history
+        self.resubmit_on_timeout = bool(resubmit_on_timeout)
         self.alive = True
 
         self.completed: list[CompletedRequest] = []
@@ -98,6 +116,8 @@ class RaftClient:
         self._next_id += 1
         state = [command, self.loop.now, 0, on_complete, None]
         self._inflight[req_id] = state
+        if self.history is not None:
+            self.history.invoke(self.name, req_id, command, self.loop.now)
         self._transmit(req_id)
         return req_id
 
@@ -133,10 +153,26 @@ class RaftClient:
         if state is None:
             return
         state[2] += 1
+        if not self.resubmit_on_timeout:
+            # At-most-once mode: never retransmit after a timeout (the
+            # silent contact may have appended the command).  The request
+            # stays in flight so a late answer still completes it; rotate
+            # the believed contact so *future* submissions try elsewhere.
+            state[4] = None
+            self._rr = (self._rr + 1) % len(self.cluster)
+            self._contact = self.cluster[self._rr]
+            self.trace.record(
+                self.loop.now, self.name, "client_abandon", request=req_id
+            )
+            if self.history is not None:
+                self.history.abandon(self.name, req_id, self.loop.now)
+            return
         if state[2] > self.max_retries:
             del self._inflight[req_id]
             self.failed.append(req_id)
             self.trace.record(self.loop.now, self.name, "client_giveup", request=req_id)
+            if self.history is not None:
+                self.history.abandon(self.name, req_id, self.loop.now)
             return
         # No answer: the contact may be dead or partitioned; rotate.
         self._rr = (self._rr + 1) % len(self.cluster)
@@ -161,6 +197,10 @@ class RaftClient:
                 retries=retries,
             )
             self.completed.append(done)
+            if self.history is not None:
+                self.history.complete(
+                    self.name, resp.request_id, resp.result, self.loop.now
+                )
             if on_complete is not None:
                 on_complete(done)
             return
@@ -176,5 +216,7 @@ class RaftClient:
             if state[2] > self.max_retries:
                 del self._inflight[resp.request_id]
                 self.failed.append(resp.request_id)
+                if self.history is not None:
+                    self.history.abandon(self.name, resp.request_id, self.loop.now)
                 return
             self._transmit(resp.request_id)

@@ -19,15 +19,46 @@ Commit indices are sound under-approximations of "truly committed" even
 on a deposed leader (it cannot advance commit without a majority), so the
 sampled pairs are all genuinely committed entries — the check has no
 false positives by construction.
+
+Sampling alone has a blind spot: a violation whose entire window fits
+*between* two samples — e.g. a node that silently flips into the leader
+role of the current term for 100 ms — leaves no evidence at either
+endpoint.  ``install(event_hooks=True)`` closes it by subscribing to the
+cluster trace and re-checking the instantaneous "at most one live leader
+per term" invariant (plus taking a full sample) at every term/role/fault
+transition, so any double-leader window that coincides with *any* traced
+cluster event is caught at the instant it exists.
 """
 
 from __future__ import annotations
 
 from repro.cluster.builder import Cluster
+from repro.raft.types import Role
 from repro.sim.events import PRIORITY_CONTROL
 from repro.sim.process import ProcessState
+from repro.sim.tracing import TraceRecord
 
-__all__ = ["SafetyChecker"]
+__all__ = ["SafetyChecker", "HOOK_KINDS"]
+
+#: Trace kinds that mark a term/role/liveness transition somewhere in the
+#: cluster — the moments the event-driven checker re-examines live state.
+#: ``process_recovered`` is deliberately absent: the record is emitted
+#: after the process is marked RUNNING but *before* ``on_recover`` resets
+#: volatile state, so sampling there would pin the dead incarnation's
+#: commit index onto the new one (a guaranteed false positive).
+HOOK_KINDS: frozenset[str] = frozenset(
+    {
+        "become_leader",
+        "step_down",
+        "leader_observed",
+        "election_start",
+        "election_timeout",
+        "quorum_lost",
+        "process_paused",
+        "process_resumed",
+        "process_crashed",
+    }
+)
 
 
 class SafetyChecker:
@@ -44,20 +75,55 @@ class SafetyChecker:
         self._committed: dict[int, int] = {}
         #: node → (commit index, crash count) at the previous sample.
         self._last: dict[str, tuple[int, int]] = {}
+        #: (term, frozenset of leaders) overlaps already reported.
+        self._overlaps_seen: set[tuple[int, frozenset[str]]] = set()
         self._installed = False
+        self._hooked = False
 
     # ------------------------------------------------------------------ #
     # sampling
     # ------------------------------------------------------------------ #
 
-    def install(self) -> None:
-        """Arm the periodic sampler (idempotent)."""
+    def install(self, *, event_hooks: bool = False) -> None:
+        """Arm the periodic sampler (idempotent).
+
+        Args:
+            event_hooks: additionally subscribe to the cluster trace and
+                run :meth:`check_now` on every term/role/fault transition
+                (see :data:`HOOK_KINDS`) — catches violation windows
+                shorter than ``interval_ms``.
+        """
+        if event_hooks and not self._hooked:
+            self._hooked = True
+            self.cluster.trace.subscribe(self._on_trace_record)
         if self._installed:
             return
         self._installed = True
         self.cluster.loop.schedule(
             self.interval_ms, self._tick, priority=PRIORITY_CONTROL
         )
+
+    def _on_trace_record(self, rec: TraceRecord) -> None:
+        if rec.kind in HOOK_KINDS:
+            self.check_now()
+
+    def check_now(self) -> None:
+        """Event-driven check: instantaneous leader overlap + a full sample."""
+        now = self.cluster.loop.now
+        by_term: dict[int, list[str]] = {}
+        for node in self.cluster.nodes.values():
+            if node.state is ProcessState.RUNNING and node.role is Role.LEADER:
+                by_term.setdefault(node.current_term, []).append(node.name)
+        for term, names in by_term.items():
+            if len(names) > 1:
+                key = (term, frozenset(names))
+                if key not in self._overlaps_seen:
+                    self._overlaps_seen.add(key)
+                    self.violations.append(
+                        f"t={now:g}: {len(names)} live leaders in term {term} "
+                        f"({sorted(names)})"
+                    )
+        self.sample()
 
     def _crash_counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}

@@ -131,6 +131,21 @@ class Scenario:
         """Time the last step occurrence has fully played out."""
         return max((s.extent_ms for s in self.steps), default=0.0)
 
+    def with_steps(
+        self, steps: list[Step] | tuple[Step, ...], *, name: str | None = None
+    ) -> "Scenario":
+        """A copy of this scenario with a different timeline.
+
+        The mutation primitive the fuzz shrinker is built on: removing or
+        simplifying steps always goes through here, so the result carries
+        the original name/description and re-runs the constructor checks.
+        """
+        return Scenario(
+            self.name if name is None else name,
+            steps,
+            description=self.description,
+        )
+
     def referenced_nodes(self) -> set[str]:
         """Concrete node names the timeline mentions (selectors excluded)."""
         names: set[str] = set()

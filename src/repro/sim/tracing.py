@@ -42,18 +42,43 @@ class TraceRecord:
 
 
 class TraceLog:
-    """Append-only structured event log shared by a simulated cluster."""
+    """Append-only structured event log shared by a simulated cluster.
+
+    Live consumers (safety monitors, fuzz oracles) can :meth:`subscribe`
+    a listener invoked synchronously on every appended record — the
+    event-driven alternative to polling the log on a sampling cadence,
+    which can miss violations whose whole window fits between samples.
+    Listeners must not record into the log they observe (no re-entrant
+    appends) and should be cheap: they run on the simulation hot path.
+    """
 
     def __init__(self) -> None:
         self._records: list[TraceRecord] = []
         self._kind_index: dict[str, list[TraceRecord]] = {}
+        self._listeners: list[Callable[[TraceRecord], None]] = []
 
     def record(self, time: float, node: str, kind: str, **fields: Any) -> TraceRecord:
-        """Append a record and return it."""
+        """Append a record, notify listeners, and return it."""
         rec = TraceRecord(time=time, node=node, kind=kind, fields=fields)
         self._records.append(rec)
         self._kind_index.setdefault(kind, []).append(rec)
+        if self._listeners:
+            for listener in self._listeners:
+                listener(rec)
         return rec
+
+    # -- live subscriptions ------------------------------------------------ #
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``listener(record)`` synchronously for every new record."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Remove a previously subscribed listener (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     # -- queries ---------------------------------------------------------- #
 

@@ -1,0 +1,73 @@
+"""Campaign acceptance: REPRO_JOBS-independence, catch + shrink end to end."""
+
+import pytest
+
+from repro.experiments.fuzz_campaign import (
+    FuzzCampaignConfig,
+    digest,
+    run,
+    shrink_failure,
+)
+from repro.fuzz.oracle import FuzzTrialConfig
+from repro.fuzz.shrinker import load_reproducer
+from repro.fuzz.oracle import run_trial
+
+
+def test_small_campaign_is_clean_and_deterministic():
+    cfg = FuzzCampaignConfig(n_trials=6, seed=11)
+    a, b = run(cfg), run(cfg)
+    assert digest(a) == digest(b)
+    assert a.all_ok
+    assert {t.system for t in a.trials} == {"raft", "dynatune"}
+    assert sum(t.n_completed for t in a.trials) > 100
+
+
+def test_200_trial_campaign_clean_and_jobs_independent(monkeypatch):
+    """The acceptance gate: >= 200 scenarios across {raft, dynatune},
+    byte-identical for REPRO_JOBS=1 and REPRO_JOBS=4, all clean."""
+    cfg = FuzzCampaignConfig(n_trials=200, seed=11)
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    serial = run(cfg)
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    parallel = run(cfg)
+    assert digest(serial) == digest(parallel)
+    assert serial.all_ok, [t.violations for t in serial.failures]
+    assert len(serial.trials) == 200
+    assert {t.system for t in serial.trials} == {"raft", "dynatune"}
+
+
+def test_injected_bug_is_caught_and_shrinks_small(tmp_path):
+    """Second acceptance gate: a planted commit-safety bug is detected and
+    the shrunk reproducer has at most 5 steps."""
+    cfg = FuzzCampaignConfig(
+        n_trials=4,
+        seed=11,
+        inject="commit_rewrite",
+        inject_at_ms=6_000.0,
+        trial=FuzzTrialConfig(min_run_ms=9_000.0, settle_ms=4_000.0),
+    )
+    result = run(cfg)
+    assert result.failures, "oracle failed to catch the injected bug"
+    record = result.failures[0]
+    path, final_steps = shrink_failure(result, record, out_dir=str(tmp_path))
+    assert final_steps <= 5
+    loaded_cfg, scenario, payload = load_reproducer(path)
+    assert loaded_cfg.inject is None  # reproducers never carry the injection
+    assert payload["meta"]["found_with_injected_bug"] == "commit_rewrite"
+    assert len(scenario.steps) == final_steps
+    # With the "bug" absent, the minimized trial is clean — exactly what
+    # the regression harness will assert forever after.
+    assert run_trial(loaded_cfg, scenario).violations == ()
+
+
+def test_campaign_digest_depends_on_seed():
+    a = run(FuzzCampaignConfig(n_trials=3, seed=1))
+    b = run(FuzzCampaignConfig(n_trials=3, seed=2))
+    assert digest(a) != digest(b)
+
+
+def test_campaign_config_validation():
+    with pytest.raises(ValueError):
+        FuzzCampaignConfig(n_trials=0)
+    with pytest.raises(ValueError):
+        FuzzCampaignConfig(systems=())

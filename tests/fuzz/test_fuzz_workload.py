@@ -1,0 +1,70 @@
+"""Workload driver: history recording, client sequentiality, determinism."""
+
+from repro.fuzz.history import OpHistory
+from repro.fuzz.linearizability import check_history
+from repro.fuzz.workload import WorkloadConfig, WorkloadDriver
+from tests.conftest import make_raft_cluster
+
+
+def drive(seed=9, stop_ms=8_000.0, run_ms=12_000.0, **cfg_kwargs):
+    cluster = make_raft_cluster(5, seed=seed)
+    history = OpHistory()
+    driver = WorkloadDriver(
+        cluster, WorkloadConfig(**cfg_kwargs), history, stop_ms=stop_ms
+    )
+    driver.install()
+    cluster.run_until(run_ms)
+    return cluster, driver, history
+
+
+def test_healthy_cluster_history_is_rich_and_linearizable():
+    _, driver, history = drive()
+    ops = history.ops()
+    assert driver.ops_issued == len(ops) > 30
+    assert len(history.completed_ops()) > 0.8 * len(ops)
+    assert check_history(ops)
+
+
+def test_clients_are_sequential():
+    _, _, history = drive()
+    by_client = {}
+    for o in history.ops():
+        by_client.setdefault(o.client, []).append(o)
+    for ops in by_client.values():
+        ops.sort(key=lambda o: o.invoke_ms)
+        for prev, nxt in zip(ops, ops[1:]):
+            if prev.completed:
+                # A client never invokes its next op before the previous
+                # one settled (abandoned ops may stay open, but the next
+                # invocation still waits for the abandon timeout).
+                assert nxt.invoke_ms >= prev.return_ms
+
+
+def test_put_values_are_unique():
+    _, _, history = drive()
+    values = [o.value for o in history.ops() if o.op == "put"]
+    assert len(values) == len(set(values))
+
+
+def test_workload_is_deterministic():
+    def fingerprint():
+        _, _, history = drive()
+        return [
+            (o.client, o.req_id, o.op, o.key, o.value, o.invoke_ms, o.return_ms)
+            for o in history.ops()
+        ]
+
+    assert fingerprint() == fingerprint()
+
+
+def test_stop_ms_bounds_issuing():
+    _, _, history = drive(stop_ms=2_000.0)
+    assert all(o.invoke_ms <= 2_000.0 for o in history.ops())
+
+
+def test_max_ops_per_client_caps_issuing():
+    _, driver, history = drive(max_ops_per_client=3, stop_ms=50_000.0, run_ms=60_000.0)
+    by_client = {}
+    for o in history.ops():
+        by_client[o.client] = by_client.get(o.client, 0) + 1
+    assert by_client and all(v <= 3 for v in by_client.values())

@@ -1,0 +1,78 @@
+"""ScenarioGen properties: validity, round-trip fidelity, determinism."""
+
+import dataclasses
+
+import pytest
+
+from repro.fuzz.generator import GenConfig, ScenarioGen
+from repro.scenarios.scenario import Scenario
+
+#: The satellite property sweep: 50 generator seeds.
+SEEDS = list(range(1, 51))
+
+
+@pytest.fixture(scope="module")
+def gen() -> ScenarioGen:
+    return ScenarioGen(GenConfig())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_roundtrip_byte_identical_and_valid(gen, seed):
+    scenario = gen.generate(seed)
+    blob = scenario.to_json()
+    back = Scenario.from_json(blob)
+    assert back.to_json() == blob
+    assert back.to_dict() == scenario.to_dict()
+    # Valid against the cluster the campaign builds (constructors already
+    # re-validated every step during from_dict).
+    scenario.validate_against(set(gen.config.node_names))
+
+
+def test_generation_is_deterministic(gen):
+    for seed in (3, 17, 44):
+        assert gen.generate(seed).to_json() == gen.generate(seed).to_json()
+
+
+def test_seeds_produce_distinct_scenarios(gen):
+    blobs = {gen.generate(seed).to_json() for seed in SEEDS}
+    # Step-count and parameter draws make collisions astronomically
+    # unlikely; near-total distinctness is the point of seeding.
+    assert len(blobs) > 45
+
+
+def test_step_counts_and_times_respect_config():
+    cfg = GenConfig(min_steps=3, max_steps=5, horizon_ms=10_000.0)
+    gen = ScenarioGen(cfg)
+    for seed in SEEDS[:20]:
+        scenario = gen.generate(seed)
+        assert len(scenario.steps) >= cfg.min_steps
+        for step in scenario.steps:
+            # Primary steps land inside the horizon; a paired heal/recover
+            # may trail its fault by up to 8 s.
+            assert 0.0 <= step.at_ms <= cfg.horizon_ms + 8_000.0
+            # JSON-friendly built-ins only (numpy scalars would break
+            # byte-identical serialization across platforms).
+            assert type(step.at_ms) is float
+
+
+def test_generated_values_are_builtin_types(gen):
+    for seed in SEEDS[:10]:
+        for step in gen.generate(seed).steps:
+            for field in dataclasses.fields(step):
+                value = getattr(step, field.name)
+                if isinstance(value, float):
+                    assert type(value) is float, (seed, step.kind, field.name)
+
+
+def test_config_roundtrip():
+    cfg = GenConfig(n_nodes=7, horizon_ms=12_000.0, conflict_bias=0.8)
+    assert GenConfig.from_dict(cfg.to_dict()) == cfg
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GenConfig(n_nodes=2)
+    with pytest.raises(ValueError):
+        GenConfig(min_steps=5, max_steps=3)
+    with pytest.raises(ValueError):
+        GenConfig(conflict_bias=1.5)

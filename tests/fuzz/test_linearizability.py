@@ -1,0 +1,149 @@
+"""Linearizability checker unit tests on handcrafted histories."""
+
+import pytest
+
+from repro.fuzz.history import KVOp
+from repro.fuzz.linearizability import check_history, check_key_history
+
+
+def op(client, rid, kind, key, *, inv, ret=None, value=None, result=None):
+    return KVOp(
+        client=client,
+        req_id=rid,
+        op=kind,
+        key=key,
+        value=value,
+        invoke_ms=inv,
+        return_ms=ret,
+        result=result,
+    )
+
+
+def test_empty_history_is_linearizable():
+    assert check_history([])
+
+
+def test_sequential_put_get_ok():
+    ops = [
+        op("a", 0, "put", "k", inv=0, ret=10, value="v1", result="v1"),
+        op("a", 1, "get", "k", inv=20, ret=30, result="v1"),
+    ]
+    assert check_history(ops)
+
+
+def test_stale_read_is_flagged():
+    ops = [
+        op("a", 0, "put", "k", inv=0, ret=10, value="v1", result="v1"),
+        op("a", 1, "put", "k", inv=20, ret=30, value="v2", result="v2"),
+        op("b", 0, "get", "k", inv=40, ret=50, result="v1"),  # overwritten value
+    ]
+    result = check_history(ops)
+    assert not result.ok and result.decided
+    assert result.key == "k"
+
+
+def test_lost_write_is_flagged():
+    ops = [
+        op("a", 0, "put", "k", inv=0, ret=10, value="v1", result="v1"),
+        op("b", 0, "get", "k", inv=20, ret=30, result=None),  # put vanished
+    ]
+    assert not check_history(ops).ok
+
+
+def test_concurrent_ops_allow_either_order():
+    # put and get overlap: the get may see the old or the new value.
+    for seen in (None, "v1"):
+        ops = [
+            op("a", 0, "put", "k", inv=0, ret=100, value="v1", result="v1"),
+            op("b", 0, "get", "k", inv=10, ret=90, result=seen),
+        ]
+        assert check_history(ops), f"get seeing {seen!r} must be legal"
+
+
+def test_open_op_may_have_applied():
+    # The put never returned, but a later get observed its value: legal
+    # (the response was lost, not the command).
+    ops = [
+        op("a", 0, "put", "k", inv=0, value="v1"),
+        op("b", 0, "get", "k", inv=50, ret=60, result="v1"),
+    ]
+    assert check_history(ops)
+
+
+def test_open_op_may_never_have_applied():
+    ops = [
+        op("a", 0, "put", "k", inv=0, value="v1"),
+        op("b", 0, "get", "k", inv=50, ret=60, result=None),
+    ]
+    assert check_history(ops)
+
+
+def test_open_op_cannot_apply_before_invocation():
+    # get completed before the open put was even invoked, yet saw its value.
+    ops = [
+        op("b", 0, "get", "k", inv=0, ret=10, result="v1"),
+        op("a", 0, "put", "k", inv=20, value="v1"),
+    ]
+    assert not check_history(ops).ok
+
+
+def test_delete_returns_removed_value():
+    ops = [
+        op("a", 0, "put", "k", inv=0, ret=10, value="v1", result="v1"),
+        op("a", 1, "delete", "k", inv=20, ret=30, result="v1"),
+        op("a", 2, "get", "k", inv=40, ret=50, result=None),
+    ]
+    assert check_history(ops)
+    bad = [
+        op("a", 0, "put", "k", inv=0, ret=10, value="v1", result="v1"),
+        op("a", 1, "delete", "k", inv=20, ret=30, result=None),  # wrong witness
+    ]
+    assert not check_history(bad).ok
+
+
+def test_keys_are_checked_independently():
+    ops = [
+        op("a", 0, "put", "k1", inv=0, ret=10, value="v1", result="v1"),
+        op("a", 1, "get", "k2", inv=20, ret=30, result=None),  # other key: fresh
+        op("b", 0, "put", "k2", inv=40, ret=50, value="w", result="w"),
+        op("b", 1, "get", "k2", inv=60, ret=70, result="v1"),  # k1's value on k2
+    ]
+    result = check_history(ops)
+    assert not result.ok
+    assert result.key == "k2"
+
+
+def test_real_time_order_is_enforced():
+    # Non-overlapping puts, then a get returning the *first* value: the
+    # second put completed strictly before the get began, so it must be
+    # ordered before the get.
+    ops = [
+        op("a", 0, "put", "k", inv=0, ret=10, value="v1", result="v1"),
+        op("b", 0, "put", "k", inv=30, ret=40, value="v2", result="v2"),
+        op("a", 1, "get", "k", inv=60, ret=70, result="v1"),
+    ]
+    assert not check_history(ops).ok
+
+
+def test_budget_exhaustion_reports_undecided():
+    # Many concurrent open puts explode the search; a tiny budget must
+    # surface as undecided, never as a silent pass/fail.
+    ops = [op("c%d" % i, 0, "put", "k", inv=0, value=f"v{i}") for i in range(12)]
+    ops.append(op("r", 0, "get", "k", inv=1, ret=2, result="nope"))
+    result = check_history(ops, budget=5)
+    assert not result.decided
+    assert "budget" in result.reason
+
+
+def test_check_key_history_counts_configs():
+    ops = [
+        op("a", 0, "put", "k", inv=0, ret=10, value="v1", result="v1"),
+        op("a", 1, "get", "k", inv=20, ret=30, result="v1"),
+    ]
+    ok, decided, explored = check_key_history(ops)
+    assert ok and decided and explored >= 1
+
+
+def test_unknown_op_kind_raises():
+    with pytest.raises(ValueError):
+        check_history([op("a", 0, "increment", "k", inv=0, ret=1)])

@@ -76,3 +76,109 @@ def test_completed_request_records_command_and_retries():
     assert done.command.key == "key"
     assert done.retries >= 0
     assert done.completed_ms > done.submitted_ms
+
+
+# --------------------------------------------------------------------- #
+# retry/redirect under partition, and the at-most-once fuzz-client mode
+# --------------------------------------------------------------------- #
+
+
+def test_redirect_records_single_completed_history_op():
+    from repro.fuzz.history import OpHistory
+
+    c = make_raft_cluster(5)
+    history = OpHistory()
+    client = c.add_client("cl", history=history)
+    leader = c.run_until_leader()
+    follower = next(n for n in c.names if n != leader)
+    client._contact = follower  # force the redirect path
+    client.submit(kv_put("x", 1))
+    c.run_for(3_000.0)
+    assert len(client.completed) == 1
+    ops = history.ops()
+    assert len(ops) == 1 and ops[0].completed
+    assert ops[0].op == "put" and ops[0].key == "x" and ops[0].result == 1
+    assert client._contact == leader
+
+
+def test_retry_rides_out_leader_partition():
+    from repro.fuzz.history import OpHistory
+
+    c = make_raft_cluster(5, seed=3)
+    history = OpHistory()
+    client = c.add_client("cl", retry_timeout_ms=300.0, history=history)
+    leader = c.run_until_leader()
+    client._contact = leader
+    # Island the leader: the client (implicit partition group) stays with
+    # the majority, but its believed contact is now unreachable.
+    c.network.set_partitions([{leader}])
+    client.submit(kv_put("x", 1))
+    c.run_for(8_000.0)
+    assert len(client.completed) == 1
+    done = client.completed[0]
+    assert done.retries >= 1  # at least one timeout-driven rotation
+    assert client._contact != leader
+    assert history.ops()[0].completed
+
+
+def test_at_most_once_client_abandons_instead_of_resending():
+    from repro.fuzz.history import OpHistory
+
+    c = make_raft_cluster(3)
+    history = OpHistory()
+    client = c.add_client(
+        "cl", retry_timeout_ms=300.0, history=history, resubmit_on_timeout=False
+    )
+    c.run_until_leader()
+    # Cut the client off from the whole cluster: the listed group holds
+    # every node, the client lands alone in the implicit group.
+    c.network.set_partitions([set(c.names)])
+    client.submit(kv_put("x", 1))
+    c.run_for(5_000.0)
+    assert client.completed == [] and client.failed == []
+    assert client.inflight_count == 1  # open, never retransmitted
+    assert len(c.trace.of_kind("client_abandon")) == 1
+    ops = history.ops()
+    assert len(ops) == 1 and not ops[0].completed
+
+
+def test_abandoned_op_completed_by_late_response():
+    from repro.fuzz.history import OpHistory
+
+    c = make_raft_cluster(3, rtt_ms=20.0)
+    history = OpHistory()
+    # Client->server RTT far above the abandon timeout: every answer is
+    # "late", arriving only after the client has given the op up.
+    client = c.add_client(
+        "cl",
+        rtt_ms=800.0,
+        retry_timeout_ms=300.0,
+        history=history,
+        resubmit_on_timeout=False,
+    )
+    leader = c.run_until_leader()
+    client._contact = leader
+    client.submit(kv_put("x", 1))
+    c.run_for(5_000.0)
+    assert len(c.trace.of_kind("client_abandon")) == 1
+    assert len(client.completed) == 1  # the late answer still lands
+    ops = history.ops()
+    assert ops[0].completed and ops[0].return_ms > ops[0].invoke_ms + 300.0
+
+
+def test_at_most_once_still_follows_redirects():
+    from repro.fuzz.history import OpHistory
+
+    c = make_raft_cluster(5)
+    history = OpHistory()
+    client = c.add_client("cl", history=history, resubmit_on_timeout=False)
+    leader = c.run_until_leader()
+    c.run_for(500.0)  # let followers observe the leader (hints need it)
+    follower = next(n for n in c.names if n != leader)
+    client._contact = follower
+    client.submit(kv_put("x", 1))
+    c.run_for(3_000.0)
+    # A redirect proves the first copy was never appended, so resending
+    # is safe even in at-most-once mode.
+    assert len(client.completed) == 1
+    assert history.ops()[0].completed

@@ -110,3 +110,98 @@ def test_entries_committed_between_samples_are_protected():
         index=entry.index, term=entry.term + 7, command=entry.command
     )
     assert any(f"at index {mid}" in v for v in checker.verify())
+
+
+def _flip_into_leader(node, term):
+    """Simulate a silent role bug: leader role adopted with no trace record."""
+    from repro.raft.types import Role
+
+    node.role = Role.LEADER
+    node.current_term = term
+
+
+def test_sampled_only_checker_misses_sub_interval_double_leader():
+    """The satellite fix's negative half: a same-term double-leader window
+    that opens and closes between two 250 ms samples, with no
+    ``become_leader`` record (the bug is silent), leaves the sampled-only
+    checker blind."""
+    from repro.raft.types import Role
+
+    c = make_raft_cluster(5, seed=7)
+    checker = SafetyChecker(c, interval_ms=250.0)
+    checker.install()  # sampling only
+    leader_name = c.run_until_leader()
+    # Park the clock just past a sampler tick so the window fits before
+    # the next one.
+    next_tick = (c.loop.now // 250.0 + 1.0) * 250.0
+    c.run_until(next_tick + 10.0)
+    leader = c.node(leader_name)
+    rogue = next(n for n in c.nodes.values() if n.name != leader_name)
+    _flip_into_leader(rogue, leader.current_term)
+    # The window closes before any message or sampler tick can observe it
+    # (a real silent-flip bug would be just as invisible to both).
+    rogue.role = Role.FOLLOWER
+    c.run_for(2_000.0)
+    assert checker.verify() == []  # blind spot, by construction
+
+
+def test_event_hooked_checker_catches_sub_interval_double_leader():
+    """The fix: with ``event_hooks=True`` any traced term/role/fault event
+    inside the window triggers an instantaneous leader-overlap check."""
+    from repro.cluster.faults import pause_for
+    from repro.raft.types import Role
+
+    c = make_raft_cluster(5, seed=7)
+    checker = SafetyChecker(c, interval_ms=250.0)
+    checker.install(event_hooks=True)
+    leader_name = c.run_until_leader()
+    next_tick = (c.loop.now // 250.0 + 1.0) * 250.0
+    c.run_until(next_tick + 10.0)
+    leader = c.node(leader_name)
+    rogue = next(n for n in c.nodes.values() if n.name != leader_name)
+    _flip_into_leader(rogue, leader.current_term)
+    # Any traced cluster event inside the window rings the bell — here a
+    # brief unrelated pause on a third node.
+    third = next(
+        n for n in c.nodes.values() if n.name not in (leader_name, rogue.name)
+    )
+    pause_for(c.loop, third, 20.0)
+    rogue.role = Role.FOLLOWER
+    c.run_for(2_000.0)
+    assert any("live leaders" in v for v in checker.violations)
+    assert any("live leaders" in v for v in checker.verify())
+
+
+def test_event_hooks_are_quiet_on_healthy_runs():
+    c = make_raft_cluster(5, seed=13)
+    checker = SafetyChecker(c, interval_ms=250.0)
+    checker.install(event_hooks=True)
+    c.run_until_leader()
+    victim = c.node("n3")
+    victim.crash()
+    c.run_for(800.0)
+    victim.recover()
+    c.run_for(3_000.0)
+    assert checker.verify() == []
+
+
+def test_overlap_violation_reported_once_per_window():
+    from repro.cluster.faults import pause_for
+    from repro.raft.types import Role
+
+    c = make_raft_cluster(5, seed=7)
+    checker = SafetyChecker(c, interval_ms=250.0)
+    checker.install(event_hooks=True)
+    leader_name = c.run_until_leader()
+    c.run_for(100.0)
+    leader = c.node(leader_name)
+    rogue = next(n for n in c.nodes.values() if n.name != leader_name)
+    _flip_into_leader(rogue, leader.current_term)
+    others = [
+        n for n in c.nodes.values() if n.name not in (leader_name, rogue.name)
+    ]
+    pause_for(c.loop, others[0], 20.0)  # first hooked event in the window
+    pause_for(c.loop, others[1], 20.0)  # second one: same overlap, no re-report
+    rogue.role = Role.FOLLOWER
+    overlaps = [v for v in checker.violations if "live leaders" in v]
+    assert len(overlaps) == 1

@@ -68,3 +68,33 @@ def test_clear():
     t.clear()
     assert len(t) == 0
     assert t.of_kind("a") == []
+
+
+def test_subscribe_sees_every_new_record():
+    t = TraceLog()
+    seen = []
+    t.subscribe(lambda rec: seen.append((rec.kind, rec.node)))
+    t.record(1.0, "n1", "a")
+    t.record(2.0, "n2", "b", extra=1)
+    assert seen == [("a", "n1"), ("b", "n2")]
+
+
+def test_listener_fires_after_record_is_queryable():
+    t = TraceLog()
+    counts = []
+    t.subscribe(lambda rec: counts.append(len(t.of_kind(rec.kind))))
+    t.record(1.0, "n1", "a")
+    t.record(2.0, "n1", "a")
+    assert counts == [1, 2]  # the record is already indexed when heard
+
+
+def test_unsubscribe_stops_delivery():
+    t = TraceLog()
+    seen = []
+    listener = lambda rec: seen.append(rec.kind)  # noqa: E731
+    t.subscribe(listener)
+    t.record(1.0, "n1", "a")
+    t.unsubscribe(listener)
+    t.unsubscribe(listener)  # double removal is a no-op
+    t.record(2.0, "n1", "b")
+    assert seen == ["a"]
