@@ -21,12 +21,17 @@ import argparse
 import datetime
 import json
 import pathlib
+import shutil
 import subprocess
 import sys
 
 DEFAULT_THRESHOLD = 0.20
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 SNAPSHOT_PREFIX = "BENCH_"
+#: Committed copy of the most recent full-suite snapshot: the repo-level
+#: perf trajectory (one point per PR; CI refreshes it and uploads it as an
+#: artifact so regressions are visible across history, not just run-to-run).
+LATEST_PATH = BENCH_DIR.parent / "BENCH_latest.json"
 
 
 def load_means(path: pathlib.Path) -> dict[str, float]:
@@ -110,6 +115,20 @@ def main(argv: list[str] | None = None) -> int:
         help="report regressions but exit 0 anyway",
     )
     parser.add_argument(
+        "--latest-path",
+        type=pathlib.Path,
+        default=LATEST_PATH,
+        help=(
+            "where to mirror the snapshot when the full suite ran "
+            f"(default {LATEST_PATH}); --no-latest disables"
+        ),
+    )
+    parser.add_argument(
+        "--no-latest",
+        action="store_true",
+        help="do not refresh the BENCH_latest.json mirror",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help=(
@@ -174,6 +193,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"benchmark run failed (exit {proc.returncode})", file=sys.stderr)
         return proc.returncode
     print(f"\nsnapshot written: {snapshot}")
+    if not args.no_latest:
+        # Only a full-suite run may refresh the trajectory point: any
+        # pytest passthrough (-k, -m, a file path, --deselect, ...) can
+        # subset the suite and would silently drop benchmarks from the
+        # committed file, so extra args disable the mirror wholesale.
+        if args.pytest_args:
+            print("(pytest args given: BENCH_latest.json left untouched)")
+        else:
+            shutil.copyfile(snapshot, args.latest_path)
+            print(f"latest mirror refreshed: {args.latest_path}")
 
     baseline = args.baseline or previous_snapshot(args.results_dir, snapshot)
     if baseline is None:

@@ -66,38 +66,62 @@ class WindowedMeanStd:
         "_sumsq",
         "_offset",
         "_pushes",
+        "_resync_every",
     )
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity!r}")
         self._capacity = int(capacity)
-        self._buf = np.empty(self._capacity, dtype=np.float64)
+        # A plain Python list, not an ndarray: scalar loads/stores on an
+        # ndarray return np.float64 objects whose arithmetic then infects
+        # the running moments (3-5× slower per op, bit-identical values).
+        # Every individual operation is IEEE-754 binary64 either way, so
+        # the statistics are unchanged to the last bit.
+        self._buf: list[float] = [0.0] * self._capacity
         self._start = 0  # index of oldest sample
         self._count = 0
         self._sum = 0.0  # Σ (x - offset)
         self._sumsq = 0.0  # Σ (x - offset)²
         self._offset = 0.0
         self._pushes = 0
+        # Exact-recompute cadence (see push); 1 = every push for small
+        # windows, where one pass is cheaper than a numpy call.
+        self._resync_every = (
+            1 if self._capacity <= 64 else min(_RESYNC_INTERVAL, self._capacity)
+        )
 
     # -- mutation --------------------------------------------------------- #
 
     def push(self, value: float) -> None:
-        """Insert a sample, evicting the oldest if the window is full."""
+        """Insert a sample, evicting the oldest if the window is full.
+
+        This is the per-heartbeat hot path of every Dynatune follower:
+        index arithmetic uses compare-and-wrap rather than ``%`` and the
+        resync cadence is precomputed.
+        """
         v = float(value)
         if not math.isfinite(v):
             raise ValueError(f"sample must be finite, got {value!r}")
-        if self._count == 0:
-            self._offset = v
-        if self._count == self._capacity:
-            old = self._buf[self._start] - self._offset
+        count = self._count
+        start = self._start
+        capacity = self._capacity
+        buf = self._buf
+        if count == capacity:
+            old = buf[start] - self._offset
             self._sum -= old
             self._sumsq -= old * old
-            self._buf[self._start] = v
-            self._start = (self._start + 1) % self._capacity
+            buf[start] = v
+            start += 1
+            self._start = 0 if start == capacity else start
         else:
-            self._buf[(self._start + self._count) % self._capacity] = v
-            self._count += 1
+            if count == 0:
+                self._offset = v
+            idx = start + count
+            if idx >= capacity:
+                idx -= capacity
+            buf[idx] = v
+            self._count = count + 1
         d = v - self._offset
         self._sum += d
         self._sumsq += d * d
@@ -107,10 +131,9 @@ class WindowedMeanStd:
         # Small windows recompute every push (O(64) — cheaper than one
         # numpy call); large ones amortise to O(1) per push by recomputing
         # once per window turnover.
-        self._pushes += 1
-        if self._capacity <= 64 or self._pushes % min(
-            _RESYNC_INTERVAL, self._capacity
-        ) == 0:
+        pushes = self._pushes + 1
+        self._pushes = pushes
+        if pushes % self._resync_every == 0:
             self._resync()
 
     def reset(self) -> None:
@@ -153,14 +176,30 @@ class WindowedMeanStd:
         return math.sqrt(var) if var > 0.0 else 0.0
 
     def mean_std(self) -> tuple[float, float]:
-        return self.mean(), self.std()
+        """Both statistics in one call (flattened: this runs per retune)."""
+        count = self._count
+        if count == 0:
+            return 0.0, 0.0
+        mean_d = self._sum / count
+        var = self._sumsq / count - mean_d * mean_d
+        return (
+            self._offset + mean_d,
+            math.sqrt(var) if var > 0.0 else 0.0,
+        )
 
     def values(self) -> np.ndarray:
         """The window contents, oldest first (a copy)."""
-        if self._count == 0:
+        count = self._count
+        if count == 0:
             return np.empty(0, dtype=np.float64)
-        idx = (self._start + np.arange(self._count)) % self._capacity
-        return self._buf[idx].copy()
+        start = self._start
+        end = start + count
+        capacity = self._capacity
+        if end <= capacity:
+            window = self._buf[start:end]
+        else:
+            window = self._buf[start:] + self._buf[: end - capacity]
+        return np.asarray(window, dtype=np.float64)
 
     def _resync(self) -> None:
         vals = self.values()

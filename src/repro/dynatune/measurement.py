@@ -18,11 +18,21 @@ partially synchronous networks.
 ``minListSize`` gates tuning (Step 0 → Step 1 transition, §III-E):
 :attr:`PathMeasurement.ready` only becomes true once enough RTT samples
 exist.  ``maxListSize`` bounds both lists; the oldest datum is evicted.
+
+Implementation note: the ID list is the per-heartbeat hot path of every
+follower.  The overwhelmingly common arrival is *monotone* — each new ID
+is larger than everything in the window — so the list is kept as a ring
+(a plain list plus a head offset) where the monotone case is one compare
+plus an append, and a full window evicts its oldest element by bumping
+the head offset (O(1) amortized; the dead prefix is compacted away once
+it exceeds the window size).  ``insort``-style positional insertion — the
+seed behaviour — survives on the rare out-of-order path, preserving the
+paper's §III-C2 semantics bit for bit.
 """
 
 from __future__ import annotations
 
-import bisect
+from bisect import bisect_left
 
 from repro.dynatune.estimators import WindowedMeanStd
 
@@ -39,7 +49,15 @@ class PathMeasurement:
             default 1000).
     """
 
-    __slots__ = ("min_list_size", "max_list_size", "_rtts", "_ids", "duplicates_ignored")
+    __slots__ = (
+        "min_list_size",
+        "max_list_size",
+        "_rtts",
+        "_ids",
+        "_head",
+        "duplicates_ignored",
+        "ready",
+    )
 
     def __init__(self, min_list_size: int = 10, max_list_size: int = 1000) -> None:
         if min_list_size < 1:
@@ -52,9 +70,15 @@ class PathMeasurement:
         self.min_list_size = int(min_list_size)
         self.max_list_size = int(max_list_size)
         self._rtts = WindowedMeanStd(self.max_list_size)
+        #: Sorted unique IDs; the live window is ``_ids[_head:]``.
         self._ids: list[int] = []
+        self._head = 0
         #: Count of duplicate heartbeat receptions ignored (diagnostics).
         self.duplicates_ignored = 0
+        #: Whether Step 1 (tuning) may run — enough RTT samples collected.
+        #: A plain attribute (not a property) because the policy reads it
+        #: on every heartbeat; maintained by record_rtt/reset.
+        self.ready = False
 
     # -- recording --------------------------------------------------------- #
 
@@ -62,7 +86,10 @@ class PathMeasurement:
         """Store one RTT sample (echoed by the leader, Fig. 3a)."""
         if rtt_ms < 0.0:
             raise ValueError(f"RTT cannot be negative, got {rtt_ms!r}")
-        self._rtts.push(rtt_ms)
+        rtts = self._rtts
+        rtts.push(rtt_ms)
+        if not self.ready and len(rtts) >= self.min_list_size:
+            self.ready = True
 
     def record_id(self, seq: int) -> bool:
         """Store one heartbeat ID (Fig. 3b).
@@ -71,27 +98,43 @@ class PathMeasurement:
             ``False`` if the ID was a duplicate and was ignored.
         """
         ids = self._ids
-        pos = bisect.bisect_left(ids, seq)
-        if pos < len(ids) and ids[pos] == seq:
-            self.duplicates_ignored += 1
-            return False
-        ids.insert(pos, seq)
-        if len(ids) > self.max_list_size:
-            # Evict the oldest (smallest) ID so the loss window slides.
-            ids.pop(0)
+        if ids:
+            if seq > ids[-1]:
+                # Monotone fast path: in-order arrival (the steady state).
+                ids.append(seq)
+                head = self._head
+                if len(ids) - head > self.max_list_size:
+                    head += 1  # evict the oldest (smallest) ID
+                    if head > self.max_list_size:
+                        # Compact the dead prefix once it outgrows the
+                        # window: each element is copied at most once per
+                        # eviction run, so the amortized cost stays O(1)
+                        # per sample.
+                        del ids[:head]
+                        head = 0
+                    self._head = head
+                return True
+            # Out-of-order or duplicate (reordering / UDP duplication).
+            head = self._head
+            pos = bisect_left(ids, seq, head)
+            if pos < len(ids) and ids[pos] == seq:
+                self.duplicates_ignored += 1
+                return False
+            ids.insert(pos, seq)
+            if len(ids) - head > self.max_list_size:
+                self._head = head + 1
+            return True
+        ids.append(seq)
         return True
 
     def reset(self) -> None:
         """Discard everything (fallback on election timeout, §III-B)."""
         self._rtts.reset()
         self._ids.clear()
+        self._head = 0
+        self.ready = False
 
     # -- derived measurements ----------------------------------------------- #
-
-    @property
-    def ready(self) -> bool:
-        """Whether Step 1 (tuning) may run: enough RTT samples collected."""
-        return len(self._rtts) >= self.min_list_size
 
     @property
     def rtt_count(self) -> int:
@@ -99,11 +142,11 @@ class PathMeasurement:
 
     @property
     def id_count(self) -> int:
-        return len(self._ids)
+        return len(self._ids) - self._head
 
-    def rtt_mean_std(self) -> tuple[float, float]:
-        """``(μ_RTT, σ_RTT)`` over the current window."""
-        return self._rtts.mean_std()
+    def ids(self) -> list[int]:
+        """The live ID window, ascending (a copy; mostly for tests)."""
+        return self._ids[self._head :]
 
     def loss_rate(self) -> float:
         """``p = 1 − received/expected`` over the current ID window.
@@ -112,13 +155,19 @@ class PathMeasurement:
         no span, and "no evidence of loss" must not inflate ``K``.
         """
         ids = self._ids
-        if len(ids) < 2:
+        head = self._head
+        count = len(ids) - head
+        if count < 2:
             return 0.0
-        expected = ids[-1] - ids[0] + 1
+        expected = ids[-1] - ids[head] + 1
         if expected <= 0:  # defensive; cannot happen with sorted unique ids
             return 0.0
-        p = 1.0 - len(ids) / expected
+        p = 1.0 - count / expected
         return p if p > 0.0 else 0.0
+
+    def rtt_mean_std(self) -> tuple[float, float]:
+        """``(μ_RTT, σ_RTT)`` over the current window."""
+        return self._rtts.mean_std()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -20,14 +20,16 @@ from gaps in the sequence it has received.
 
 from __future__ import annotations
 
-import dataclasses
-
 __all__ = ["HeartbeatMeta", "HeartbeatResponseMeta"]
 
 
-@dataclasses.dataclass(slots=True, frozen=True)
 class HeartbeatMeta:
     """Leader → follower metadata, one per heartbeat.
+
+    One instance is constructed per heartbeat per path (the sequence
+    number makes each unique), so this is a hand-written slotted class
+    rather than a frozen dataclass — same layout, a fraction of the
+    construction cost.  Instances are immutable by convention.
 
     Attributes:
         seq: per leader-follower-path sequential heartbeat ID (§III-C2).
@@ -42,15 +44,32 @@ class HeartbeatMeta:
             stale value.
     """
 
-    seq: int
-    send_ts: float
-    rtt_sample_ms: float | None = None
-    rtt_sample_seq: int = 0
+    __slots__ = ("seq", "send_ts", "rtt_sample_ms", "rtt_sample_seq")
+
+    def __init__(
+        self,
+        seq: int,
+        send_ts: float,
+        rtt_sample_ms: float | None = None,
+        rtt_sample_seq: int = 0,
+    ) -> None:
+        self.seq = seq
+        self.send_ts = send_ts
+        self.rtt_sample_ms = rtt_sample_ms
+        self.rtt_sample_seq = rtt_sample_seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HeartbeatMeta(seq={self.seq}, send_ts={self.send_ts}, "
+            f"rtt_sample_ms={self.rtt_sample_ms}, "
+            f"rtt_sample_seq={self.rtt_sample_seq})"
+        )
 
 
-@dataclasses.dataclass(slots=True, frozen=True)
 class HeartbeatResponseMeta:
     """Follower → leader metadata, one per heartbeat response.
+
+    Hot-path class like :class:`HeartbeatMeta`; immutable by convention.
 
     Attributes:
         echo_seq: the ``seq`` of the heartbeat being answered.
@@ -61,6 +80,20 @@ class HeartbeatResponseMeta:
             Step 0 (fewer than ``minListSize`` samples).
     """
 
-    echo_seq: int
-    echo_ts: float
-    tuned_h_ms: float | None = None
+    __slots__ = ("echo_seq", "echo_ts", "tuned_h_ms")
+
+    def __init__(
+        self,
+        echo_seq: int,
+        echo_ts: float,
+        tuned_h_ms: float | None = None,
+    ) -> None:
+        self.echo_seq = echo_seq
+        self.echo_ts = echo_ts
+        self.tuned_h_ms = tuned_h_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HeartbeatResponseMeta(echo_seq={self.echo_seq}, "
+            f"echo_ts={self.echo_ts}, tuned_h_ms={self.tuned_h_ms})"
+        )

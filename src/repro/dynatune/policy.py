@@ -28,6 +28,7 @@ follower piggybacks back (§III-B step 3).
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Protocol
 
 from repro.dynatune.config import DynatuneConfig
@@ -36,7 +37,6 @@ from repro.dynatune.metadata import HeartbeatMeta, HeartbeatResponseMeta
 from repro.dynatune.tuner import (
     HeartbeatTuning,
     required_heartbeats,
-    tune_election_timeout,
     tune_heartbeat,
 )
 
@@ -222,8 +222,20 @@ class DynatunePolicy:
         self.gap_resets = 0
         #: Retunes where the h floor bound (effective K < requested K).
         self.floor_clamps = 0
-        #: Metadata of the most recent retune (clamp provenance, §III-D2).
-        self.last_tuning: HeartbeatTuning | None = None
+        #: ``(h, requested_k, effective_k, clamped)`` of the latest retune,
+        #: surfaced as a :class:`HeartbeatTuning` via :attr:`last_tuning`.
+        self._last_tuning: tuple[float, int, int, bool] | None = None
+        # Per-heartbeat hot-path caches: config fields are immutable, and
+        # required_heartbeats(p) is pure, so memoizing the last (p -> K)
+        # pair turns the common loss-stable regime into one comparison.
+        self._gap_guard: bool = cfg.reset_on_sample_gap
+        self._default_et: float = cfg.default_election_timeout_ms
+        self._last_p: float = -1.0
+        self._last_k: int = 1
+        # The RTT estimator lives for the policy's lifetime (reset() keeps
+        # the object); retune reads it directly, skipping one wrapper call
+        # per heartbeat.
+        self._est = self._meas._rtts
 
     # -- introspection (used by experiments/tests) ------------------------- #
 
@@ -240,6 +252,20 @@ class DynatunePolicy:
     @property
     def measurement(self) -> PathMeasurement:
         return self._meas
+
+    @property
+    def last_tuning(self) -> HeartbeatTuning | None:
+        """Metadata of the most recent retune (clamp provenance, §III-D2).
+
+        Materialized lazily: the hot path stores a plain tuple and this
+        diagnostic view builds the dataclass only when somebody looks.
+        """
+        t = self._last_tuning
+        if t is None:
+            return None
+        return HeartbeatTuning(
+            h_ms=t[0], requested_k=t[1], effective_k=t[2], floor_clamped=t[3]
+        )
 
     def applied_h_ms(self, follower: str) -> float | None:
         """The ``h`` the leader half is currently applying to ``follower``."""
@@ -262,56 +288,120 @@ class DynatunePolicy:
             self.on_leader_change(leader, now_ms)
         if meta is None:
             return None
-        if (
-            self.config.reset_on_sample_gap
-            and self._last_hb_ms is not None
-            and now_ms - self._last_hb_ms > 2.0 * self.election_timeout_ms(leader)
-        ):
-            # The gap outlasted every possible randomizedTimeout draw
-            # ([Et, 2Et)), yet no fallback ran — the follower was paused or
-            # partitioned with frozen timers.  The window predates the
-            # outage: its RTTs describe the old path and the ID span counts
-            # the whole outage as loss, which would explode K (and collapse
-            # h) for up to maxListSize heartbeats after the heal.  Restart
-            # measurement instead, exactly like the §III-B fallback.
-            self._reset_follower_state()
-            self.gap_resets += 1
+        last_hb = self._last_hb_ms
+        if last_hb is not None and self._gap_guard:
+            et = self._tuned_et
+            if et is None:
+                et = self._default_et
+            if now_ms - last_hb > 2.0 * et:
+                # The gap outlasted every possible randomizedTimeout draw
+                # ([Et, 2Et)), yet no fallback ran — the follower was paused
+                # or partitioned with frozen timers.  The window predates the
+                # outage: its RTTs describe the old path and the ID span
+                # counts the whole outage as loss, which would explode K (and
+                # collapse h) for up to maxListSize heartbeats after the
+                # heal.  Restart measurement instead, exactly like the §III-B
+                # fallback.
+                self._reset_follower_state()
+                self.gap_resets += 1
         self._last_hb_ms = now_ms
-        self._meas.record_id(meta.seq)
-        if meta.rtt_sample_ms is not None and meta.rtt_sample_seq > self._last_rtt_seq:
+        meas = self._meas
+        seq = meta.seq
+        ids = meas._ids
+        if ids and seq > ids[-1]:
+            # Inline of PathMeasurement.record_id's monotone fast path
+            # (keep in sync): in-order arrival is every heartbeat of the
+            # steady state.
+            ids.append(seq)
+            head = meas._head
+            if len(ids) - head > meas.max_list_size:
+                meas._head = head + 1
+                if head + 1 > meas.max_list_size:
+                    del ids[: head + 1]
+                    meas._head = 0
+        else:
+            meas.record_id(seq)
+        rtt = meta.rtt_sample_ms
+        if rtt is not None and meta.rtt_sample_seq > self._last_rtt_seq:
             self._last_rtt_seq = meta.rtt_sample_seq
-            self._meas.record_rtt(meta.rtt_sample_ms)
-        if self._meas.ready:
+            # Inline of PathMeasurement.record_rtt (keep in sync): one
+            # sample lands per heartbeat once the leader has RTTs.
+            if rtt < 0.0:
+                raise ValueError(f"RTT cannot be negative, got {rtt!r}")
+            est = self._est
+            est.push(rtt)
+            if not meas.ready and len(est) >= meas.min_list_size:
+                meas.ready = True
+        if meas.ready:
             self._retune()
-        return HeartbeatResponseMeta(
-            echo_seq=meta.seq,
-            echo_ts=meta.send_ts,
-            tuned_h_ms=self._tuned_h,
-        )
+        return HeartbeatResponseMeta(meta.seq, meta.send_ts, self._tuned_h)
 
     def _retune(self) -> None:
-        """Steps 1–2 of §III-B: derive Et from RTT stats, then h from loss."""
+        """Steps 1–2 of §III-B: derive Et from RTT stats, then h from loss.
+
+        This runs once per received heartbeat on every follower, so the
+        tuning formulas are applied inline (identical math and clamps to
+        :func:`tune_election_timeout` / :func:`tune_heartbeat`, which stay
+        the reference implementations) and the pure ``p → K`` mapping is
+        memoized on the last loss rate — in a loss-stable regime the log
+        evaluation happens once, not per beat.
+        """
         cfg = self.config
-        mu, sigma = self._meas.rtt_mean_std()
-        et = tune_election_timeout(
-            mu,
-            sigma,
-            safety_factor=cfg.safety_factor,
-            floor_ms=cfg.et_floor_ms,
-            ceiling_ms=cfg.et_ceiling_ms,
-        )
-        p = self._meas.loss_rate()
-        k = (
-            cfg.fixed_k
-            if cfg.fixed_k is not None
-            else required_heartbeats(p, cfg.arrival_probability, k_max=cfg.k_max)
-        )
-        tuning = tune_heartbeat(et, k, floor_ms=cfg.h_floor_ms)
-        self._tuned_et = et
-        self._tuned_h = tuning.h_ms
-        self.last_tuning = tuning
-        if tuning.floor_clamped:
+        # Inline of WindowedMeanStd.mean_std (the reference implementation;
+        # keep the two in sync) — this runs per heartbeat and the call +
+        # tuple would be ~15% of the whole retune.
+        est = self._est
+        count = est._count
+        if count == 0:
+            mu = sigma = 0.0
+        else:
+            mean_d = est._sum / count
+            var = est._sumsq / count - mean_d * mean_d
+            mu = est._offset + mean_d
+            sigma = math.sqrt(var) if var > 0.0 else 0.0
+        if mu < 0.0 or sigma < 0.0:
+            raise ValueError(
+                f"mean/std RTT must be >= 0, got mu={mu!r} sigma={sigma!r}"
+            )
+        et = mu + cfg.safety_factor * sigma
+        if et < cfg.et_floor_ms:
+            et = cfg.et_floor_ms
+        ceiling = cfg.et_ceiling_ms
+        if ceiling is not None and et > ceiling:
+            et = ceiling
+        # Inline of PathMeasurement.loss_rate (keep in sync).
+        meas = self._meas
+        ids = meas._ids
+        head = meas._head
+        count = len(ids) - head
+        if count < 2:
+            p = 0.0
+        else:
+            expected = ids[-1] - ids[head] + 1
+            if expected <= 0:
+                p = 0.0
+            else:
+                p = 1.0 - count / expected
+                if p < 0.0:
+                    p = 0.0
+        k = cfg.fixed_k
+        if k is None:
+            if p == self._last_p:
+                k = self._last_k
+            else:
+                k = required_heartbeats(p, cfg.arrival_probability, k_max=cfg.k_max)
+                self._last_p = p
+                self._last_k = k
+        h = et / k
+        if h >= cfg.h_floor_ms:
+            self._last_tuning = (h, k, k, False)
+        else:
+            tuning = tune_heartbeat(et, k, floor_ms=cfg.h_floor_ms)
+            h = tuning.h_ms
+            self._last_tuning = (h, k, tuning.effective_k, True)
             self.floor_clamps += 1
+        self._tuned_et = et
+        self._tuned_h = h
         self.retunes += 1
 
     def _reset_follower_state(self) -> None:
@@ -351,13 +441,9 @@ class DynatunePolicy:
         st = self._paths.get(follower)
         if st is None:
             st = self._paths[follower] = _FollowerPathState()
-        st.next_seq += 1
-        return HeartbeatMeta(
-            seq=st.next_seq,
-            send_ts=now_ms,
-            rtt_sample_ms=st.last_rtt_ms,
-            rtt_sample_seq=st.rtt_seq,
-        )
+        seq = st.next_seq + 1
+        st.next_seq = seq
+        return HeartbeatMeta(seq, now_ms, st.last_rtt_ms, st.rtt_seq)
 
     def on_heartbeat_response(
         self, follower: str, meta: HeartbeatResponseMeta | None, now_ms: float

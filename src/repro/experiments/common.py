@@ -69,6 +69,10 @@ class Scale:
     fig7_sizes: tuple[int, ...]
     #: Leader kills for the ablation benches.
     ablation_failures: int
+    #: Cluster sizes for the large-cluster scaling sweep (fig_scale).
+    scale_sizes: tuple[int, ...] = (5, 25, 51)
+    #: Leader kills per (system, size) cell in the scaling sweep.
+    scale_failures: int = 3
 
 
 QUICK = Scale(
@@ -79,6 +83,8 @@ QUICK = Scale(
     fig7_dwell_ms=20_000.0,
     fig7_sizes=(5, 17),
     ablation_failures=25,
+    scale_sizes=(5, 25, 51),
+    scale_failures=3,
 )
 
 PAPER = Scale(
@@ -89,6 +95,8 @@ PAPER = Scale(
     fig7_dwell_ms=180_000.0,
     fig7_sizes=(5, 17, 65),
     ablation_failures=200,
+    scale_sizes=(5, 25, 51, 101),
+    scale_failures=10,
 )
 
 

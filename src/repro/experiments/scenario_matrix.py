@@ -70,6 +70,28 @@ class ScenarioMatrixConfig:
     def quick(cls) -> "ScenarioMatrixConfig":
         return cls()
 
+    @classmethod
+    def large_cluster_smoke(cls, n_nodes: int = 25) -> "ScenarioMatrixConfig":
+        """Bounded large-cluster subset for CI: a partition-heavy slice of
+        the library at ``n_nodes`` with the event-hooked SafetyChecker on.
+
+        The subset keeps the scenarios whose dynamics actually change with
+        cluster size (splits and leader churn) and drops the per-pair
+        impairment ones whose step count is O(N) and whose behaviour is
+        size-independent — the goal is a wall-clock-budgeted scaling
+        canary, not full coverage (the 5-node matrix remains the coverage
+        gate).
+        """
+        return cls(
+            n_nodes=n_nodes,
+            scenarios=(
+                "symmetric_split",
+                "minority_partition",
+                "majority_partition",
+                "leader_churn_loop",
+            ),
+        )
+
 
 @dataclasses.dataclass(slots=True, frozen=True)
 class ScenarioCellResult:
@@ -204,13 +226,42 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="restrict to these scenarios (repeatable; default: whole library)",
     )
-    args = parser.parse_args(argv)
-    cfg = ScenarioMatrixConfig(
-        seed=args.seed,
-        scenarios=tuple(args.scenario) if args.scenario else scenario_names(),
+    parser.add_argument(
+        "--n-nodes",
+        type=int,
+        default=5,
+        help="cluster size for every cell (default 5; scenarios scale with it)",
     )
+    parser.add_argument(
+        "--large-cluster-smoke",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "run the bounded large-cluster subset at N nodes (see "
+            "ScenarioMatrixConfig.large_cluster_smoke); overrides "
+            "--scenario/--n-nodes"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.large_cluster_smoke is not None:
+        cfg = dataclasses.replace(
+            ScenarioMatrixConfig.large_cluster_smoke(args.large_cluster_smoke),
+            seed=args.seed,
+        )
+    else:
+        cfg = ScenarioMatrixConfig(
+            seed=args.seed,
+            n_nodes=args.n_nodes,
+            scenarios=tuple(args.scenario) if args.scenario else scenario_names(),
+        )
     result = run(cfg)
-    print(render_markdown(render_rows(result), f"scenario matrix, seed {cfg.seed}"))
+    print(
+        render_markdown(
+            render_rows(result),
+            f"scenario matrix, seed {cfg.seed}, n={cfg.n_nodes}",
+        )
+    )
     violations = [
         (key, v) for key, cell in sorted(result.cells.items()) for v in cell.safety_violations
     ]

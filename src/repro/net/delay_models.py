@@ -108,7 +108,14 @@ class NormalJitterDelay(_BaseDelay):
         self.sigma_ms = float(sigma_ms)
 
     def sample(self, rng: np.random.Generator) -> float:
-        d = self.base_ms + rng.normal(0.0, self.sigma_ms) if self.sigma_ms else self.base_ms
+        # sigma * standard_normal() is bit-identical to normal(0, sigma)
+        # (that is exactly how Generator.normal derives the value) but
+        # skips the loc/scale dispatch overhead — this draw happens once
+        # per simulated message.
+        if self.sigma_ms:
+            d = self.base_ms + self.sigma_ms * rng.standard_normal()
+        else:
+            d = self.base_ms
         return max(d, MIN_DELAY_MS)
 
     def __repr__(self) -> str:

@@ -32,7 +32,18 @@ class Link:
         rng: random stream for this link's draws.
     """
 
-    __slots__ = ("src", "dst", "delay", "loss", "duplicate_p", "rng", "stats", "up")
+    __slots__ = (
+        "src",
+        "dst",
+        "_delay",
+        "_loss",
+        "duplicate_p",
+        "rng",
+        "stats",
+        "up",
+        "should_drop",
+        "sample_delay",
+    )
 
     def __init__(
         self,
@@ -48,13 +59,39 @@ class Link:
             raise ValueError(f"duplicate_p must be in [0,1], got {duplicate_p!r}")
         self.src = src
         self.dst = dst
-        self.delay: DelayModel = delay if delay is not None else ConstantDelay(0.5)
-        self.loss: LossModel = loss if loss is not None else NoLoss()
+        # The delay/loss setters also (re)bind the hot-path methods below.
+        self.delay = delay if delay is not None else ConstantDelay(0.5)
+        self.loss = loss if loss is not None else NoLoss()
         self.duplicate_p = float(duplicate_p)
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = LinkStats()
         #: Administrative state; a downed link drops everything (partitions).
         self.up = True
+
+    # -- models ------------------------------------------------------------ #
+    # ``should_drop`` / ``sample_delay`` are the models' bound methods,
+    # cached so the per-message fast path pays one attribute load instead
+    # of two plus a wrapper call.  Impairment *changes* mutate the model
+    # objects in place (set_rtt / set_loss_rate), which needs no rebind;
+    # model *replacement* goes through these setters, which rebind.
+
+    @property
+    def delay(self) -> DelayModel:
+        return self._delay
+
+    @delay.setter
+    def delay(self, model: DelayModel) -> None:
+        self._delay = model
+        self.sample_delay = model.sample
+
+    @property
+    def loss(self) -> LossModel:
+        return self._loss
+
+    @loss.setter
+    def loss(self, model: LossModel) -> None:
+        self._loss = model
+        self.should_drop = model.should_drop
 
     # -- impairment control (NetworkSchedule hooks) ----------------------- #
 

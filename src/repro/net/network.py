@@ -29,24 +29,22 @@ from repro.sim.rng import RngRegistry
 __all__ = ["Network", "Endpoint"]
 
 
-class _Delivery:
+class _Delivery(tuple):
     """Allocation-light delivery callback (replaces a per-send closure).
 
-    Binds the endpoint and the link's stats object at send time — endpoints
-    and links are never detached, so the bindings cannot go stale.
+    A ``tuple`` subclass laid out as ``(endpoint, stats, src, payload)``:
+    construction is one C-level call (``__init__``-based slotted classes
+    pay an interpreter frame per message), and the only Python-level work
+    left is ``__call__`` at delivery time.  Binds the endpoint and the
+    link's stats object at send time — endpoints and links are never
+    detached, so the bindings cannot go stale.
     """
 
-    __slots__ = ("_endpoint", "_stats", "_src", "_payload")
-
-    def __init__(self, endpoint: "Endpoint", stats: LinkStats, src: str, payload: Any) -> None:
-        self._endpoint = endpoint
-        self._stats = stats
-        self._src = src
-        self._payload = payload
+    __slots__ = ()
 
     def __call__(self) -> None:
-        self._stats.delivered += 1
-        self._endpoint.deliver(self._src, self._payload)
+        self[1].delivered += 1
+        self[0].deliver(self[2], self[3])
 
 
 class Endpoint(Protocol):
@@ -69,8 +67,13 @@ class Network:
     def __init__(self, loop: EventLoop, rngs: RngRegistry) -> None:
         self.loop = loop
         self.rngs = rngs
+        #: Bound once: the UDP fast path schedules one event per message.
+        self._push_event = loop._push_event
         self._endpoints: dict[str, Endpoint] = {}
         self._links: dict[tuple[str, str], Link] = {}
+        #: Same links keyed src → dst → Link: the hot path avoids building
+        #: a key tuple per message (kept in sync by add_link).
+        self._links_from: dict[str, dict[str, Link]] = {}
         self._tcp_state: dict[tuple[str, str], TcpChannelState] = {}
         self._partition_of: dict[str, int] | None = None
         self._implicit_group = 0
@@ -105,6 +108,10 @@ class Network:
     def add_link(self, link: Link) -> None:
         """Install a directed link (overwrites any previous one)."""
         self._links[(link.src, link.dst)] = link
+        by_dst = self._links_from.get(link.src)
+        if by_dst is None:
+            by_dst = self._links_from[link.src] = {}
+        by_dst[link.dst] = link
 
     def link(self, src: str, dst: str) -> Link:
         try:
@@ -183,20 +190,35 @@ class Network:
         """Transmit ``payload`` from ``src`` to ``dst``.
 
         Returns the :class:`Message` envelope (mostly for tests); delivery,
-        if any, happens via scheduled loop events.
-
-        This is the per-message hot path: link, stats and endpoint are each
-        looked up once, the delivery callback is a slotted :class:`_Delivery`
-        rather than a fresh closure, and partition checks short-circuit on
-        the (common) unpartitioned case.
+        if any, happens via scheduled loop events.  Protocol hot paths that
+        never look at the envelope use :meth:`transmit` instead, which
+        skips building it.
         """
-        loop = self.loop
-        now = loop.now
-        msg = Message(src, dst, payload, channel, size_bytes, now)
-        try:
-            link = self._links[(src, dst)]
-        except KeyError:
-            raise KeyError(f"no link {src!r} -> {dst!r} installed") from None
+        msg = Message(src, dst, payload, channel, size_bytes, self.loop.now)
+        self.transmit(src, dst, payload, channel, size_bytes)
+        return msg
+
+    def transmit(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        channel: str = CHANNEL_TCP,
+        size_bytes: int = 128,
+    ) -> None:
+        """Envelope-free :meth:`send`: the per-message hot path.
+
+        Link, stats and endpoint are each looked up once, the delivery
+        callback is a slotted :class:`_Delivery` rather than a fresh
+        closure, partition checks short-circuit on the (common)
+        unpartitioned case, and no :class:`Message` object is built —
+        every Raft node send goes through here.
+        """
+        now = self.loop.now
+        by_dst = self._links_from.get(src)
+        link = by_dst.get(dst) if by_dst is not None else None
+        if link is None:
+            raise KeyError(f"no link {src!r} -> {dst!r} installed")
         stats = link.stats
         stats.sent += 1
         stats.bytes_sent += size_bytes
@@ -208,29 +230,32 @@ class Network:
         ):
             self.partition_drops += 1
             stats.dropped += 1
-            return msg
+            return
 
         if channel == CHANNEL_UDP:
             # Inlined udp_transmission_plan: the datagram path is the
             # heartbeat hot path, and the common deliver-no-duplicate case
             # needs no TransmissionPlan allocation.  Draw order (drop,
             # delay, duplicate) must match the transport module exactly —
-            # it defines the per-link RNG stream consumption.
-            if link.draw_drop():
+            # it defines the per-link RNG stream consumption.  The loss and
+            # delay models are invoked directly (same calls Link.draw_drop
+            # / draw_delay make) to skip one wrapper frame per draw.
+            rng = link.rng
+            if link.should_drop(rng):
                 stats.dropped += 1
-                return msg
-            delay_ms = link.draw_delay()
+                return
+            delay_ms = link.sample_delay(rng)
             endpoint = self._endpoints.get(dst)
             if link.duplicate_p <= 0.0:
                 if endpoint is not None:
                     # delay models clamp samples >= 0, so the internal
                     # validation-free push is safe here.
-                    loop._push_event(
+                    self._push_event(
                         now + delay_ms,
-                        _Delivery(endpoint, stats, src, payload),
+                        _Delivery((endpoint, stats, src, payload)),
                         PRIORITY_MESSAGE,
                     )
-                return msg
+                return
             # Duplicate draw (and its delay draw) must happen before any
             # scheduling so the RNG stream matches the transport module;
             # the primary is scheduled first so it keeps the lower seq.
@@ -238,20 +263,20 @@ class Network:
             if link.draw_duplicate():
                 dup_delay = link.draw_delay()
             if endpoint is not None:
-                loop._push_event(
+                self._push_event(
                     now + delay_ms,
-                    _Delivery(endpoint, stats, src, payload),
+                    _Delivery((endpoint, stats, src, payload)),
                     PRIORITY_MESSAGE,
                 )
             if dup_delay is not None:
                 stats.duplicated += 1
                 if endpoint is not None:
-                    loop._push_event(
+                    self._push_event(
                         now + dup_delay,
-                        _Delivery(endpoint, stats, src, payload),
+                        _Delivery((endpoint, stats, src, payload)),
                         PRIORITY_MESSAGE,
                     )
-            return msg
+            return
         if channel == CHANNEL_TCP:
             state = self._tcp_state.get((src, dst))
             if state is None:
@@ -262,7 +287,7 @@ class Network:
 
         if not plan.deliver:
             stats.dropped += 1
-            return msg
+            return
 
         stats.retransmits += plan.retransmits
         endpoint = self._endpoints.get(dst)
@@ -270,20 +295,19 @@ class Network:
             # No attached endpoint: delivery would be a no-op, so skip the
             # event entirely (counters match the delivery-time-lookup path).
             stats.duplicated += len(plan.duplicates)
-            return msg
-        loop.schedule(
+            return
+        self.loop.schedule(
             plan.delay_ms,
-            _Delivery(endpoint, stats, src, payload),
+            _Delivery((endpoint, stats, src, payload)),
             priority=PRIORITY_MESSAGE,
         )
         for extra_delay in plan.duplicates:
             stats.duplicated += 1
-            loop.schedule(
+            self.loop.schedule(
                 extra_delay,
-                _Delivery(endpoint, stats, src, payload),
+                _Delivery((endpoint, stats, src, payload)),
                 priority=PRIORITY_MESSAGE,
             )
-        return msg
 
     def broadcast(
         self,

@@ -40,20 +40,24 @@ class LogEntry:
 
 
 class RaftLog:
-    """In-memory replicated log with 1-based indexing."""
+    """In-memory replicated log with 1-based indexing.
 
-    __slots__ = ("_entries",)
+    ``last_index`` is a maintained plain attribute (always equal to
+    ``len(self._entries)``): it is read on every heartbeat and every
+    replication message, where a property's descriptor call is measurable.
+    Only the two mutation paths below update it; treat it as read-only
+    from outside.
+    """
+
+    __slots__ = ("_entries", "last_index")
 
     def __init__(self) -> None:
         self._entries: list[LogEntry] = []
+        self.last_index: int = 0
 
     # -- inspection --------------------------------------------------------- #
 
     def __len__(self) -> int:
-        return len(self._entries)
-
-    @property
-    def last_index(self) -> int:
         return len(self._entries)
 
     @property
@@ -107,6 +111,7 @@ class RaftLog:
             )
         entry = LogEntry(term=term, index=self.last_index + 1, command=command)
         self._entries.append(entry)
+        self.last_index = entry.index
         return entry
 
     def try_append(
@@ -150,7 +155,9 @@ class RaftLog:
                     match = idx
                     continue  # already have it
                 del self._entries[idx - 1 :]  # conflict: drop our suffix
+                self.last_index = idx - 1
             self._entries.append(entry)
+            self.last_index = idx
             match = idx
         return True, match, None
 

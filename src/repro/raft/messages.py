@@ -1,10 +1,17 @@
 """Raft RPC payloads.
 
-Dataclasses (frozen, slotted) mirroring etcd's raft message set restricted
-to what the paper's experiments exercise: heartbeats (as a dedicated
-lightweight pair, like etcd's ``MsgHeartbeat``/``MsgHeartbeatResp``), the
-AppendEntries replication pair, the two vote pairs (pre-vote and vote), and
-the client RPCs of the KV service.
+The *hot* message pairs — heartbeats (etcd ``MsgHeartbeat``/
+``MsgHeartbeatResp``) and AppendEntries — are hand-written slotted classes
+with plain ``__init__`` bodies: every heartbeat tick and every replication
+response constructs one, and a frozen dataclass pays ~4× the construction
+cost (one ``object.__setattr__`` per field) for immutability the simulator
+enforces by convention anyway (payloads are shared between sender and
+in-process receiver and must never be mutated; leaders re-send *the same*
+cached heartbeat object to a follower while term and commit are stable).
+
+The cold payloads — the two vote pairs and the client RPCs — stay frozen
+slotted dataclasses: they are constructed a handful of times per election
+or per client op, and the extra safety is free there.
 
 Heartbeats carry the optional Dynatune metadata of §III-C; the baseline
 Raft policy leaves those fields ``None``, so the two systems exchange
@@ -70,45 +77,125 @@ class VoteResponse:
     granted: bool
 
 
-@dataclasses.dataclass(slots=True, frozen=True)
 class AppendEntriesRequest:
-    term: int
-    leader: str
-    prev_log_index: int
-    prev_log_term: int
-    entries: tuple[LogEntry, ...]
-    leader_commit: int
+    """Replication RPC (hot path — see module docstring).  Immutable by
+    convention."""
+
+    __slots__ = (
+        "term",
+        "leader",
+        "prev_log_index",
+        "prev_log_term",
+        "entries",
+        "leader_commit",
+    )
+
+    def __init__(
+        self,
+        term: int,
+        leader: str,
+        prev_log_index: int,
+        prev_log_term: int,
+        entries: tuple[LogEntry, ...],
+        leader_commit: int,
+    ) -> None:
+        self.term = term
+        self.leader = leader
+        self.prev_log_index = prev_log_index
+        self.prev_log_term = prev_log_term
+        self.entries = entries
+        self.leader_commit = leader_commit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AppendEntriesRequest(term={self.term}, leader={self.leader!r}, "
+            f"prev=({self.prev_log_index},{self.prev_log_term}), "
+            f"n_entries={len(self.entries)}, commit={self.leader_commit})"
+        )
 
 
-@dataclasses.dataclass(slots=True, frozen=True)
 class AppendEntriesResponse:
-    term: int
-    follower: str
-    success: bool
-    match_index: int
-    conflict_index: int | None = None
+    """Replication ack (hot path).  Immutable by convention."""
+
+    __slots__ = ("term", "follower", "success", "match_index", "conflict_index")
+
+    def __init__(
+        self,
+        term: int,
+        follower: str,
+        success: bool,
+        match_index: int,
+        conflict_index: int | None = None,
+    ) -> None:
+        self.term = term
+        self.follower = follower
+        self.success = success
+        self.match_index = match_index
+        self.conflict_index = conflict_index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AppendEntriesResponse(term={self.term}, follower={self.follower!r}, "
+            f"success={self.success}, match={self.match_index}, "
+            f"conflict={self.conflict_index})"
+        )
 
 
-@dataclasses.dataclass(slots=True, frozen=True)
 class HeartbeatRequest:
-    """Leader liveness beacon (etcd ``MsgHeartbeat``).
+    """Leader liveness beacon (etcd ``MsgHeartbeat``; hot path).
 
     ``commit`` is clamped by the sender to the follower's match index so a
     follower can never be told to commit entries it might not hold.
+
+    Immutable by convention: leaders cache and re-send the same instance
+    to a follower while ``(term, commit)`` are unchanged and no metadata
+    is attached.
     """
 
-    term: int
-    leader: str
-    commit: int
-    meta: HeartbeatMeta | None = None
+    __slots__ = ("term", "leader", "commit", "meta")
+
+    def __init__(
+        self,
+        term: int,
+        leader: str,
+        commit: int,
+        meta: HeartbeatMeta | None = None,
+    ) -> None:
+        self.term = term
+        self.leader = leader
+        self.commit = commit
+        self.meta = meta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HeartbeatRequest(term={self.term}, leader={self.leader!r}, "
+            f"commit={self.commit}, meta={self.meta!r})"
+        )
 
 
-@dataclasses.dataclass(slots=True, frozen=True)
 class HeartbeatResponse:
-    term: int
-    follower: str
-    last_log_index: int
-    meta: HeartbeatResponseMeta | None = None
+    """Follower liveness ack (etcd ``MsgHeartbeatResp``; hot path).
+    Immutable by convention."""
+
+    __slots__ = ("term", "follower", "last_log_index", "meta")
+
+    def __init__(
+        self,
+        term: int,
+        follower: str,
+        last_log_index: int,
+        meta: HeartbeatResponseMeta | None = None,
+    ) -> None:
+        self.term = term
+        self.follower = follower
+        self.last_log_index = last_log_index
+        self.meta = meta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HeartbeatResponse(term={self.term}, follower={self.follower!r}, "
+            f"last_log_index={self.last_log_index}, meta={self.meta!r})"
+        )
 
 
 @dataclasses.dataclass(slots=True, frozen=True)

@@ -34,6 +34,9 @@ class NodeMetrics:
     prevotes_granted: int = 0
     prevotes_rejected: int = 0
     entries_applied: int = 0
+    #: Times the leader's commit index moved forward via quorum match
+    #: (one bump may cover many entries; see RaftNode._advance_commit).
+    commit_advances: int = 0
     client_requests: int = 0
     client_redirects: int = 0
     #: The currently armed randomizedTimeout (ms); kept current by the node

@@ -29,16 +29,34 @@ election timer and every heartbeat scheduling decision asks the node's
 is the *only* difference between the paper's Raft, Raft-Low, Fix-K and
 Dynatune systems, mirroring the paper's claim that Dynatune leaves Raft's
 mechanisms untouched.
+
+Hot-path structure (the protocol layer dominates large-cluster wall time):
+
+* commit advancement is **incremental** — a
+  :class:`~repro.raft.commit.CommitTracker` replaces the classic
+  sort-all-match-indices scan, making each AppendEntries response O(1)
+  amortized regardless of cluster size;
+* the heartbeat exchange is **allocation-light** — request/response
+  objects are cached per peer and re-sent while ``(term, commit)`` /
+  ``(term, last_log_index)`` are stable and no tuning metadata rides
+  along (the baseline-Raft steady state allocates no message objects at
+  all);
+* message dispatch is a type-indexed table rather than an isinstance
+  cascade, and election randomization draws come from a buffered block of
+  the node's RNG stream (bit-identical values, a fraction of the numpy
+  per-call overhead).
 """
 
 from __future__ import annotations
 
+import functools
 import math
-from typing import Any
+from typing import Any, Callable, ClassVar
 
 import numpy as np
 
 from repro.dynatune.policy import TuningPolicy
+from repro.raft.commit import CommitTracker
 from repro.raft.log import RaftLog
 from repro.raft.messages import (
     AppendEntriesRequest,
@@ -56,12 +74,18 @@ from repro.raft.metrics import NodeMetrics
 from repro.raft.state_machine import StateMachine
 from repro.raft.types import RaftConfig, Role
 from repro.sim.loop import EventLoop
-from repro.sim.process import Process
+from repro.sim.process import Process, ProcessState
 from repro.sim.tracing import TraceLog
 
 __all__ = ["RaftNode"]
 
 _NEG_INF = -math.inf
+
+#: Uniform draws fetched from the node's RNG per block (see ``_rand``).
+_RAND_BLOCK = 256
+
+#: Module-level alias: ``deliver`` checks this once per delivered message.
+_RUNNING = ProcessState.RUNNING
 
 
 class RaftNode(Process):
@@ -71,7 +95,8 @@ class RaftNode(Process):
         loop: shared event loop.
         name: unique node name.
         peers: names of **all** cluster members (including this node).
-        network: fabric used for sends (anything with ``send()``).
+        network: fabric used for sends (anything with ``send()``; the fast
+            ``transmit()`` path is used when available).
         config: protocol configuration.
         policy: election-parameter policy (Static / Dynatune / Fix-K).
         state_machine: the replicated application (e.g. ``KVStore``).
@@ -134,16 +159,48 @@ class RaftNode(Process):
         # send/response chains accumulate without bound.
         self._inflight_appends: dict[str, int] = {}
         self._last_append_response: dict[str, float] = {}
+        # Incrementally maintained quorum-match frontier (reset per reign).
+        self._commit = CommitTracker(self.quorum - 1)
 
         self._election_timer = self.timers.timer("election", self._on_election_timeout)
         # Per-peer heartbeat timer names and callbacks, precomputed once:
         # _schedule_heartbeat runs every tick and would otherwise build a
-        # fresh f-string and closure per beat.
+        # fresh f-string and closure per beat.  partial() over a lambda:
+        # the call that fires every beat stays in C until the handler.
         self._hb_timer_names = {peer: f"hb/{peer}" for peer in self.peers}
         self._hb_timer_cbs = {
-            peer: (lambda p=peer: self._heartbeat_tick(p)) for peer in self.peers
+            peer: functools.partial(self._heartbeat_tick, peer) for peer in self.peers
         }
         self._started = False
+
+        # -- hot-path caches (all derived, none carries protocol state) --- #
+        # Channel names and the network's envelope-free transmit are
+        # constant for the node's lifetime.
+        self._rpc_channel: str = config.rpc_channel
+        self._hb_channel: str = policy.heartbeat_channel
+        transmit = getattr(network, "transmit", None)
+        if transmit is None and network is not None:
+            transmit = lambda src, dst, payload, channel, size: network.send(  # noqa: E731
+                src, dst, payload, channel=channel, size_bytes=size
+            )
+        self._transmit: Callable[..., Any] = transmit
+        # Cached outbound heartbeat per peer and the one cached response,
+        # valid while their fields are unchanged and no metadata rides
+        # along (messages are immutable by convention, so re-sending the
+        # same object is safe even with copies still in flight).
+        self._hb_cache: dict[str, HeartbeatRequest] = {}
+        self._hb_resp_cache: HeartbeatResponse | None = None
+        # Buffered uniform draws (bit-identical to per-call rng.random()).
+        self._rand_buf: list[float] | None = None
+        self._rand_pos = 0
+        # Frozen-config flags read on every beat.
+        self._hb_consolidated: bool = config.consolidated_heartbeat_timer
+        self._hb_stagger: bool = config.heartbeat_phase_stagger
+        self._hb_jitter_ms: float = config.heartbeat_timer_jitter_ms
+        self._hb_catchup: bool = config.heartbeat_response_catchup
+        # Per-peer heartbeat Timer objects (mirrors the TimerService entry;
+        # cleared on step-down together with the service's).
+        self._hb_timers: dict[str, Any] = {}
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -171,6 +228,9 @@ class RaftNode(Process):
         self._pending_client = {}
         self._inflight_appends = {}
         self._last_append_response = {}
+        self._commit = CommitTracker(self.quorum - 1)
+        self._hb_cache = {}
+        self._hb_resp_cache = None
         self.state_machine.reset()
         self.policy.on_leader_change(None, self.loop.now)
         self._arm_election_timer()
@@ -203,15 +263,37 @@ class RaftNode(Process):
             self.cost_model.charge(self.name, kind, units)
 
     def _send(self, dst: str, payload: Any, *, channel: str, size: int = 96) -> None:
-        self.network.send(self.name, dst, payload, channel=channel, size_bytes=size)
+        self._transmit(self.name, dst, payload, channel, size)
 
     def _rpc(self, dst: str, payload: Any, size: int = 96) -> None:
-        self._send(dst, payload, channel=self.config.rpc_channel, size=size)
+        self._transmit(self.name, dst, payload, self._rpc_channel, size)
+
+    def _rand(self) -> float:
+        """One uniform draw from this node's stream, served from a block.
+
+        ``rng.random(n)`` consumes the underlying bit stream exactly like
+        ``n`` scalar ``rng.random()`` calls, so buffering changes no drawn
+        value — only the per-call numpy overhead (the stream is private to
+        this node; nothing else can observe the read-ahead).  The block is
+        held as a Python list so serving a draw is one index, no
+        ``np.float64 → float`` conversion.
+        """
+        pos = self._rand_pos
+        buf = self._rand_buf
+        if buf is None or pos >= _RAND_BLOCK:
+            buf = self._rand_buf = self.rng.random(_RAND_BLOCK).tolist()
+            pos = 0
+        self._rand_pos = pos + 1
+        return buf[pos]
 
     def _arm_election_timer(self) -> None:
-        """(Re-)arm with a fresh randomized draw from ``[Et, 2·Et)``."""
+        """(Re-)arm with a fresh randomized draw from ``[Et, 2·Et)``.
+
+        Cold-path arm (start, recovery, role changes, vote grants); the
+        per-heartbeat reset lives inlined in ``_on_heartbeat``.
+        """
         base = self.policy.election_timeout_ms(self.leader_id)
-        randomized = base * (1.0 + float(self.rng.random()))
+        randomized = base * (1.0 + self._rand())
         self.metrics.current_randomized_timeout_ms = randomized
         self._election_timer.reset(randomized)
 
@@ -255,6 +337,8 @@ class RaftNode(Process):
             self.timers.drop(self._hb_timer_names[peer])
         self.timers.drop("hb")
         self.timers.drop("quorum")
+        self._hb_timers = {}
+        self._hb_cache = {}
         self.policy.on_step_down(self.loop.now)
         # Pending proposals can no longer be confirmed by this node.
         pending, self._pending_client = self._pending_client, {}
@@ -262,7 +346,7 @@ class RaftNode(Process):
             self._send(
                 client,
                 ClientResponse(request_id=req_id, ok=False, leader_hint=None),
-                channel=self.config.rpc_channel,
+                channel=self._rpc_channel,
             )
 
     def _on_election_timeout(self) -> None:
@@ -344,6 +428,8 @@ class RaftNode(Process):
         self._last_peer_response = {p: self.loop.now for p in self.peers}
         self._inflight_appends = {p: 0 for p in self.peers}
         self._last_append_response = {p: self.loop.now for p in self.peers}
+        self._commit = CommitTracker(self.quorum - 1)
+        self._hb_cache = {}
         # No-op entry: lets this leader commit its predecessors' tail
         # (commit is restricted to current-term entries, §5.4.2).
         self.log.append_new(self.current_term, None)
@@ -357,40 +443,50 @@ class RaftNode(Process):
     # ------------------------------------------------------------------ #
 
     def _schedule_heartbeat(self, peer: str, *, first: bool = False) -> None:
-        if self.config.consolidated_heartbeat_timer:
+        if self._hb_consolidated:
             # §IV-E feature 2: one timer for everyone at the minimum h.
             interval = min(
                 self.policy.heartbeat_interval_ms(p) for p in self.peers
             )
-            if first and self.config.heartbeat_phase_stagger:
-                interval *= float(self.rng.random())
-            if self.config.heartbeat_timer_jitter_ms > 0.0:
-                interval += self.config.heartbeat_timer_jitter_ms * float(
-                    self.rng.random()
-                )
+            if first and self._hb_stagger:
+                interval *= self._rand()
+            if self._hb_jitter_ms > 0.0:
+                interval += self._hb_jitter_ms * self._rand()
             self.timers.timer("hb", self._heartbeat_tick_all).reset(interval)
             return
         interval = self.policy.heartbeat_interval_ms(peer)
-        if first and self.config.heartbeat_phase_stagger:
+        if first and self._hb_stagger:
             # Independent initial phase per follower loop (see RaftConfig).
-            interval *= float(self.rng.random())
-        if self.config.heartbeat_timer_jitter_ms > 0.0:
-            interval += self.config.heartbeat_timer_jitter_ms * float(self.rng.random())
-        self.timers.timer(self._hb_timer_names[peer], self._hb_timer_cbs[peer]).reset(
-            interval
-        )
+            interval *= self._rand()
+        if self._hb_jitter_ms > 0.0:
+            interval += self._hb_jitter_ms * self._rand()
+        timer = self._hb_timers.get(peer)
+        if timer is None:
+            timer = self.timers.timer(
+                self._hb_timer_names[peer], self._hb_timer_cbs[peer]
+            )
+            self._hb_timers[peer] = timer
+        timer.reset(interval)
 
     def _send_heartbeat_to(self, peer: str) -> None:
         meta = self.policy.heartbeat_meta(peer, self.loop.now)
-        commit = min(self.commit_index, self.match_index.get(peer, 0))
-        self._send(
-            peer,
-            HeartbeatRequest(
-                term=self.current_term, leader=self.name, commit=commit, meta=meta
-            ),
-            channel=self.policy.heartbeat_channel,
-            size=64 if meta is None else 88,
-        )
+        term = self.current_term
+        commit = self.commit_index
+        match = self.match_index.get(peer, 0)
+        if match < commit:
+            commit = match
+        if meta is None:
+            # Baseline-Raft steady state: term and clamped commit change
+            # rarely, so the same immutable request is re-sent as-is.
+            req = self._hb_cache.get(peer)
+            if req is None or req.term != term or req.commit != commit:
+                req = HeartbeatRequest(term, self.name, commit)
+                self._hb_cache[peer] = req
+            size = 64
+        else:
+            req = HeartbeatRequest(term, self.name, commit, meta)
+            size = 88
+        self._transmit(self.name, peer, req, self._hb_channel, size)
         self.metrics.heartbeats_sent += 1
         cm = self.cost_model
         if cm is not None:
@@ -399,10 +495,51 @@ class RaftNode(Process):
                 cm.charge(self.name, "tuning")
 
     def _heartbeat_tick(self, peer: str) -> None:
+        """Per-follower beat: send + re-arm.
+
+        This fires once per heartbeat per follower — the leader's hottest
+        callback — so the send half (a fused copy of
+        :meth:`_send_heartbeat_to`; keep the two in sync) and the re-arm
+        half share one set of attribute loads.
+        """
         if self.role is not Role.LEADER:
             return
-        self._send_heartbeat_to(peer)
-        self._schedule_heartbeat(peer)
+        policy = self.policy
+        meta = policy.heartbeat_meta(peer, self.loop.now)
+        term = self.current_term
+        commit = self.commit_index
+        match = self.match_index.get(peer, 0)
+        if match < commit:
+            commit = match
+        if meta is None:
+            req = self._hb_cache.get(peer)
+            if req is None or req.term != term or req.commit != commit:
+                req = HeartbeatRequest(term, self.name, commit)
+                self._hb_cache[peer] = req
+            size = 64
+        else:
+            req = HeartbeatRequest(term, self.name, commit, meta)
+            size = 88
+        self._transmit(self.name, peer, req, self._hb_channel, size)
+        self.metrics.heartbeats_sent += 1
+        cm = self.cost_model
+        if cm is not None:
+            cm.charge(self.name, "heartbeat_send")
+            if meta is not None:
+                cm.charge(self.name, "tuning")
+        if self._hb_consolidated:
+            self._schedule_heartbeat(peer)
+            return
+        interval = policy.heartbeat_interval_ms(peer)
+        if self._hb_jitter_ms > 0.0:
+            interval += self._hb_jitter_ms * self._rand()
+        timer = self._hb_timers.get(peer)
+        if timer is None:
+            timer = self.timers.timer(
+                self._hb_timer_names[peer], self._hb_timer_cbs[peer]
+            )
+            self._hb_timers[peer] = timer
+        timer.reset(interval)
 
     def _heartbeat_tick_all(self) -> None:
         """Consolidated-timer beat: heartbeat every follower at once."""
@@ -418,9 +555,7 @@ class RaftNode(Process):
         et = self.policy.election_timeout_ms(None)
         # Keep the sampled randomizedTimeout meaningful for leaders too:
         # this is the value the leader would arm if it stepped down now.
-        self.metrics.current_randomized_timeout_ms = et * (
-            1.0 + float(self.rng.random())
-        )
+        self.metrics.current_randomized_timeout_ms = et * (1.0 + self._rand())
         self.timers.timer("quorum", self._quorum_tick).reset(et)
 
     def _quorum_tick(self) -> None:
@@ -428,11 +563,12 @@ class RaftNode(Process):
             return
         et = self.policy.election_timeout_ms(None)
         now = self.loop.now
-        active = 1 + sum(
-            1
-            for p in self.peers
-            if now - self._last_peer_response.get(p, _NEG_INF) <= et
-        )
+        active = 1
+        last = self._last_peer_response
+        get = last.get
+        for p in self.peers:
+            if now - get(p, _NEG_INF) <= et:
+                active += 1
         if active < self.quorum:
             self.metrics.quorum_step_downs += 1
             self.trace.record(
@@ -480,16 +616,21 @@ class RaftNode(Process):
             # push the dedicated one out by a full interval.
             self._schedule_heartbeat(peer)
 
-    def _advance_commit(self) -> None:
-        """Majority-match commit, restricted to current-term entries."""
+    def _advance_commit(self, old_match: int, new_match: int) -> None:
+        """Majority-match commit, restricted to current-term entries.
+
+        Fed one follower's ``match_index`` progression at a time; the
+        tracker keeps the quorum frontier incrementally, so this is O(1)
+        amortized per acknowledged entry (the seed implementation sorted
+        every match index on every response — O(n log n) each).
+        """
         if self.role is not Role.LEADER:
             return
-        matches = sorted(
-            list(self.match_index.values()) + [self.log.last_index], reverse=True
-        )
-        candidate = matches[self.quorum - 1]
+        candidate = self._commit.advance(old_match, new_match)
         if candidate > self.commit_index and self.log.term_at(candidate) == self.current_term:
             self.commit_index = candidate
+            self._commit.discard_through(candidate)
+            self.metrics.commit_advances += 1
             self._apply_committed()
 
     def _apply_committed(self) -> None:
@@ -509,37 +650,36 @@ class RaftNode(Process):
                 self._send(
                     client,
                     ClientResponse(request_id=req_id, ok=True, result=result),
-                    channel=self.config.rpc_channel,
+                    channel=self._rpc_channel,
                 )
 
     # ------------------------------------------------------------------ #
     # message dispatch
     # ------------------------------------------------------------------ #
 
+    #: Exact-type dispatch table (payload classes are never subclassed);
+    #: populated after the class body, once the handlers exist.
+    _DISPATCH: ClassVar[dict[type, Callable[["RaftNode", str, Any], None]]] = {}
+
+    def deliver(self, sender: str, payload: Any) -> None:
+        """Fabric entry point; overrides Process.deliver to dispatch
+        directly (one call layer fewer on the per-message path)."""
+        if self._state is not _RUNNING:
+            return
+        handler = _DISPATCH_GET(payload.__class__)
+        if handler is None:
+            raise TypeError(
+                f"{self.name}: unknown payload {type(payload).__name__}"
+            )
+        handler(self, sender, payload)
+
     def on_message(self, sender: str, payload: Any) -> None:
-        match payload:
-            case HeartbeatRequest():
-                self._on_heartbeat(payload)
-            case HeartbeatResponse():
-                self._on_heartbeat_response(payload)
-            case AppendEntriesRequest():
-                self._on_append_entries(payload)
-            case AppendEntriesResponse():
-                self._on_append_response(payload)
-            case PreVoteRequest():
-                self._on_prevote_request(payload)
-            case PreVoteResponse():
-                self._on_prevote_response(payload)
-            case VoteRequest():
-                self._on_vote_request(payload)
-            case VoteResponse():
-                self._on_vote_response(payload)
-            case ClientRequest():
-                self._on_client_request(sender, payload)
-            case _:
-                raise TypeError(
-                    f"{self.name}: unknown payload {type(payload).__name__}"
-                )
+        handler = self._DISPATCH.get(payload.__class__)
+        if handler is None:
+            raise TypeError(
+                f"{self.name}: unknown payload {type(payload).__name__}"
+            )
+        handler(self, sender, payload)
 
     # -- leader liveness ---------------------------------------------------- #
 
@@ -582,45 +722,73 @@ class RaftNode(Process):
 
     # -- heartbeats ----------------------------------------------------------- #
 
-    def _on_heartbeat(self, m: HeartbeatRequest) -> None:
+    def _on_heartbeat(self, sender: str, m: HeartbeatRequest) -> None:
         self.metrics.heartbeats_received += 1
         cm = self.cost_model
         if cm is not None:
             cm.charge(self.name, "heartbeat_recv")
-        if m.term < self.current_term:
+        term = m.term
+        leader = m.leader
+        if term < self.current_term:
             self._send(
-                m.leader,
+                leader,
                 HeartbeatResponse(
                     term=self.current_term,
                     follower=self.name,
                     last_log_index=self.log.last_index,
                 ),
-                channel=self.policy.heartbeat_channel,
+                channel=self._hb_channel,
             )
             return
-        self._observe_leader_message(m.term, m.leader)
+        now = self.loop.now
+        if (
+            term == self.current_term
+            and self.role is Role.FOLLOWER
+            and self.leader_id == leader
+        ):
+            # Steady-state fast path of _observe_leader_message: nothing
+            # to transition, only the lease freshness to stamp.
+            self.last_leader_contact = now
+        else:
+            self._observe_leader_message(term, leader)
         if m.commit > self.commit_index:
             self.commit_index = min(m.commit, self.log.last_index)
             self._apply_committed()
-        meta = self.policy.on_heartbeat(m.leader, m.meta, self.loop.now)
-        if cm is not None and m.meta is not None:
+        hb_meta = m.meta
+        policy = self.policy
+        meta = policy.on_heartbeat(leader, hb_meta, now)
+        if cm is not None and hb_meta is not None:
             cm.charge(self.name, "tuning")
-        self._arm_election_timer()
-        self._send(
-            m.leader,
-            HeartbeatResponse(
-                term=self.current_term,
-                follower=self.name,
-                last_log_index=self.log.last_index,
-                meta=meta,
-            ),
-            channel=self.policy.heartbeat_channel,
-            size=64 if meta is None else 88,
-        )
+        # Inline of _arm_election_timer (keep in sync): this reset happens
+        # on every received heartbeat, the follower's hottest operation.
+        base = policy.election_timeout_ms(self.leader_id)
+        pos = self._rand_pos
+        buf = self._rand_buf
+        if buf is None or pos >= _RAND_BLOCK:
+            buf = self._rand_buf = self.rng.random(_RAND_BLOCK).tolist()
+            pos = 0
+        self._rand_pos = pos + 1
+        randomized = base * (1.0 + buf[pos])
+        self.metrics.current_randomized_timeout_ms = randomized
+        self._election_timer.reset(randomized)
+        term = self.current_term
+        lli = self.log.last_index
+        if meta is None:
+            # Baseline-Raft steady state: re-use the cached immutable
+            # response while (term, last_log_index) are stable.
+            resp = self._hb_resp_cache
+            if resp is None or resp.term != term or resp.last_log_index != lli:
+                resp = HeartbeatResponse(term, self.name, lli)
+                self._hb_resp_cache = resp
+            size = 64
+        else:
+            resp = HeartbeatResponse(term, self.name, lli, meta)
+            size = 88
+        self._transmit(self.name, leader, resp, self._hb_channel, size)
         if cm is not None:
             cm.charge(self.name, "heartbeat_resp_send")
 
-    def _on_heartbeat_response(self, m: HeartbeatResponse) -> None:
+    def _on_heartbeat_response(self, sender: str, m: HeartbeatResponse) -> None:
         self.metrics.heartbeat_responses_received += 1
         cm = self.cost_model
         if cm is not None:
@@ -630,31 +798,33 @@ class RaftNode(Process):
             return
         if self.role is not Role.LEADER or m.term < self.current_term:
             return
-        self._last_peer_response[m.follower] = self.loop.now
-        self.policy.on_heartbeat_response(m.follower, m.meta, self.loop.now)
+        follower = m.follower
+        now = self.loop.now
+        self._last_peer_response[follower] = now
+        self.policy.on_heartbeat_response(follower, m.meta, now)
         if cm is not None and m.meta is not None:
             cm.charge(self.name, "tuning")
         if (
-            self.config.heartbeat_response_catchup
-            and self.match_index.get(m.follower, 0) < self.log.last_index
+            self._hb_catchup
+            and self.match_index.get(follower, 0) < self.log.last_index
         ):
             # Recovery path for a *stalled* pipeline only: either nothing
             # is in flight, or the in-flight messages' acks were lost long
             # ago (e.g. across a follower pause).  A live pipeline keeps
             # its own accounting — resetting it here would mint phantom
             # send slots and the send/response chains would multiply.
-            inflight = self._inflight_appends.get(m.follower, 0)
+            inflight = self._inflight_appends.get(follower, 0)
             stale = (
-                self.loop.now - self._last_append_response.get(m.follower, _NEG_INF)
+                self.loop.now - self._last_append_response.get(follower, _NEG_INF)
                 > self.APPEND_PIPELINE_STALL_MS
             )
             if inflight == 0 or stale:
-                self._inflight_appends[m.follower] = 0
-                self._send_append(m.follower, force=True)
+                self._inflight_appends[follower] = 0
+                self._send_append(follower, force=True)
 
     # -- replication ------------------------------------------------------------ #
 
-    def _on_append_entries(self, m: AppendEntriesRequest) -> None:
+    def _on_append_entries(self, sender: str, m: AppendEntriesRequest) -> None:
         self.metrics.appends_received += 1
         self._charge("append_recv", units=max(1, len(m.entries)))
         if m.term < self.current_term:
@@ -687,34 +857,37 @@ class RaftNode(Process):
             ),
         )
 
-    def _on_append_response(self, m: AppendEntriesResponse) -> None:
+    def _on_append_response(self, sender: str, m: AppendEntriesResponse) -> None:
         self._charge("append_resp_recv")
         if m.term > self.current_term:
             self._become_follower(m.term, None)
             return
         if self.role is not Role.LEADER or m.term < self.current_term:
             return
-        self._last_peer_response[m.follower] = self.loop.now
-        self._last_append_response[m.follower] = self.loop.now
-        self._inflight_appends[m.follower] = max(
-            0, self._inflight_appends.get(m.follower, 0) - 1
-        )
+        follower = m.follower
+        now = self.loop.now
+        self._last_peer_response[follower] = now
+        self._last_append_response[follower] = now
+        inflight = self._inflight_appends.get(follower, 0)
+        if inflight > 0:
+            self._inflight_appends[follower] = inflight - 1
         if m.success:
-            if m.match_index > self.match_index.get(m.follower, 0):
-                self.match_index[m.follower] = m.match_index
-                self.next_index[m.follower] = m.match_index + 1
-                self._advance_commit()
-            if self.match_index.get(m.follower, 0) < self.log.last_index:
-                self._send_append(m.follower)
+            old = self.match_index.get(follower, 0)
+            if m.match_index > old:
+                self.match_index[follower] = m.match_index
+                self.next_index[follower] = m.match_index + 1
+                self._advance_commit(old, m.match_index)
+            if self.match_index.get(follower, 0) < self.log.last_index:
+                self._send_append(follower)
         else:
             hint = m.conflict_index
-            fallback = max(1, self.next_index.get(m.follower, 2) - 1)
-            self.next_index[m.follower] = hint if hint is not None else fallback
-            self._send_append(m.follower)
+            fallback = max(1, self.next_index.get(follower, 2) - 1)
+            self.next_index[follower] = hint if hint is not None else fallback
+            self._send_append(follower)
 
     # -- pre-vote ------------------------------------------------------------- #
 
-    def _on_prevote_request(self, m: PreVoteRequest) -> None:
+    def _on_prevote_request(self, sender: str, m: PreVoteRequest) -> None:
         granted = (
             m.term >= self.current_term
             and self.log.up_to_date(m.last_log_index, m.last_log_term)
@@ -733,7 +906,7 @@ class RaftNode(Process):
             ),
         )
 
-    def _on_prevote_response(self, m: PreVoteResponse) -> None:
+    def _on_prevote_response(self, sender: str, m: PreVoteResponse) -> None:
         if not m.granted and m.term > self.current_term:
             self._become_follower(m.term, None)
             return
@@ -746,7 +919,7 @@ class RaftNode(Process):
 
     # -- votes ----------------------------------------------------------------- #
 
-    def _on_vote_request(self, m: VoteRequest) -> None:
+    def _on_vote_request(self, sender: str, m: VoteRequest) -> None:
         if m.term < self.current_term:
             self._rpc(
                 m.candidate,
@@ -781,7 +954,7 @@ class RaftNode(Process):
             VoteResponse(term=self.current_term, voter=self.name, granted=granted),
         )
 
-    def _on_vote_response(self, m: VoteResponse) -> None:
+    def _on_vote_response(self, sender: str, m: VoteResponse) -> None:
         if m.term > self.current_term:
             self._become_follower(m.term, None)
             return
@@ -804,7 +977,7 @@ class RaftNode(Process):
                 ClientResponse(
                     request_id=m.request_id, ok=False, leader_hint=self.leader_id
                 ),
-                channel=self.config.rpc_channel,
+                channel=self._rpc_channel,
             )
             return
         entry = self.log.append_new(self.current_term, m.command)
@@ -815,3 +988,18 @@ class RaftNode(Process):
             return
         for peer in self.peers:
             self._send_append(peer)
+
+
+RaftNode._DISPATCH = {
+    HeartbeatRequest: RaftNode._on_heartbeat,
+    HeartbeatResponse: RaftNode._on_heartbeat_response,
+    AppendEntriesRequest: RaftNode._on_append_entries,
+    AppendEntriesResponse: RaftNode._on_append_response,
+    PreVoteRequest: RaftNode._on_prevote_request,
+    PreVoteResponse: RaftNode._on_prevote_response,
+    VoteRequest: RaftNode._on_vote_request,
+    VoteResponse: RaftNode._on_vote_response,
+    ClientRequest: RaftNode._on_client_request,
+}
+#: Module-level bound lookup: saves the class-attribute hop per message.
+_DISPATCH_GET = RaftNode._DISPATCH.get

@@ -1,0 +1,106 @@
+"""Heartbeat send-path caching: shared immutable requests must be correct.
+
+The leader re-sends one cached ``HeartbeatRequest`` object per follower
+while ``(term, commit)`` hold and no metadata is attached, and a follower
+re-uses one cached ``HeartbeatResponse`` while ``(term, last_log_index)``
+hold.  These tests pin the invalidation rules and that the caches can
+never leak across reigns.
+"""
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.dynatune.policy import DynatunePolicy
+from repro.experiments.common import make_policy_factory
+from repro.raft.messages import HeartbeatRequest
+from repro.raft.state_machine import kv_put
+from tests.conftest import make_raft_cluster
+
+
+def test_static_policy_heartbeats_are_cached_per_peer():
+    c = make_raft_cluster(3)
+    leader = c.run_until_leader()
+    c.run_for(2_000.0)
+    node = c.node(leader)
+    cached = dict(node._hb_cache)
+    assert set(cached) == set(node.peers)
+    for peer, req in cached.items():
+        assert isinstance(req, HeartbeatRequest)
+        assert req.term == node.current_term
+        assert req.meta is None
+    c.run_for(1_000.0)
+    # Steady state: same immutable objects are still being re-sent.
+    for peer in node.peers:
+        assert node._hb_cache[peer] is cached[peer]
+
+
+def test_cached_heartbeat_invalidated_when_commit_advances():
+    c = make_raft_cluster(3)
+    leader = c.run_until_leader()
+    c.run_for(2_000.0)
+    node = c.node(leader)
+    peer = node.peers[0]
+    before = node._hb_cache[peer]
+    client = c.add_client("cli")
+    client.submit(kv_put("k", "v"))
+    c.run_for(3_000.0)
+    assert node.commit_index > before.commit
+    after = node._hb_cache[peer]
+    assert after is not before
+    assert after.commit == min(node.commit_index, node.match_index[peer])
+
+
+def test_caches_cleared_on_step_down_and_new_reign():
+    c = make_raft_cluster(3)
+    leader = c.run_until_leader()
+    c.run_for(1_000.0)
+    node = c.node(leader)
+    assert node._hb_cache
+    node._become_follower(node.current_term + 5, None)
+    assert node._hb_cache == {}
+    assert node._hb_timers == {}
+
+
+def test_dynatune_heartbeats_always_carry_fresh_meta():
+    cluster = build_cluster(
+        ClusterConfig(n_nodes=3, seed=5, rtt_ms=50.0),
+        lambda name: DynatunePolicy(),
+    )
+    cluster.start()
+    leader = cluster.run_until_leader()
+    cluster.run_for(2_000.0)
+    node = cluster.node(leader)
+    # Metadata-bearing heartbeats must never come from the cache: the
+    # cache only serves meta-None requests.
+    assert node._hb_cache == {}
+    # And the sequence spaces actually advanced per peer.
+    pol = node.policy
+    for peer in node.peers:
+        assert pol._paths[peer].next_seq > 5
+
+
+def test_follower_response_cache_tracks_log_growth():
+    c = make_raft_cluster(3)
+    leader = c.run_until_leader()
+    c.run_for(2_000.0)
+    follower = next(n for n in c.nodes.values() if n.name != leader)
+    resp = follower._hb_resp_cache
+    assert resp is not None
+    assert resp.term == follower.current_term
+    assert resp.last_log_index == follower.log.last_index
+    client = c.add_client("cli")
+    client.submit(kv_put("a", "1"))
+    c.run_for(3_000.0)
+    resp2 = follower._hb_resp_cache
+    assert resp2 is not resp
+    assert resp2.last_log_index == follower.log.last_index > resp.last_log_index
+
+
+def test_metrics_count_commit_advances_under_load():
+    c = make_raft_cluster(3)
+    leader = c.run_until_leader()
+    client = c.add_client("cli")
+    for i in range(5):
+        client.submit(kv_put(f"k{i}", i))
+    c.run_for(5_000.0)
+    node = c.node(leader)
+    assert node.metrics.commit_advances >= 1
+    assert node.commit_index >= 5

@@ -1,0 +1,120 @@
+"""TraceLog storage gates: retention off/filtered, listeners always exact.
+
+The gate exists so high-rate runs can skip record construction entirely,
+but the correctness-critical consumer — an event-hooked SafetyChecker —
+subscribes a listener and must keep seeing *every* record no matter how
+the storage gate is set.
+"""
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.cluster.harness import ClusterHarness
+from repro.experiments.common import make_policy_factory
+from repro.scenarios.safety import HOOK_KINDS, SafetyChecker
+from repro.sim.tracing import TraceLog
+
+
+def test_default_is_fully_on():
+    log = TraceLog()
+    assert log.enabled
+    assert log.kept_kinds is None
+    rec = log.record(1.0, "n1", "election_start", term=3)
+    assert rec is not None
+    assert len(log) == 1
+    assert log.of_kind("election_start")[0].get("term") == 3
+
+
+def test_disabled_log_stores_nothing_and_returns_none():
+    log = TraceLog()
+    log.set_enabled(False)
+    assert log.record(1.0, "n1", "election_start", term=3) is None
+    assert len(log) == 0
+    log.set_enabled(True)
+    assert log.record(2.0, "n1", "election_start", term=4) is not None
+    assert len(log) == 1  # earlier records stay dropped, later ones stored
+
+
+def test_kind_filter_stores_only_allowed_kinds():
+    log = TraceLog()
+    log.keep_kinds({"become_leader"})
+    assert log.record(1.0, "n1", "election_start", term=1) is None
+    assert log.record(2.0, "n1", "become_leader", term=1) is not None
+    assert len(log) == 1
+    assert log.of_kind("election_start") == []
+    log.keep_kinds(None)
+    log.record(3.0, "n1", "election_start", term=2)
+    assert len(log) == 2
+
+
+def test_wants_reflects_gate_and_listeners():
+    log = TraceLog()
+    assert log.wants("anything")
+    log.keep_kinds({"a"})
+    assert log.wants("a")
+    assert not log.wants("b")
+    log.set_enabled(False)
+    assert not log.wants("a")
+    seen = []
+    log.subscribe(seen.append)
+    assert log.wants("a") and log.wants("b")  # listeners see everything
+
+
+def test_listeners_see_all_records_even_when_fully_gated():
+    log = TraceLog()
+    log.set_enabled(False)
+    log.keep_kinds({"nothing"})
+    seen = []
+    log.subscribe(seen.append)
+    log.record(1.0, "n1", "election_start", term=1)
+    log.record(2.0, "n2", "process_paused")
+    assert [r.kind for r in seen] == ["election_start", "process_paused"]
+    assert seen[0].get("term") == 1
+    assert len(log) == 0  # observed, not stored
+
+
+def test_safety_checker_event_hooks_see_every_record_under_gate():
+    """Run a leader-kill scenario with storage disabled for hook kinds:
+    the subscribed checker must still observe every term/role/fault
+    transition (same count as with the gate fully open)."""
+
+    def run(gate: bool) -> tuple[int, int]:
+        cluster = build_cluster(
+            ClusterConfig(n_nodes=3, seed=11, rtt_ms=50.0),
+            make_policy_factory("raft-low"),
+        )
+        hook_hits = []
+        orig = SafetyChecker.check_now
+
+        class CountingChecker(SafetyChecker):
+            def check_now(self):  # noqa: D102
+                hook_hits.append(cluster.loop.now)
+                orig(self)
+
+        checker = CountingChecker(cluster)
+        checker.install(event_hooks=True)
+        if gate:
+            # Keep only a kind the scenario never emits: storage is
+            # effectively off for every hook kind.
+            cluster.trace.keep_kinds({"never_emitted"})
+        cluster.start()
+        ClusterHarness(cluster).run_leader_failure_loop(
+            2, warmup_ms=2_000.0, sleep_ms=1_500.0, settle_ms=2_000.0
+        )
+        return len(hook_hits), len(cluster.trace.all())
+
+    open_hits, open_stored = run(gate=False)
+    gated_hits, gated_stored = run(gate=True)
+    assert open_hits > 0
+    assert gated_hits == open_hits  # hooks unaffected by the storage gate
+    assert gated_stored == 0 and open_stored > 0
+
+
+def test_hook_kinds_cover_role_and_fault_records():
+    # The checker relies on these exact kinds existing in HOOK_KINDS;
+    # losing one silently shrinks event-hook coverage.
+    assert {
+        "become_leader",
+        "step_down",
+        "election_timeout",
+        "process_paused",
+        "process_crashed",
+    } <= HOOK_KINDS
