@@ -44,6 +44,49 @@ def load_means(path: pathlib.Path) -> dict[str, float]:
     return means
 
 
+#: ``extra_info`` keys that form the memory trajectory (recorded by the
+#: compaction benches; see benchmarks/test_bench_compaction.py).
+MEMORY_KEYS = (
+    "tracemalloc_peak_kb",
+    "max_retained_entries",
+    "replayed_entries",
+    "compactions",
+)
+
+
+def load_memory(path: pathlib.Path) -> dict[str, dict[str, float]]:
+    """Benchmark name → memory ``extra_info`` from a ``--benchmark-json`` file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    out: dict[str, dict[str, float]] = {}
+    for bench in data.get("benchmarks", []):
+        extra = bench.get("extra_info") or {}
+        mem = {k: float(extra[k]) for k in MEMORY_KEYS if k in extra}
+        if mem:
+            out[bench["fullname"]] = mem
+    return out
+
+
+def memory_report(
+    old: dict[str, dict[str, float]], new: dict[str, dict[str, float]]
+) -> list[str]:
+    """Advisory memory-trajectory lines (never gate: allocator noise is
+    platform-dependent; the *retained-entry* bounds are asserted inside the
+    benches themselves)."""
+    if not new:
+        return []
+    lines = ["", "memory trajectory (extra_info):"]
+    width = max(len(n) for n in new)
+    for name in sorted(new):
+        parts = []
+        for key, value in sorted(new[name].items()):
+            base = old.get(name, {}).get(key)
+            delta = f" (was {base:g})" if base is not None and base != value else ""
+            parts.append(f"{key}={value:g}{delta}")
+        lines.append(f"{name:<{width}}  {'  '.join(parts)}")
+    return lines
+
+
 def compare(
     old: dict[str, float], new: dict[str, float], threshold: float
 ) -> tuple[list[str], list[str]]:
@@ -155,6 +198,8 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         lines, regressed = compare(old_means, new_means, args.threshold)
         print("\n".join(lines) if lines else "no benchmarks in common")
+        for line in memory_report(load_memory(old_path), load_memory(new_path)):
+            print(line)
         if regressed and not args.no_fail:
             print(f"\n{len(regressed)} benchmark(s) regressed > {args.threshold:.0%}")
             return 1
@@ -207,12 +252,16 @@ def main(argv: list[str] | None = None) -> int:
     baseline = args.baseline or previous_snapshot(args.results_dir, snapshot)
     if baseline is None:
         print("no previous snapshot to compare against — baseline recorded.")
+        for line in memory_report({}, load_memory(snapshot)):
+            print(line)
         return 0
     print(f"comparing against: {baseline}\n")
     lines, regressed = compare(
         load_means(baseline), load_means(snapshot), args.threshold
     )
     print("\n".join(lines))
+    for line in memory_report(load_memory(baseline), load_memory(snapshot)):
+        print(line)
     if regressed and not args.no_fail:
         print(f"\n{len(regressed)} benchmark(s) regressed > {args.threshold:.0%}")
         return 1

@@ -73,6 +73,9 @@ class Scale:
     scale_sizes: tuple[int, ...] = (5, 25, 51)
     #: Leader kills per (system, size) cell in the scaling sweep.
     scale_failures: int = 3
+    #: Load window of the compaction soak (experiments/soak.py); the grid
+    #: also runs a 2x window per system to probe catch-up flatness.
+    soak_duration_ms: float = 60_000.0
 
 
 QUICK = Scale(
@@ -85,6 +88,7 @@ QUICK = Scale(
     ablation_failures=25,
     scale_sizes=(5, 25, 51),
     scale_failures=3,
+    soak_duration_ms=60_000.0,
 )
 
 PAPER = Scale(
@@ -97,6 +101,7 @@ PAPER = Scale(
     ablation_failures=200,
     scale_sizes=(5, 25, 51, 101),
     scale_failures=10,
+    soak_duration_ms=300_000.0,
 )
 
 

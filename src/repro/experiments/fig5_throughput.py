@@ -27,6 +27,7 @@ from repro.cluster.workload import (
     run_rps_staircase,
 )
 from repro.experiments.common import get_scale
+from repro.experiments.runner import run_tasks
 from repro.sim.rng import RngRegistry
 
 __all__ = ["Fig5Config", "SystemThroughputResult", "Fig5Result", "run", "main"]
@@ -93,20 +94,30 @@ class Fig5Result:
         return 1.0 - dyn / raft
 
 
-def run_system(
-    system: str, workload: FluidWorkloadConfig, config: Fig5Config
-) -> SystemThroughputResult:
-    rngs = RngRegistry(config.seed)
-    levels = config.levels()
-    runs: list[tuple[LoadLevelResult, ...]] = []
-    for rep in range(config.repeats):
-        results = run_rps_staircase(
-            workload,
-            levels=levels,
-            dwell_s=config.dwell_s,
-            rng=rngs.stream(f"fig5/{system}/{rep}"),
+def _run_repeat_task(
+    task: tuple[str, FluidWorkloadConfig, Fig5Config, int]
+) -> tuple[LoadLevelResult, ...]:
+    """Module-level worker: one full staircase repeat.
+
+    A repeat is the parallel unit (not a single load level): the fluid
+    backlog deliberately persists across levels — the paper's clients
+    never stop — so the levels of one staircase are a sequential chain.
+    The RNG stream is derived by name from ``(seed, system, rep)`` exactly
+    as the sequential implementation derived it, so the fan-out reproduces
+    the sequential numbers bit for bit.
+    """
+    system, workload, config, rep = task
+    rng = RngRegistry(config.seed).stream(f"fig5/{system}/{rep}")
+    return tuple(
+        run_rps_staircase(
+            workload, levels=config.levels(), dwell_s=config.dwell_s, rng=rng
         )
-        runs.append(tuple(results))
+    )
+
+
+def _collect_system(
+    system: str, levels: list[float], runs: list[tuple[LoadLevelResult, ...]]
+) -> SystemThroughputResult:
     tp = np.array([[r.throughput_rps for r in rr] for rr in runs])
     lat = np.array([[r.mean_latency_ms for r in rr] for rr in runs])
     return SystemThroughputResult(
@@ -120,13 +131,42 @@ def run_system(
     )
 
 
-def run(config: Fig5Config | None = None) -> Fig5Result:
+def run_system(
+    system: str,
+    workload: FluidWorkloadConfig,
+    config: Fig5Config,
+    *,
+    jobs: int | None = None,
+) -> SystemThroughputResult:
+    runs = run_tasks(
+        _run_repeat_task,
+        [(system, workload, config, rep) for rep in range(config.repeats)],
+        jobs=jobs,
+    )
+    return _collect_system(system, config.levels(), runs)
+
+
+def run(config: Fig5Config | None = None, *, jobs: int | None = None) -> Fig5Result:
+    """Run both systems' staircases (every (system, repeat) pair fans out
+    across ``REPRO_JOBS``/``jobs``; results are identical for any job
+    count — and to the former sequential implementation)."""
     cfg = config if config is not None else Fig5Config.quick()
+    systems = [("raft", cfg.raft_workload), ("dynatune", cfg.dynatune_workload())]
+    tasks = [
+        (system, workload, cfg, rep)
+        for system, workload in systems
+        for rep in range(cfg.repeats)
+    ]
+    results = run_tasks(_run_repeat_task, tasks, jobs=jobs)
     return Fig5Result(
         config=cfg,
         systems={
-            "raft": run_system("raft", cfg.raft_workload, cfg),
-            "dynatune": run_system("dynatune", cfg.dynatune_workload(), cfg),
+            system: _collect_system(
+                system,
+                cfg.levels(),
+                results[idx * cfg.repeats : (idx + 1) * cfg.repeats],
+            )
+            for idx, (system, _) in enumerate(systems)
         },
     )
 

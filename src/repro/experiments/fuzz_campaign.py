@@ -83,6 +83,8 @@ class TrialRecord:
     steps_applied: int
     steps_skipped: int
     duration_ms: float
+    compactions: int = 0
+    snapshots_installed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -138,6 +140,8 @@ def _run_one(task: tuple[FuzzCampaignConfig, int]) -> TrialRecord:
         steps_applied=result.steps_applied,
         steps_skipped=result.steps_skipped,
         duration_ms=result.duration_ms,
+        compactions=result.compactions,
+        snapshots_installed=result.snapshots_installed,
     )
 
 
@@ -216,6 +220,20 @@ def main(argv: list[str] | None = None) -> int:
         help="inject a known bug (oracle validation; see repro.fuzz.bugs)",
     )
     parser.add_argument(
+        "--compaction",
+        nargs="?",
+        type=int,
+        const=40,
+        default=None,
+        metavar="THRESHOLD",
+        help=(
+            "run trials with log compaction on (threshold entries; default "
+            "40 when the flag is bare) and bias half the scenarios toward "
+            "a long-lagging crashed node, so snapshot installs happen "
+            "under the full safety + linearizability oracle"
+        ),
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help=(
@@ -244,11 +262,20 @@ def main(argv: list[str] | None = None) -> int:
         gen_overrides["horizon_ms"] = args.horizon_ms
     if args.max_steps is not None:
         gen_overrides["max_steps"] = args.max_steps
+    trial = FuzzTrialConfig()
+    if args.compaction is not None:
+        if args.compaction < 1:
+            parser.error("--compaction threshold must be >= 1")
+        gen_overrides["p_compaction_lag"] = 0.5
+        trial = dataclasses.replace(
+            trial, compaction_threshold=args.compaction, compaction_margin=8
+        )
     cfg = FuzzCampaignConfig(
         n_trials=args.trials,
         seed=args.seed,
         systems=tuple(args.system) if args.system else CAMPAIGN_SYSTEMS,
         gen=GenConfig(**gen_overrides),
+        trial=trial,
         inject=args.inject,
     )
     result = run(cfg)
@@ -261,6 +288,12 @@ def main(argv: list[str] | None = None) -> int:
         f"systems {'/'.join(cfg.systems)}), {n_ops} client ops "
         f"({n_completed} completed), {undecided} undecided linearizability searches"
     )
+    if cfg.trial.compaction_threshold > 0:
+        print(
+            f"compaction coverage: {sum(t.compactions for t in result.trials)} "
+            f"compactions, {sum(t.snapshots_installed for t in result.trials)} "
+            "snapshot installs across the campaign"
+        )
     if args.digest:
         print(f"digest: {digest(result)}")
 

@@ -50,11 +50,17 @@ def _commit_rewrite(cluster: Cluster) -> None:
         node = cluster.nodes[name]
         if node.state is ProcessState.RUNNING and node.commit_index >= 1:
             index = node.commit_index
+            if index <= node.log.last_included_index:
+                # The slot is inside the compacted prefix; corrupt from the
+                # first physically present entry instead.
+                index = node.log.first_index
+                if index > node.log.last_index:
+                    continue  # fully compacted log: nothing to rewrite
             old_term = node.log.term_at(index)
             # Reach into the log the way real corruption would: no API
             # grows a "rewrite committed entries" method for a bug injector.
             entries = node.log._entries
-            for i in range(index - 1, len(entries)):
+            for i in range(index - node.log.last_included_index - 1, len(entries)):
                 e = entries[i]
                 entries[i] = LogEntry(
                     term=e.term + 1_000, index=e.index, command=e.command

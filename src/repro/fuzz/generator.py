@@ -77,6 +77,15 @@ class GenConfig:
         p_repair: probability a partition/crash gets a heal/recover.
         rtt_range_ms / loss_range / pause_range_ms / flap_down_range_ms:
             parameter ranges for the corresponding step kinds.
+        p_compaction_lag: probability a scenario additionally carries a
+            *compaction-pressure* pattern — one concrete node crashed
+            early and recovered only after a long lag window
+            (``lag_range_ms``), so a cluster running with small
+            compaction thresholds is forced to compact past the lagger's
+            match index and serve it a snapshot on return.  ``0.0`` (the
+            default) draws **nothing** from the stream, keeping every
+            existing seed's scenario byte-identical.
+        lag_range_ms: crash→recover gap of the compaction-pressure lagger.
     """
 
     n_nodes: int = 5
@@ -91,6 +100,8 @@ class GenConfig:
     loss_range: tuple[float, float] = (0.0, 0.25)
     pause_range_ms: tuple[float, float] = (100.0, 3_500.0)
     flap_down_range_ms: tuple[float, float] = (50.0, 1_500.0)
+    p_compaction_lag: float = 0.0
+    lag_range_ms: tuple[float, float] = (6_000.0, 15_000.0)
 
     def __post_init__(self) -> None:
         if self.n_nodes < 3:
@@ -101,21 +112,31 @@ class GenConfig:
             raise ValueError("horizon_ms and et_ms must be > 0")
         if not (0.0 <= self.conflict_bias <= 1.0):
             raise ValueError("conflict_bias must be in [0, 1]")
+        if not (0.0 <= self.p_compaction_lag <= 1.0):
+            raise ValueError("p_compaction_lag must be in [0, 1]")
 
     @property
     def node_names(self) -> tuple[str, ...]:
         return tuple(f"n{i}" for i in range(1, self.n_nodes + 1))
 
+    _TUPLE_FIELDS = (
+        "rtt_range_ms",
+        "loss_range",
+        "pause_range_ms",
+        "flap_down_range_ms",
+        "lag_range_ms",
+    )
+
     def to_dict(self) -> dict:
         d = dataclasses.asdict(self)
-        for field in ("rtt_range_ms", "loss_range", "pause_range_ms", "flap_down_range_ms"):
+        for field in self._TUPLE_FIELDS:
             d[field] = list(d[field])
         return d
 
     @classmethod
     def from_dict(cls, data: dict) -> "GenConfig":
         payload = dict(data)
-        for field in ("rtt_range_ms", "loss_range", "pause_range_ms", "flap_down_range_ms"):
+        for field in cls._TUPLE_FIELDS:
             if field in payload:
                 payload[field] = tuple(payload[field])
         return cls(**payload)
@@ -294,6 +315,19 @@ class ScenarioGen:
     # entry point
     # ------------------------------------------------------------------ #
 
+    def _gen_compaction_lag(self, rng: np.random.Generator, steps: list[Step]) -> None:
+        """Compaction pressure: a concrete node crashes early and stays
+        down across a long committed-history window, then recovers —
+        under a small compaction threshold the leader must compact past
+        its match index and the return is served via InstallSnapshot."""
+        cfg = self.config
+        node = cfg.node_names[int(rng.integers(cfg.n_nodes))]
+        down_at = _grid(float(rng.uniform(0.0, cfg.horizon_ms * 0.3)))
+        lo, hi = cfg.lag_range_ms
+        back_at = _grid(down_at + float(rng.uniform(lo, hi)))
+        steps.append(Crash(at_ms=down_at, node=node))
+        steps.append(Recover(at_ms=back_at, node=node))
+
     def generate(self, seed: int) -> Scenario:
         """Generate the scenario for ``seed`` (pure: same seed, same bytes)."""
         cfg = self.config
@@ -305,6 +339,10 @@ class ScenarioGen:
             t = self._draw_time(rng, anchors)
             anchors.append(t)
             self._gen_step(rng, t, steps)
+        # Guarded so the default (0.0) consumes no draw: every pre-existing
+        # seed keeps producing exactly the same scenario bytes.
+        if cfg.p_compaction_lag > 0.0 and float(rng.random()) < cfg.p_compaction_lag:
+            self._gen_compaction_lag(rng, steps)
         scenario = Scenario(
             f"fuzz-{seed}",
             steps,

@@ -27,6 +27,7 @@ from repro.fuzz.bugs import install_bug
 from repro.fuzz.history import OpHistory
 from repro.fuzz.linearizability import DEFAULT_BUDGET, check_history
 from repro.fuzz.workload import WorkloadConfig, WorkloadDriver
+from repro.raft.types import RaftConfig
 from repro.scenarios.safety import SafetyChecker
 from repro.scenarios.scenario import Scenario
 
@@ -59,10 +60,19 @@ class FuzzTrialConfig:
     #: validate the oracle; reproducer files never carry it.
     inject: str | None = None
     inject_at_ms: float = 9_000.0
+    #: Log-compaction pressure: with a small threshold the cluster keeps
+    #: snapshotting under the fuzz workload and any lagging/recovered node
+    #: exercises the InstallSnapshot path under the full oracle.  ``0``
+    #: (the default, and what every existing reproducer file implies)
+    #: disables compaction — bit-identical to the pre-compaction trials.
+    compaction_threshold: int = 0
+    compaction_margin: int = 8
 
     def __post_init__(self) -> None:
         if self.settle_ms < 0.0 or self.min_run_ms < 0.0:
             raise ValueError("settle_ms and min_run_ms must be >= 0")
+        if self.compaction_threshold < 0 or self.compaction_margin < 0:
+            raise ValueError("compaction_threshold and compaction_margin must be >= 0")
 
     def end_ms(self, scenario: Scenario) -> float:
         return max(scenario.end_ms + self.settle_ms, self.min_run_ms)
@@ -94,6 +104,9 @@ class TrialResult:
     first_leader_ms: float | None
     duration_ms: float
     lin_configs: int
+    #: Compaction coverage (0 when compaction is disabled).
+    compactions: int = 0
+    snapshots_installed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -108,6 +121,10 @@ def run_trial(config: FuzzTrialConfig, scenario: Scenario) -> TrialResult:
             seed=config.seed,
             rtt_ms=config.rtt_ms,
             loss=config.loss,
+            raft=RaftConfig(
+                compaction_threshold=config.compaction_threshold,
+                compaction_retain_margin=config.compaction_margin,
+            ),
         ),
         make_policy_factory(config.system),
     )
@@ -154,4 +171,6 @@ def run_trial(config: FuzzTrialConfig, scenario: Scenario) -> TrialResult:
         first_leader_ms=leaders[0].time if leaders else None,
         duration_ms=end,
         lin_configs=lin.configs_explored,
+        compactions=len(cluster.trace.of_kind("log_compact")),
+        snapshots_installed=len(cluster.trace.of_kind("snapshot_install")),
     )

@@ -34,6 +34,8 @@ __all__ = [
     "VoteResponse",
     "AppendEntriesRequest",
     "AppendEntriesResponse",
+    "InstallSnapshotRequest",
+    "InstallSnapshotResponse",
     "HeartbeatRequest",
     "HeartbeatResponse",
     "ClientRequest",
@@ -138,6 +140,62 @@ class AppendEntriesResponse:
             f"AppendEntriesResponse(term={self.term}, follower={self.follower!r}, "
             f"success={self.success}, match={self.match_index}, "
             f"conflict={self.conflict_index})"
+        )
+
+
+class InstallSnapshotRequest:
+    """Snapshot transfer (§7 of the Raft paper; etcd ``MsgSnap``).
+
+    Sent when a follower's ``next_index`` has fallen below the leader's
+    ``log.first_index`` — the entries it needs are compacted away, so the
+    leader ships its durable state-machine snapshot instead.  Warm path,
+    not hot (one per far-behind follower per catch-up), but slotted like
+    the other replication payloads: a recovering follower can trigger a
+    burst of them.  Immutable by convention — ``data`` is the leader's
+    snapshot image and must never be mutated by the receiver (it
+    ``restore()``\\ s a copy).
+    """
+
+    __slots__ = ("term", "leader", "last_included_index", "last_included_term", "data")
+
+    def __init__(
+        self,
+        term: int,
+        leader: str,
+        last_included_index: int,
+        last_included_term: int,
+        data: Any,
+    ) -> None:
+        self.term = term
+        self.leader = leader
+        self.last_included_index = last_included_index
+        self.last_included_term = last_included_term
+        self.data = data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InstallSnapshotRequest(term={self.term}, leader={self.leader!r}, "
+            f"last=({self.last_included_index},{self.last_included_term}))"
+        )
+
+
+class InstallSnapshotResponse:
+    """Snapshot transfer ack.  ``last_included_index`` echoes the installed
+    (or already-covered) snapshot frontier so the leader can advance
+    ``match_index``/``next_index`` past the transfer.  Immutable by
+    convention."""
+
+    __slots__ = ("term", "follower", "last_included_index")
+
+    def __init__(self, term: int, follower: str, last_included_index: int) -> None:
+        self.term = term
+        self.follower = follower
+        self.last_included_index = last_included_index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InstallSnapshotResponse(term={self.term}, "
+            f"follower={self.follower!r}, last={self.last_included_index})"
         )
 
 

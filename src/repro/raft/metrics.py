@@ -39,6 +39,12 @@ class NodeMetrics:
     commit_advances: int = 0
     client_requests: int = 0
     client_redirects: int = 0
+    #: Log-compaction lifecycle (0 everywhere while compaction is off).
+    snapshots_taken: int = 0
+    compactions: int = 0
+    entries_compacted: int = 0
+    snapshots_sent: int = 0
+    snapshots_installed: int = 0
     #: The currently armed randomizedTimeout (ms); kept current by the node
     #: every time the election timer (or the leader's quorum timer) is armed.
     current_randomized_timeout_ms: float = 0.0

@@ -57,7 +57,7 @@ import numpy as np
 
 from repro.dynatune.policy import TuningPolicy
 from repro.raft.commit import CommitTracker
-from repro.raft.log import RaftLog
+from repro.raft.log import RaftLog, Snapshot
 from repro.raft.messages import (
     AppendEntriesRequest,
     AppendEntriesResponse,
@@ -65,6 +65,8 @@ from repro.raft.messages import (
     ClientResponse,
     HeartbeatRequest,
     HeartbeatResponse,
+    InstallSnapshotRequest,
+    InstallSnapshotResponse,
     PreVoteRequest,
     PreVoteResponse,
     VoteRequest,
@@ -136,6 +138,11 @@ class RaftNode(Process):
         self.current_term = 0
         self.voted_for: str | None = None
         self.log = RaftLog()
+        #: Durable snapshot (§7): the state-machine image crash-recovery
+        #: restores and InstallSnapshot ships.  ``None`` until the first
+        #: compaction (or installed snapshot); always at or ahead of the
+        #: log's compaction frontier.
+        self.snapshot: Snapshot | None = None
 
         # Volatile state.
         self.role = Role.FOLLOWER
@@ -159,6 +166,8 @@ class RaftNode(Process):
         # send/response chains accumulate without bound.
         self._inflight_appends: dict[str, int] = {}
         self._last_append_response: dict[str, float] = {}
+        #: peer -> send time of an unacknowledged InstallSnapshot transfer.
+        self._snapshot_inflight: dict[str, float] = {}
         # Incrementally maintained quorum-match frontier (reset per reign).
         self._commit = CommitTracker(self.quorum - 1)
 
@@ -193,6 +202,9 @@ class RaftNode(Process):
         # Buffered uniform draws (bit-identical to per-call rng.random()).
         self._rand_buf: list[float] | None = None
         self._rand_pos = 0
+        # Frozen-config compaction knobs, read after every apply batch.
+        self._compaction_threshold: int = config.compaction_threshold
+        self._compaction_margin: int = config.compaction_retain_margin
         # Frozen-config flags read on every beat.
         self._hb_consolidated: bool = config.consolidated_heartbeat_timer
         self._hb_stagger: bool = config.heartbeat_phase_stagger
@@ -214,11 +226,18 @@ class RaftNode(Process):
         self._arm_election_timer()
 
     def on_recover(self) -> None:
-        """Crash-recovery: volatile state resets, persistent state survives."""
+        """Crash-recovery: volatile state resets; persistent state — the
+        term/vote pair, the log, and the durable snapshot — survives.
+
+        Without a snapshot the state machine restarts empty and the whole
+        log replays as the commit index re-advances (the pre-compaction
+        behaviour).  With one, recovery is *history-independent*: the
+        machine restores the snapshot image and only the retained tail
+        beyond it replays — entries below the log's first index no longer
+        exist, so this path is what makes compaction crash-safe.
+        """
         self.role = Role.FOLLOWER
         self.leader_id = None
-        self.commit_index = 0
-        self.last_applied = 0
         self.last_leader_contact = _NEG_INF
         self._prevotes = set()
         self._votes = set()
@@ -228,10 +247,22 @@ class RaftNode(Process):
         self._pending_client = {}
         self._inflight_appends = {}
         self._last_append_response = {}
+        self._snapshot_inflight = {}
         self._commit = CommitTracker(self.quorum - 1)
         self._hb_cache = {}
         self._hb_resp_cache = None
         self.state_machine.reset()
+        snap = self.snapshot
+        if snap is not None:
+            # The snapshot only ever covers applied (hence committed)
+            # entries, so its index is a sound post-restart commit floor —
+            # the same initialisation etcd performs from its snapshot file.
+            self.state_machine.restore(snap.data)
+            self.commit_index = snap.last_included_index
+            self.last_applied = snap.last_included_index
+        else:
+            self.commit_index = 0
+            self.last_applied = 0
         self.policy.on_leader_change(None, self.loop.now)
         self._arm_election_timer()
 
@@ -428,6 +459,7 @@ class RaftNode(Process):
         self._last_peer_response = {p: self.loop.now for p in self.peers}
         self._inflight_appends = {p: 0 for p in self.peers}
         self._last_append_response = {p: self.loop.now for p in self.peers}
+        self._snapshot_inflight = {}
         self._commit = CommitTracker(self.quorum - 1)
         self._hb_cache = {}
         # No-op entry: lets this leader commit its predecessors' tail
@@ -588,13 +620,23 @@ class RaftNode(Process):
     APPEND_PIPELINE_STALL_MS = 1_000.0
 
     def _send_append(self, peer: str, *, force: bool = False) -> None:
+        sent_at = self._snapshot_inflight.get(peer)
+        if sent_at is not None:
+            if self.loop.now - sent_at <= self.APPEND_PIPELINE_STALL_MS:
+                return  # snapshot transfer in flight; wait for its ack
+            del self._snapshot_inflight[peer]  # transfer presumed lost
         if not force and self._inflight_appends.get(peer, 0) >= self.MAX_INFLIGHT_APPENDS:
             return  # pipeline full; the next response will pull more
-        self._inflight_appends[peer] = self._inflight_appends.get(peer, 0) + 1
         next_i = self.next_index.get(peer, self.log.last_index + 1)
         if next_i > self.log.last_index + 1:
             next_i = self.log.last_index + 1
             self.next_index[peer] = next_i
+        if next_i < self.log.first_index:
+            # The entries this follower needs are compacted away — fall
+            # back to shipping the durable snapshot (§7).
+            self._send_snapshot(peer)
+            return
+        self._inflight_appends[peer] = self._inflight_appends.get(peer, 0) + 1
         prev = next_i - 1
         entries = self.log.slice_from(next_i, self.config.max_entries_per_append)
         self._rpc(
@@ -615,6 +657,49 @@ class RaftNode(Process):
             # §IV-E feature 1: this replication message is the heartbeat;
             # push the dedicated one out by a full interval.
             self._schedule_heartbeat(peer)
+
+    def _send_snapshot(self, peer: str) -> None:
+        """Ship a snapshot to a follower behind ``log.first_index``.
+
+        The durable snapshot is refreshed at transfer time when it lags
+        ``last_applied`` by more than the retain margin (etcd builds its
+        ``MsgSnap`` payload from applied state the same way): the receiver
+        then replays at most a margin-scale tail afterwards, keeping
+        catch-up cost independent of both history length and compaction
+        phase.  One transfer per follower at a time (tracked in
+        ``_snapshot_inflight``); a transfer unacknowledged past the append
+        stall window is presumed lost and retried by ``_send_append``.
+        """
+        snap = self.snapshot
+        applied = self.last_applied
+        if snap is None or applied - snap.last_included_index > self._compaction_margin:
+            snap = self.snapshot = Snapshot(
+                applied, self.log.term_at(applied), self.state_machine.snapshot()
+            )
+            self.metrics.snapshots_taken += 1
+        self._snapshot_inflight[peer] = self.loop.now
+        req = InstallSnapshotRequest(
+            self.current_term,
+            self.name,
+            snap.last_included_index,
+            snap.last_included_term,
+            snap.data,
+        )
+        try:
+            n_items = len(snap.data)
+        except TypeError:
+            n_items = 0
+        self._rpc(peer, req, size=128 + 32 * n_items)
+        self.metrics.snapshots_sent += 1
+        self._charge("snapshot_send")
+        self.trace.record(
+            self.loop.now,
+            self.name,
+            "snapshot_send",
+            to=peer,
+            snapshot_index=snap.last_included_index,
+            term=self.current_term,
+        )
 
     def _advance_commit(self, old_match: int, new_match: int) -> None:
         """Majority-match commit, restricted to current-term entries.
@@ -652,6 +737,65 @@ class RaftNode(Process):
                     ClientResponse(request_id=req_id, ok=True, result=result),
                     channel=self._rpc_channel,
                 )
+        if self._compaction_threshold > 0:
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Snapshot + compact once the retained log exceeds the threshold.
+
+        Policy (checked after every apply batch):
+
+        * trigger on the *retained* entry count (``last_index − frontier``)
+          crossing ``compaction_threshold`` — the quantity the memory
+          bound is stated in;
+        * snapshot the state machine at ``last_applied`` (the image and
+          the frontier candidate are exactly in sync there);
+        * compact to ``last_applied − compaction_retain_margin``, keeping
+          a catch-up margin of already-snapshotted entries in the log;
+        * a leader additionally never compacts past the match index of a
+          *live* follower (one that responded within an election timeout)
+          — those catch up from the log for free; an unresponsive one
+          stops gating memory and is served a snapshot on return;
+        * the frontier only moves in chunks larger than the margin: a
+          snapshot is a full O(state) copy, so when the compactable window
+          merely *creeps* (a live follower persistently behind, or a
+          threshold configured at or below the margin) the work is
+          deferred until a margin's worth of progress has accumulated
+          instead of re-snapshotting on every apply batch.
+        """
+        log = self.log
+        if log.last_index - log.last_included_index <= self._compaction_threshold:
+            return
+        upto = self.last_applied - self._compaction_margin
+        if self.role is Role.LEADER:
+            now = self.loop.now
+            et = self.policy.election_timeout_ms(None)
+            last = self._last_peer_response
+            match = self.match_index
+            for p in self.peers:
+                if now - last.get(p, _NEG_INF) <= et:
+                    m = match.get(p, 0)
+                    if m < upto:
+                        upto = m
+        if upto - log.last_included_index <= self._compaction_margin:
+            return
+        applied = self.last_applied
+        self.snapshot = Snapshot(
+            applied, log.term_at(applied), self.state_machine.snapshot()
+        )
+        dropped = log.compact(upto)
+        self.metrics.snapshots_taken += 1
+        self.metrics.compactions += 1
+        self.metrics.entries_compacted += dropped
+        self.trace.record(
+            self.loop.now,
+            self.name,
+            "log_compact",
+            upto=upto,
+            snapshot_index=applied,
+            dropped=dropped,
+            retained=log.last_index - upto,
+        )
 
     # ------------------------------------------------------------------ #
     # message dispatch
@@ -885,6 +1029,70 @@ class RaftNode(Process):
             self.next_index[follower] = hint if hint is not None else fallback
             self._send_append(follower)
 
+    # -- snapshot transfer --------------------------------------------------- #
+
+    def _on_install_snapshot(self, sender: str, m: InstallSnapshotRequest) -> None:
+        self._charge("snapshot_recv")
+        if m.term < self.current_term:
+            self._rpc(
+                m.leader,
+                InstallSnapshotResponse(self.current_term, self.name, 0),
+            )
+            return
+        self._observe_leader_message(m.term, m.leader)
+        s_index = m.last_included_index
+        if s_index > self.commit_index:
+            self.log.install_snapshot(s_index, m.last_included_term)
+            self.state_machine.restore(m.data)
+            # The received image becomes this node's own durable snapshot:
+            # a crash right after installation must not lose it.
+            self.snapshot = Snapshot(s_index, m.last_included_term, m.data)
+            self.commit_index = s_index
+            self.last_applied = s_index
+            self.metrics.snapshots_installed += 1
+            self.trace.record(
+                self.loop.now,
+                self.name,
+                "snapshot_install",
+                snapshot_index=s_index,
+                term=self.current_term,
+                leader=m.leader,
+            )
+        # else: stale transfer — our commit already covers it; still ack
+        # with its index so the leader resumes appends past the transfer
+        # (entries at or below our commit index match the leader's).
+        self._arm_election_timer()
+        self._rpc(
+            m.leader,
+            InstallSnapshotResponse(self.current_term, self.name, s_index),
+        )
+
+    def _on_install_snapshot_response(
+        self, sender: str, m: InstallSnapshotResponse
+    ) -> None:
+        self._charge("snapshot_resp_recv")
+        if m.term > self.current_term:
+            self._become_follower(m.term, None)
+            return
+        if self.role is not Role.LEADER or m.term < self.current_term:
+            return
+        follower = m.follower
+        now = self.loop.now
+        self._last_peer_response[follower] = now
+        self._last_append_response[follower] = now
+        self._snapshot_inflight.pop(follower, None)
+        s_index = m.last_included_index
+        if s_index > 0:
+            old = self.match_index.get(follower, 0)
+            if s_index > old:
+                self.match_index[follower] = s_index
+                self.next_index[follower] = s_index + 1
+                self._advance_commit(old, s_index)
+            elif self.next_index.get(follower, 1) <= s_index:
+                self.next_index[follower] = s_index + 1
+        if self.match_index.get(follower, 0) < self.log.last_index:
+            self._send_append(follower)
+
     # -- pre-vote ------------------------------------------------------------- #
 
     def _on_prevote_request(self, sender: str, m: PreVoteRequest) -> None:
@@ -995,6 +1203,8 @@ RaftNode._DISPATCH = {
     HeartbeatResponse: RaftNode._on_heartbeat_response,
     AppendEntriesRequest: RaftNode._on_append_entries,
     AppendEntriesResponse: RaftNode._on_append_response,
+    InstallSnapshotRequest: RaftNode._on_install_snapshot,
+    InstallSnapshotResponse: RaftNode._on_install_snapshot_response,
     PreVoteRequest: RaftNode._on_prevote_request,
     PreVoteResponse: RaftNode._on_prevote_response,
     VoteRequest: RaftNode._on_vote_request,

@@ -30,6 +30,20 @@ class StateMachine(Protocol):
         """Drop all state (crash-recovery replays the log from scratch)."""
         ...
 
+    def snapshot(self) -> Any:
+        """A self-contained, immutable image of the current state.
+
+        The image must be restorable via :meth:`restore` and independent
+        of the live state (mutating the machine afterwards must not change
+        an already-taken snapshot) — it is shipped to lagging followers in
+        InstallSnapshot RPCs and replayed by crash-recovery.
+        """
+        ...
+
+    def restore(self, data: Any) -> None:
+        """Replace all state with a previously taken :meth:`snapshot`."""
+        ...
+
 
 @dataclasses.dataclass(slots=True, frozen=True)
 class KVCommand:
@@ -83,13 +97,18 @@ class KVStore:
         self._data.clear()
         self.applied_count = 0
 
+    def snapshot(self) -> dict[str, Any]:
+        """Copy of the full KV map (also the InstallSnapshot payload)."""
+        return dict(self._data)
+
+    def restore(self, data: dict[str, Any]) -> None:
+        """Adopt a :meth:`snapshot` image (copied; the image stays intact)."""
+        self._data = dict(data)
+
     # -- local inspection (not linearizable; tests/examples only) ---------- #
 
     def peek(self, key: str) -> Any:
         return self._data.get(key)
-
-    def snapshot(self) -> dict[str, Any]:
-        return dict(self._data)
 
     def __len__(self) -> int:
         return len(self._data)

@@ -65,6 +65,19 @@ class RaftConfig:
             beating for all of them at once, instead of ``n − 1``
             independent timers.  Trades extra heartbeats on slow paths for
             O(1) timer management.  Off by default.
+        compaction_threshold: take a state-machine snapshot and compact the
+            log once more than this many entries are retained (§7 of the
+            Raft paper).  ``0`` (the default) disables compaction entirely
+            — the log grows without bound, exactly the pre-compaction
+            behaviour every golden-seed digest was captured under.
+        compaction_retain_margin: entries kept *behind* the snapshot point
+            when compacting (etcd's ``SnapshotCatchUpEntries``): a
+            slightly-lagging follower can still catch up from the log
+            instead of paying a full snapshot transfer.  Also the slack a
+            leader grants live followers — compaction never advances past
+            ``min(live match_index)``, but a follower that stopped
+            responding does not hold memory hostage: it gets a snapshot
+            when it returns.
     """
 
     prevote: bool = True
@@ -76,6 +89,8 @@ class RaftConfig:
     heartbeat_timer_jitter_ms: float = 0.5
     suppress_heartbeats_under_load: bool = False
     consolidated_heartbeat_timer: bool = False
+    compaction_threshold: int = 0
+    compaction_retain_margin: int = 64
 
     def __post_init__(self) -> None:
         if self.max_entries_per_append < 1:
@@ -88,4 +103,13 @@ class RaftConfig:
             raise ValueError(
                 "heartbeat_timer_jitter_ms must be >= 0, "
                 f"got {self.heartbeat_timer_jitter_ms!r}"
+            )
+        if self.compaction_threshold < 0:
+            raise ValueError(
+                f"compaction_threshold must be >= 0, got {self.compaction_threshold!r}"
+            )
+        if self.compaction_retain_margin < 0:
+            raise ValueError(
+                "compaction_retain_margin must be >= 0, "
+                f"got {self.compaction_retain_margin!r}"
             )

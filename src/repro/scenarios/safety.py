@@ -14,6 +14,12 @@ checks, over the whole run:
 * **no committed-entry loss** — every ``(index, term)`` pair ever
   observed at or below a commit index stays in every node's log at that
   index for the rest of the run (committed entries are never overwritten).
+  With log compaction enabled, a pair at or below a node's snapshot
+  frontier counts as *retained via snapshot*: the entry's bytes are gone
+  but its effect is inside the state-machine image, which is exactly what
+  §7 of the Raft paper promises.  The frontier itself still carries a
+  term, so a frontier whose term contradicts the committed pair at that
+  index is a violation — a snapshot must never launder an overwrite.
 
 Commit indices are sound under-approximations of "truly committed" even
 on a deposed leader (it cannot advance commit without a majority), so the
@@ -161,13 +167,23 @@ class SafetyChecker:
             # Record every index the commit advanced over since the last
             # sample (not just the endpoint): an entry committed and then
             # lost *between* samples must still be caught.  After a crash
-            # the commit restarts at 0 and the prefix is re-recorded —
-            # harmless, and re-checking it against earlier terms is free
-            # extra coverage.
+            # the commit restarts at 0 (or the snapshot index) and the
+            # prefix is re-recorded — harmless, and re-checking it against
+            # earlier terms is free extra coverage.
             start = prev[0] if prev is not None and prev[1] == incarnation else 0
             self._last[name] = (commit, incarnation)
-            for index in range(min(start, commit) + 1, commit + 1):
-                term = node.log.term_at(index)
+            log = node.log
+            frontier = log.last_included_index
+            lo = min(start, commit)
+            if frontier > 0:
+                # Entries below the frontier are retained via snapshot and
+                # have no individually readable term; the frontier entry
+                # itself still does, so per-index recording starts there.
+                # (The frontier term is cross-checked against the committed
+                # map below via the same term_at read.)
+                lo = max(lo, frontier - 1)
+            for index in range(lo + 1, commit + 1):
+                term = log.term_at(index)
                 seen = self._committed.get(index)
                 if seen is None:
                     self._committed[index] = term
@@ -201,11 +217,25 @@ class SafetyChecker:
             )
 
         for name, node in self.cluster.nodes.items():
+            log = node.log
+            frontier = log.last_included_index
             for index, term in self._committed.items():
-                if index <= node.commit_index and node.log.term_at(index) != term:
+                if index > node.commit_index:
+                    continue
+                if index < frontier:
+                    # Retained via snapshot: the frontier covers it, and a
+                    # frontier is only ever taken over applied (committed)
+                    # state, so the pair is preserved by construction.
+                    continue
+                held = log.term_at(index)
+                if held != term:
+                    what = (
+                        "snapshot frontier contradicts committed entry"
+                        if index == frontier
+                        else "committed entry lost"
+                    )
                     problems.append(
-                        f"committed entry lost: {name} holds term "
-                        f"{node.log.term_at(index)} at index {index}, "
+                        f"{what}: {name} holds term {held} at index {index}, "
                         f"but term {term} was committed there"
                     )
         return problems

@@ -126,3 +126,61 @@ def test_fig4_trials_collect_all_shards():
         assert r.systems[s].detection_summary.mean == pytest.approx(
             float(r.systems[s].detection_ms.mean())
         )
+
+
+_FIG5_SMALL = None  # built lazily: importing fig5 pulls numpy-heavy modules
+
+
+def _fig5_small():
+    from repro.experiments import fig5_throughput as fig5
+
+    return fig5, fig5.Fig5Config(repeats=3, dwell_s=2.0, max_rps=4_000.0)
+
+
+def test_fig5_parallel_repeats_bit_identical():
+    fig5, cfg = _fig5_small()
+    seq = fig5.run(cfg, jobs=1)
+    par = fig5.run(cfg, jobs=3)
+    for s in ("raft", "dynatune"):
+        assert np.array_equal(
+            seq.systems[s].throughput_rps, par.systems[s].throughput_rps
+        )
+        assert np.array_equal(
+            seq.systems[s].mean_latency_ms, par.systems[s].mean_latency_ms
+        )
+        assert seq.systems[s].peak_rps == par.systems[s].peak_rps
+        assert seq.systems[s].runs == par.systems[s].runs
+
+
+def test_fig5_fanout_matches_sequential_reference():
+    """The run_tasks routing must reproduce the former sequential loop:
+    per-repeat streams are derived by name, so a hand-rolled sequential
+    staircase over the same streams is the bit-exact reference."""
+    from repro.cluster.workload import run_rps_staircase
+    from repro.sim.rng import RngRegistry
+
+    fig5, cfg = _fig5_small()
+    result = fig5.run(cfg, jobs=2)
+    rngs = RngRegistry(cfg.seed)
+    for system, workload in (
+        ("raft", cfg.raft_workload),
+        ("dynatune", cfg.dynatune_workload()),
+    ):
+        for rep in range(cfg.repeats):
+            reference = tuple(
+                run_rps_staircase(
+                    workload,
+                    levels=cfg.levels(),
+                    dwell_s=cfg.dwell_s,
+                    rng=rngs.stream(f"fig5/{system}/{rep}"),
+                )
+            )
+            assert result.systems[system].runs[rep] == reference
+
+
+def test_fig5_run_system_respects_jobs():
+    fig5, cfg = _fig5_small()
+    a = fig5.run_system("raft", cfg.raft_workload, cfg, jobs=1)
+    b = fig5.run_system("raft", cfg.raft_workload, cfg, jobs=2)
+    assert a.runs == b.runs
+    assert np.array_equal(a.throughput_rps, b.throughput_rps)

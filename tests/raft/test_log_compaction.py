@@ -1,0 +1,177 @@
+"""RaftLog compaction: offset indexing, frontier semantics, snapshot install."""
+
+import pytest
+
+from repro.raft.log import LogEntry, RaftLog
+
+
+def filled(n: int, term: int = 1) -> RaftLog:
+    log = RaftLog()
+    for i in range(n):
+        log.append_new(term, f"c{i + 1}")
+    return log
+
+
+# --------------------------------------------------------------------- #
+# compact()
+# --------------------------------------------------------------------- #
+
+
+def test_fresh_log_frontier_is_sentinel():
+    log = RaftLog()
+    assert log.first_index == 1
+    assert log.last_included_index == 0
+    assert log.last_included_term == 0
+    assert log.term_at(0) == 0
+
+
+def test_compact_moves_frontier_and_releases_entries():
+    log = filled(10)
+    dropped = log.compact(6)
+    assert dropped == 6
+    assert log.first_index == 7
+    assert (log.last_included_index, log.last_included_term) == (6, 1)
+    assert log.last_index == 10
+    assert log.retained == len(log) == 4
+
+
+def test_compact_preserves_reads_above_frontier():
+    log = filled(10)
+    log.compact(6)
+    assert log.term_at(6) == 1  # the frontier itself is still readable
+    for i in range(7, 11):
+        assert log.entry_at(i).command == f"c{i}"
+        assert log.term_at(i) == 1
+    assert [e.index for e in log.entries()] == [7, 8, 9, 10]
+
+
+def test_compact_is_idempotent_and_monotone():
+    log = filled(10)
+    log.compact(6)
+    assert log.compact(6) == 0
+    assert log.compact(3) == 0  # behind the frontier: no-op
+    assert log.first_index == 7
+    assert log.compact(8) == 2  # further forward works
+    assert log.first_index == 9
+
+
+def test_compact_past_end_rejected():
+    log = filled(3)
+    with pytest.raises(ValueError):
+        log.compact(4)
+
+
+def test_reads_below_frontier_raise():
+    log = filled(10)
+    log.compact(6)
+    with pytest.raises(IndexError):
+        log.term_at(5)
+    with pytest.raises(IndexError):
+        log.entry_at(6)  # the frontier entry itself is released
+    with pytest.raises(IndexError):
+        log.slice_from(6, 2)
+
+
+def test_append_after_compact_continues_indexing():
+    log = filled(5)
+    log.compact(5)
+    entry = log.append_new(2, "x")
+    assert entry.index == 6
+    assert log.last_index == 6
+    assert log.last_term == 2
+    assert log.slice_from(6, 10) == (entry,)
+
+
+def test_last_term_of_fully_compacted_log_is_frontier_term():
+    log = filled(5, term=3)
+    log.compact(5)
+    assert len(log) == 0
+    assert log.last_term == 3
+    assert log.up_to_date(5, 3)
+    assert not log.up_to_date(4, 3)
+
+
+# --------------------------------------------------------------------- #
+# try_append across the frontier
+# --------------------------------------------------------------------- #
+
+
+def test_try_append_prev_below_frontier_counts_as_match():
+    log = filled(8)
+    log.compact(6)
+    # Leader replays an old window: prev=4, entries 5..9.  Entries at or
+    # below the frontier are committed state and skip; 7..8 dedup; 9 lands.
+    entries = [LogEntry(term=1, index=i, command=f"c{i}") for i in range(5, 10)]
+    ok, match, conflict = log.try_append(4, 1, entries)
+    assert ok and conflict is None
+    assert match == 9
+    assert log.last_index == 9
+
+
+def test_try_append_entirely_below_frontier_acks_frontier():
+    log = filled(8)
+    log.compact(6)
+    entries = [LogEntry(term=1, index=i, command=f"c{i}") for i in range(3, 5)]
+    ok, match, conflict = log.try_append(2, 1, entries)
+    assert ok and conflict is None
+    assert match == 6  # everything offered is already covered by the snapshot
+    assert log.last_index == 8
+
+
+def test_try_append_conflict_scan_stops_at_frontier():
+    log = filled(6, term=2)
+    log.compact(2)
+    # Conflicting term at index 4: the back-off hint must not walk below
+    # first_index (those terms are unknowable).
+    ok, match, conflict = log.try_append(4, 9, [])
+    assert not ok
+    assert conflict == log.first_index  # whole retained run shares term 2
+
+
+def test_try_append_conflict_truncation_with_offset():
+    log = filled(6)
+    log.compact(3)
+    new = [LogEntry(term=2, index=5, command="n5"), LogEntry(term=2, index=6, command="n6")]
+    ok, match, conflict = log.try_append(4, 1, new)
+    assert ok and match == 6
+    assert log.entry_at(5).term == 2
+    assert log.entry_at(5).command == "n5"
+    assert log.last_index == 6
+
+
+# --------------------------------------------------------------------- #
+# install_snapshot()
+# --------------------------------------------------------------------- #
+
+
+def test_install_snapshot_replaces_short_log():
+    log = filled(3)
+    assert log.install_snapshot(10, 4)
+    assert log.last_index == 10
+    assert (log.last_included_index, log.last_included_term) == (10, 4)
+    assert len(log) == 0
+    assert log.last_term == 4
+
+
+def test_install_snapshot_retains_matching_suffix():
+    log = filled(8)
+    assert log.install_snapshot(5, 1)  # we hold (5, term 1): prefix swap only
+    assert log.first_index == 6
+    assert log.last_index == 8
+    assert [e.index for e in log.entries()] == [6, 7, 8]
+
+
+def test_install_snapshot_discards_conflicting_suffix():
+    log = filled(8, term=1)
+    assert log.install_snapshot(5, 2)  # our entry 5 has term 1: wipe
+    assert log.last_index == 5
+    assert len(log) == 0
+    assert log.last_term == 2
+
+
+def test_stale_install_snapshot_is_ignored():
+    log = filled(8)
+    log.compact(6)
+    assert not log.install_snapshot(4, 1)
+    assert log.first_index == 7
+    assert log.last_index == 8

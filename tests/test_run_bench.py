@@ -75,3 +75,58 @@ def test_new_and_dropped_benchmarks_reported(snapshots):
     assert proc.returncode == 0
     assert "(new)" in proc.stdout
     assert "dropped" in proc.stdout
+
+
+def _memory_snapshot(path: pathlib.Path, benches: dict[str, dict]) -> pathlib.Path:
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {
+                        "fullname": name,
+                        "stats": {"mean": payload.get("mean", 0.01)},
+                        "extra_info": payload.get("extra", {}),
+                    }
+                    for name, payload in benches.items()
+                ]
+            }
+        )
+    )
+    return path
+
+
+def test_compare_only_prints_memory_trajectory(tmp_path):
+    old = _memory_snapshot(
+        tmp_path / "old.json",
+        {"t::mem": {"extra": {"tracemalloc_peak_kb": 900.0, "max_retained_entries": 180}}},
+    )
+    new = _memory_snapshot(
+        tmp_path / "new.json",
+        {"t::mem": {"extra": {"tracemalloc_peak_kb": 450.0, "max_retained_entries": 120}}},
+    )
+    proc = _compare(old, new)
+    assert proc.returncode == 0
+    assert "memory trajectory" in proc.stdout
+    assert "max_retained_entries=120 (was 180)" in proc.stdout
+    assert "tracemalloc_peak_kb=450" in proc.stdout
+
+
+def test_memory_trajectory_never_gates(tmp_path):
+    """A memory blow-up is reported but only timing regressions gate."""
+    old = _memory_snapshot(
+        tmp_path / "old.json", {"t::mem": {"extra": {"tracemalloc_peak_kb": 100.0}}}
+    )
+    new = _memory_snapshot(
+        tmp_path / "new.json", {"t::mem": {"extra": {"tracemalloc_peak_kb": 9_000.0}}}
+    )
+    proc = _compare(old, new)
+    assert proc.returncode == 0
+    assert "tracemalloc_peak_kb=9000 (was 100)" in proc.stdout
+
+
+def test_snapshots_without_memory_info_stay_clean(tmp_path):
+    old = _snapshot(tmp_path / "old.json", {"t::a": 0.010})
+    new = _snapshot(tmp_path / "new.json", {"t::a": 0.010})
+    proc = _compare(old, new)
+    assert proc.returncode == 0
+    assert "memory trajectory" not in proc.stdout
