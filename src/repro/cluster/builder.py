@@ -27,12 +27,15 @@ from repro.net.loss_models import BernoulliLoss
 from repro.net.network import Network
 from repro.net.topology import ClockModel, aws_geo_topology, uniform_topology
 from repro.raft.client import RaftClient
+from repro.raft.membership import ClusterConfig as MembershipConfig
 from repro.raft.node import RaftNode
 from repro.raft.state_machine import KVStore
 from repro.raft.types import RaftConfig
+from repro.sim.events import PRIORITY_CONTROL
 from repro.sim.loop import EventLoop
+from repro.sim.process import ProcessState
 from repro.sim.rng import RngRegistry
-from repro.sim.tracing import TraceLog
+from repro.sim.tracing import TraceLog, TraceRecord
 
 __all__ = ["ClusterConfig", "Cluster", "build_cluster"]
 
@@ -93,6 +96,7 @@ class Cluster:
         nodes: dict[str, RaftNode],
         cost_model: CostModel | None,
         placement: dict[str, str] | None,
+        policy_factory: Callable[[str], TuningPolicy] | None = None,
     ) -> None:
         self.config = config
         self.loop = loop
@@ -103,7 +107,14 @@ class Cluster:
         self.cost_model = cost_model
         #: node → AWS region (``None`` for the uniform topology).
         self.placement = placement
+        #: Kept so :meth:`spawn_node` can mint a policy for a joiner.
+        self._policy_factory = policy_factory
+        self._clients: list[RaftClient] = []
         self._started = False
+        self._membership_enabled = False
+        #: Removal targets already scheduled for decommissioning (the
+        #: ``config_commit`` record fires once per node that applies it).
+        self._finalized: set[str] = set()
 
     # -- lifecycle ----------------------------------------------------------- #
 
@@ -174,6 +185,7 @@ class Cluster:
                     )
                 )
         self.network.attach(client)
+        self._clients.append(client)
         return client
 
     def leader(self) -> str | None:
@@ -181,9 +193,14 @@ class Cluster:
 
         Transiently two nodes can believe they lead (a deposed leader that
         has not yet heard of its successor); the higher term is the real
-        one by election safety.
+        one by election safety.  A decommissioned ex-leader still carries
+        its old role attribute but is no part of the cluster.
         """
-        leaders = [n for n in self.nodes.values() if n.is_leader]
+        leaders = [
+            n
+            for n in self.nodes.values()
+            if n.is_leader and n.state is not ProcessState.STOPPED
+        ]
         if not leaders:
             return None
         return max(leaders, key=lambda n: n.current_term).name
@@ -215,6 +232,116 @@ class Cluster:
             f"no leader (excluding {exclude!r}) within {timeout_ms} ms "
             f"(t={self.loop.now})"
         )
+
+    # -- dynamic membership -------------------------------------------------- #
+
+    def members(self) -> list[str]:
+        """Names of nodes not decommissioned (spawned nodes included,
+        removed nodes excluded).  ``nodes`` itself keeps every node ever
+        part of the cluster so post-run verifiers can inspect the departed.
+        """
+        return [
+            n.name for n in self.nodes.values() if n.state is not ProcessState.STOPPED
+        ]
+
+    def enable_membership(self) -> None:
+        """Arm the decommissioning hook for dynamic-membership runs.
+
+        Subscribes a trace listener that watches for committed ``remove``
+        config entries and — as the operator would — stops the departed
+        node and unplugs it from the fabric.  Opt-in (and idempotent)
+        because a live trace listener forces record construction for every
+        event kind; static-cluster runs keep the trace fast path.
+        :meth:`spawn_node` and the membership scenario steps call this
+        automatically.
+        """
+        if self._membership_enabled:
+            return
+        self._membership_enabled = True
+        self.trace.subscribe(self._on_trace_record)
+
+    def _on_trace_record(self, rec: TraceRecord) -> None:
+        # Trace listeners must not re-enter the log, and stop()/detach()
+        # both trace — so decommissioning is deferred to a control event.
+        # First sighting wins: every member that applies the entry emits
+        # its own config_commit record.
+        if rec.kind != "config_commit" or rec.fields.get("change") != "remove":
+            return
+        target = rec.fields.get("target")
+        if target is None or target in self._finalized:
+            return
+        self._finalized.add(target)
+        self.loop.schedule(
+            0.0,
+            lambda name=target: self._finalize_removal(name),
+            priority=PRIORITY_CONTROL,
+        )
+
+    def _finalize_removal(self, name: str) -> None:
+        """Decommission a removed node: stop it (terminal — stale timers and
+        in-flight deliveries become no-ops), detach its endpoint (sends to
+        it become silent drops), and drop it from client rotations."""
+        node = self.nodes.get(name)
+        if node is not None:
+            node.stop()
+        self.network.detach(name)
+        for client in self._clients:
+            client.forget_server(name)
+        self.trace.record(self.loop.now, "cluster", "node_decommissioned", target=name)
+
+    def spawn_node(self, name: str) -> RaftNode:
+        """Add a fresh node to a running cluster as a non-voting learner.
+
+        Wires full-mesh links between the newcomer and every attached
+        endpoint (nodes *and* clients), attaches and starts it, and adds it
+        to client rotations.  The node starts with a learner-only
+        configuration — it learns the real membership from the leader's
+        append/snapshot stream once some member proposes ``add_learner``
+        for it; until then it cannot campaign or vote.
+
+        Names are never reused: a decommissioned node's identity stays
+        retired (its old links remain as dead wiring).
+        """
+        if name in self.nodes:
+            raise ValueError(f"node name {name!r} already used (names are not reused)")
+        if self._policy_factory is None:
+            raise RuntimeError("cluster was built without a policy_factory")
+        if self.config.topology != "uniform":
+            raise ValueError("spawn_node supports the uniform topology only")
+        self.enable_membership()
+        cfg = self.config
+        for peer in self.network.node_names():
+            for src, dst in ((name, peer), (peer, name)):
+                self.network.add_link(
+                    Link(
+                        src,
+                        dst,
+                        delay=NormalJitterDelay(cfg.rtt_ms / 2.0, cfg.jitter_sigma_ms),
+                        loss=BernoulliLoss(cfg.loss),
+                        duplicate_p=cfg.duplicate_p,
+                        rng=self.rngs.stream(f"net/{src}->{dst}"),
+                    )
+                )
+        node = RaftNode(
+            loop=self.loop,
+            name=name,
+            peers=[name],
+            network=self.network,
+            config=cfg.raft,
+            policy=self._policy_factory(name),
+            state_machine=KVStore(),
+            trace=self.trace,
+            rng=self.rngs.stream(f"raft/{name}"),
+            cost_model=self.cost_model,
+            initial_config=MembershipConfig(voters=(), learners=(name,)),
+        )
+        self.network.attach(node)
+        self.nodes[name] = node
+        for client in self._clients:
+            client.add_server(name)
+        if self._started:
+            node.start()
+        return node
 
 
 def build_cluster(
@@ -273,4 +400,5 @@ def build_cluster(
         nodes=nodes,
         cost_model=cost_model,
         placement=placement,
+        policy_factory=policy_factory,
     )

@@ -91,6 +91,12 @@ class TuningPolicy(Protocol):
 
     def on_step_down(self, now_ms: float) -> None: ...
 
+    def on_peer_removed(self, peer: str) -> None:
+        """``peer`` left the cluster for good (committed ``remove`` config
+        change): drop any per-peer tuning state so a long-lived policy
+        does not leak entries across membership churn."""
+        ...
+
     @property
     def heartbeat_channel(self) -> str:
         """Transport for heartbeats: ``"udp"`` or ``"tcp"``."""
@@ -166,6 +172,9 @@ class StaticPolicy:
 
     def on_step_down(self, now_ms: float) -> None:  # noqa: ARG002
         return None
+
+    def on_peer_removed(self, peer: str) -> None:  # noqa: ARG002
+        return None  # static policies hold no per-peer state
 
     @property
     def heartbeat_channel(self) -> str:
@@ -476,6 +485,14 @@ class DynatunePolicy:
 
     def on_step_down(self, now_ms: float) -> None:  # noqa: ARG002
         self._paths = {}
+
+    def on_peer_removed(self, peer: str) -> None:
+        """Drop the removed peer's leader-side path state (measurement
+        window, applied ``h``, sequence space).  Names are never reused,
+        so without this a long-lived policy leaks one
+        :class:`_FollowerPathState` per node the cluster ever churned
+        through."""
+        self._paths.pop(peer, None)
 
     @property
     def heartbeat_channel(self) -> str:

@@ -85,6 +85,9 @@ class TrialRecord:
     duration_ms: float
     compactions: int = 0
     snapshots_installed: int = 0
+    config_commits: int = 0
+    nodes_added: int = 0
+    nodes_removed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -142,6 +145,9 @@ def _run_one(task: tuple[FuzzCampaignConfig, int]) -> TrialRecord:
         duration_ms=result.duration_ms,
         compactions=result.compactions,
         snapshots_installed=result.snapshots_installed,
+        config_commits=result.config_commits,
+        nodes_added=result.nodes_added,
+        nodes_removed=result.nodes_removed,
     )
 
 
@@ -234,6 +240,21 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--membership",
+        nargs="?",
+        type=float,
+        const=0.6,
+        default=None,
+        metavar="PROB",
+        help=(
+            "give each generated scenario this probability of carrying a "
+            "membership add (often paired with a later remove, sometimes "
+            "of @leader; default 0.6 when the flag is bare) and make the "
+            "steps live in the trial, so elastic reconfiguration runs "
+            "under the full safety + linearizability oracle"
+        ),
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help=(
@@ -270,6 +291,11 @@ def main(argv: list[str] | None = None) -> int:
         trial = dataclasses.replace(
             trial, compaction_threshold=args.compaction, compaction_margin=8
         )
+    if args.membership is not None:
+        if not 0.0 < args.membership <= 1.0:
+            parser.error("--membership probability must be in (0, 1]")
+        gen_overrides["p_membership"] = args.membership
+        trial = dataclasses.replace(trial, membership=True)
     cfg = FuzzCampaignConfig(
         n_trials=args.trials,
         seed=args.seed,
@@ -293,6 +319,14 @@ def main(argv: list[str] | None = None) -> int:
             f"compaction coverage: {sum(t.compactions for t in result.trials)} "
             f"compactions, {sum(t.snapshots_installed for t in result.trials)} "
             "snapshot installs across the campaign"
+        )
+    if cfg.trial.membership:
+        print(
+            f"membership coverage: "
+            f"{sum(t.config_commits for t in result.trials)} config commits, "
+            f"{sum(t.nodes_added for t in result.trials)} promotions, "
+            f"{sum(t.nodes_removed for t in result.trials)} decommissions "
+            "across the campaign"
         )
     if args.digest:
         print(f"digest: {digest(result)}")

@@ -15,6 +15,14 @@ checking, shrinking — actually fires end to end:
   N-th put while acknowledging it (replicas stay identical, so no safety
   property trips).  Only the *client-facing* oracle sees it: a later get
   returns the overwritten value and the history stops being linearizable.
+* ``greedy_remove`` — whenever a leader appends a ``remove`` config
+  change, the resulting configuration silently sheds one *extra* voter,
+  turning a one-at-a-time change into a two-at-a-time change whose old
+  and new quorums need not intersect.  It fires only through the
+  reconfiguration path, so shrinking a trial it fails keeps the
+  membership step in the minimal scenario; the
+  :class:`~repro.scenarios.safety.SafetyChecker`'s membership invariants
+  (one-at-a-time, quorum overlap) catch it.
 
 Injectors mutate one concrete cluster instance; they are installed inside
 the trial worker, never pickled.
@@ -22,6 +30,7 @@ the trial worker, never pickled.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any
 
 from repro.cluster.builder import Cluster
@@ -32,7 +41,7 @@ from repro.sim.process import ProcessState
 
 __all__ = ["BUG_KINDS", "install_bug"]
 
-BUG_KINDS: tuple[str, ...] = ("commit_rewrite", "stale_apply")
+BUG_KINDS: tuple[str, ...] = ("commit_rewrite", "stale_apply", "greedy_remove")
 
 
 def _commit_rewrite(cluster: Cluster) -> None:
@@ -102,6 +111,53 @@ class _LossyKV(KVStore):
         self._puts_seen = 0
 
 
+def _greedy_remove(cluster: Cluster) -> None:
+    """Make every leader's ``remove`` proposal shed one extra voter.
+
+    The wrapped ``propose_config_change`` lets the real one-at-a-time
+    change append, then rewrites the fresh config entry in place so its
+    resulting configuration drops a second voter too — the appended
+    entry replicates and commits carrying a two-voter jump.  The node's
+    own name is never the extra victim (the corrupted leader must keep
+    running to spread the entry), mirroring how a real bookkeeping bug
+    in the reconfiguration path would metastasize.
+    """
+    for name in sorted(cluster.nodes):
+        node = cluster.nodes[name]
+        orig = node.propose_config_change
+
+        def wrapped(kind: str, target: str, _node=node, _orig=orig) -> bool:
+            ok = _orig(kind, target)
+            if ok and kind == "remove":
+                index, change = _node._config_log[-1]
+                extras = [
+                    v for v in sorted(change.config.voters) if v != _node.name
+                ]
+                if extras:
+                    corrupted = dataclasses.replace(
+                        change, config=change.config.without(extras[0])
+                    )
+                    entries = _node.log._entries
+                    pos = index - _node.log.last_included_index - 1
+                    e = entries[pos]
+                    entries[pos] = LogEntry(
+                        term=e.term, index=e.index, command=corrupted
+                    )
+                    _node._config_log[-1] = (index, corrupted)
+                    _node._refresh_membership()
+                    cluster.trace.record(
+                        cluster.loop.now,
+                        _node.name,
+                        "bug_greedy_remove",
+                        index=index,
+                        target=target,
+                        extra=extras[0],
+                    )
+            return ok
+
+        node.propose_config_change = wrapped  # type: ignore[method-assign]
+
+
 def install_bug(cluster: Cluster, kind: str, at_ms: float) -> None:
     """Install bug ``kind`` on ``cluster`` (call before ``start()``).
 
@@ -117,5 +173,10 @@ def install_bug(cluster: Cluster, kind: str, at_ms: float) -> None:
     if kind == "stale_apply":
         for node in cluster.nodes.values():
             node.state_machine = _LossyKV(drop_nth=3)
+        return
+    if kind == "greedy_remove":
+        # Armed immediately; ``at_ms`` selects nothing — the trigger is
+        # the scenario's own remove proposal.
+        _greedy_remove(cluster)
         return
     raise ValueError(f"unknown bug kind {kind!r}; expected one of {BUG_KINDS}")

@@ -33,6 +33,7 @@ import numpy as np
 from repro.scenarios.scenario import Scenario
 from repro.scenarios.steps import (
     LEADER_SELECTOR,
+    AddNode,
     Churn,
     Crash,
     Flap,
@@ -40,6 +41,7 @@ from repro.scenarios.steps import (
     Partition,
     Pause,
     Recover,
+    RemoveNode,
     Repeat,
     SetLoss,
     SetRtt,
@@ -86,6 +88,16 @@ class GenConfig:
             default) draws **nothing** from the stream, keeping every
             existing seed's scenario byte-identical.
         lag_range_ms: crash→recover gap of the compaction-pressure lagger.
+        p_membership: probability a scenario additionally carries a
+            *membership-churn* pattern — one fresh node joins
+            (learner → voter) and, usually, one original member is removed
+            afterwards, so the faults above land across live
+            reconfigurations.  Same zero-draw guarantee as
+            ``p_compaction_lag``: ``0.0`` (the default) consumes nothing
+            from the stream, so every existing seed replays unchanged.
+        membership_gap_range_ms: add→remove gap of the membership pair
+            (long enough for the join to commit before the removal races
+            the rest of the timeline).
     """
 
     n_nodes: int = 5
@@ -102,6 +114,8 @@ class GenConfig:
     flap_down_range_ms: tuple[float, float] = (50.0, 1_500.0)
     p_compaction_lag: float = 0.0
     lag_range_ms: tuple[float, float] = (6_000.0, 15_000.0)
+    p_membership: float = 0.0
+    membership_gap_range_ms: tuple[float, float] = (4_000.0, 12_000.0)
 
     def __post_init__(self) -> None:
         if self.n_nodes < 3:
@@ -114,6 +128,14 @@ class GenConfig:
             raise ValueError("conflict_bias must be in [0, 1]")
         if not (0.0 <= self.p_compaction_lag <= 1.0):
             raise ValueError("p_compaction_lag must be in [0, 1]")
+        if not (0.0 <= self.p_membership <= 1.0):
+            raise ValueError("p_membership must be in [0, 1]")
+        lo, hi = self.membership_gap_range_ms
+        if not (0.0 < lo <= hi):
+            raise ValueError(
+                f"membership_gap_range_ms must be an ascending positive "
+                f"range, got {self.membership_gap_range_ms!r}"
+            )
 
     @property
     def node_names(self) -> tuple[str, ...]:
@@ -125,6 +147,7 @@ class GenConfig:
         "pause_range_ms",
         "flap_down_range_ms",
         "lag_range_ms",
+        "membership_gap_range_ms",
     )
 
     def to_dict(self) -> dict:
@@ -328,6 +351,27 @@ class ScenarioGen:
         steps.append(Crash(at_ms=down_at, node=node))
         steps.append(Recover(at_ms=back_at, node=node))
 
+    def _gen_membership(self, rng: np.random.Generator, steps: list[Step]) -> None:
+        """Membership churn: one fresh node joins (learner, caught up,
+        auto-promoted) and — usually — one original member is removed a
+        while later, pairing the add with a remove so the timeline ends
+        near its starting size.  The joiner's name extends past the
+        static name space (``n<N+1>``), so it never collides with a
+        concrete fault target drawn elsewhere in the scenario."""
+        cfg = self.config
+        fresh = f"n{cfg.n_nodes + 1}"
+        add_at = _grid(float(rng.uniform(0.0, cfg.horizon_ms * 0.4)))
+        steps.append(AddNode(at_ms=add_at, node=fresh))
+        if float(rng.random()) < cfg.p_repair:
+            lo, hi = cfg.membership_gap_range_ms
+            rem_at = _grid(add_at + float(rng.uniform(lo, hi)))
+            victim = (
+                LEADER_SELECTOR
+                if float(rng.random()) < cfg.p_leader_selector
+                else cfg.node_names[int(rng.integers(cfg.n_nodes))]
+            )
+            steps.append(RemoveNode(at_ms=rem_at, node=victim))
+
     def generate(self, seed: int) -> Scenario:
         """Generate the scenario for ``seed`` (pure: same seed, same bytes)."""
         cfg = self.config
@@ -343,6 +387,8 @@ class ScenarioGen:
         # seed keeps producing exactly the same scenario bytes.
         if cfg.p_compaction_lag > 0.0 and float(rng.random()) < cfg.p_compaction_lag:
             self._gen_compaction_lag(rng, steps)
+        if cfg.p_membership > 0.0 and float(rng.random()) < cfg.p_membership:
+            self._gen_membership(rng, steps)
         scenario = Scenario(
             f"fuzz-{seed}",
             steps,

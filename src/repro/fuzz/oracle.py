@@ -67,6 +67,13 @@ class FuzzTrialConfig:
     #: disables compaction — bit-identical to the pre-compaction trials.
     compaction_threshold: int = 0
     compaction_margin: int = 8
+    #: Dynamic membership: when ``True`` the scenario's AddNode/RemoveNode/
+    #: ReplaceNode steps actually reconfigure the cluster (and the
+    #: reconfiguration invariants join the oracle); when ``False`` (the
+    #: default, and what every existing reproducer file implies) membership
+    #: steps are traced no-ops — pre-membership timelines replay
+    #: bit-identically.
+    membership: bool = False
 
     def __post_init__(self) -> None:
         if self.settle_ms < 0.0 or self.min_run_ms < 0.0:
@@ -107,6 +114,10 @@ class TrialResult:
     #: Compaction coverage (0 when compaction is disabled).
     compactions: int = 0
     snapshots_installed: int = 0
+    #: Membership coverage (all 0 when the membership knob is off).
+    config_commits: int = 0
+    nodes_added: int = 0
+    nodes_removed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -130,7 +141,7 @@ def run_trial(config: FuzzTrialConfig, scenario: Scenario) -> TrialResult:
     )
     checker = SafetyChecker(cluster, interval_ms=config.safety_interval_ms)
     checker.install(event_hooks=True)
-    scenario.install(cluster)
+    scenario.install(cluster, membership_enabled=config.membership)
 
     end = config.end_ms(scenario)
     history = OpHistory()
@@ -173,4 +184,15 @@ def run_trial(config: FuzzTrialConfig, scenario: Scenario) -> TrialResult:
         lin_configs=lin.configs_explored,
         compactions=len(cluster.trace.of_kind("log_compact")),
         snapshots_installed=len(cluster.trace.of_kind("snapshot_install")),
+        config_commits=len(
+            {r.get("index") for r in cluster.trace.of_kind("config_commit")}
+        ),
+        nodes_added=len(
+            {
+                r.get("index")
+                for r in cluster.trace.of_kind("config_commit")
+                if r.get("change") == "promote"
+            }
+        ),
+        nodes_removed=len(cluster.trace.of_kind("node_decommissioned")),
     )

@@ -36,8 +36,10 @@ class _Delivery(tuple):
     construction is one C-level call (``__init__``-based slotted classes
     pay an interpreter frame per message), and the only Python-level work
     left is ``__call__`` at delivery time.  Binds the endpoint and the
-    link's stats object at send time — endpoints and links are never
-    detached, so the bindings cannot go stale.
+    link's stats object at send time.  A binding can outlive a
+    ``detach()`` of its endpoint (dynamic membership removes nodes at
+    runtime); that is safe because a removed node is stopped first, so
+    the late delivery dies at the process's liveness gate.
     """
 
     __slots__ = ()
@@ -98,6 +100,30 @@ class Network:
         self._endpoints[endpoint.name] = endpoint
         if self._partition_of is not None and endpoint.name not in self._partition_of:
             self._partition_of[endpoint.name] = self._implicit_group
+
+    def detach(self, name: str) -> None:
+        """Unregister a removed node's endpoint.  Idempotent.
+
+        The mirror of the :meth:`attach`-during-partition rule for the
+        *detach* direction: the departing node's partition-group entry is
+        dropped with it, so a name later re-attached is a genuinely fresh
+        endpoint (it lands in the implicit group like any newcomer) rather
+        than inheriting the removed node's group id.
+
+        Links stay installed as dead wiring.  Members that have not yet
+        learned of the removal — or that process in-flight traffic *from*
+        the departed node — still route replies through those links; with
+        the endpoint gone the send-time lookup misses and the fabric
+        skips the delivery event entirely, so such sends become silent
+        drops (the departed-host semantics of a real network) instead of
+        ``KeyError``.  In-flight deliveries bound the endpoint object at
+        send time and will still fire — inertness there is the endpoint's
+        job (a stopped process drops everything at its liveness gate),
+        not the fabric's.
+        """
+        self._endpoints.pop(name, None)
+        if self._partition_of is not None:
+            self._partition_of.pop(name, None)
 
     def endpoint(self, name: str) -> Endpoint:
         return self._endpoints[name]

@@ -130,6 +130,27 @@ class RaftClient:
             return 0.0
         return sum(c.latency_ms for c in self.completed) / len(self.completed)
 
+    def add_server(self, name: str) -> None:
+        """Add a server to the retry rotation (dynamic membership)."""
+        if name not in self.cluster:
+            self.cluster.append(name)
+
+    def forget_server(self, name: str) -> None:
+        """Drop a removed server from the rotation (dynamic membership).
+
+        The last server is never dropped — a client with an empty rotation
+        could not even time out sanely; requests to a fully-removed cluster
+        simply go unanswered, which is the truthful outcome anyway.
+        Requests already in flight toward the departed contact fall back to
+        the ordinary timeout-and-rotate path.
+        """
+        if name not in self.cluster or len(self.cluster) == 1:
+            return
+        self.cluster.remove(name)
+        self._rr %= len(self.cluster)
+        if self._contact == name:
+            self._contact = self.cluster[self._rr]
+
     # -- internals --------------------------------------------------------------- #
 
     def _transmit(self, req_id: int) -> None:

@@ -101,8 +101,13 @@ class CommitTracker:
     def discard_through(self, index: int) -> None:
         """Drop counters for indices ``<= index`` (they are committed).
 
-        Purely a memory bound: the frontier is already monotone, so
-        committed indices can never be consulted again.
+        The frontier is raised to ``index`` too: a committed index is by
+        definition quorum-replicated.  On the ordinary commit path this is
+        a no-op (the frontier *produced* the commit), but it makes a fresh
+        tracker rebasable — a leader rebuilding its tracker mid-reign
+        after a configuration change seeds it with
+        ``discard_through(commit_index)`` so the frontier walk resumes
+        from committed state instead of index 0.
         """
         if index <= self._floor:
             return
@@ -110,6 +115,8 @@ class CommitTracker:
         for i in range(self._floor + 1, index + 1):
             acks.pop(i, None)
         self._floor = index
+        if index > self._frontier:
+            self._frontier = index
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

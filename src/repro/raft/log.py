@@ -59,11 +59,19 @@ class Snapshot:
     ``data`` is whatever the state machine's ``snapshot()`` returned;
     immutable by convention (it is shared leader→follower in-process the
     same way message payloads are).
+
+    ``config`` is the cluster configuration as of the snapshot index —
+    membership is replicated state, so a snapshot that replaces the log
+    prefix must also carry the configuration that prefix established
+    (§4.1 of the Raft dissertation).  ``None`` only for snapshots taken
+    before dynamic membership existed (and in membership-free tests);
+    recovery then keeps the node's construction-time configuration.
     """
 
     last_included_index: int
     last_included_term: int
     data: Any
+    config: Any = None
 
 
 class RaftLog:

@@ -154,9 +154,21 @@ class InstallSnapshotRequest:
     burst of them.  Immutable by convention — ``data`` is the leader's
     snapshot image and must never be mutated by the receiver (it
     ``restore()``\\ s a copy).
+
+    ``config`` carries the cluster configuration as of the snapshot index
+    (``None`` only from membership-unaware senders): a learner that joins
+    through the snapshot path must learn the membership the discarded
+    prefix established, not just the state-machine image.
     """
 
-    __slots__ = ("term", "leader", "last_included_index", "last_included_term", "data")
+    __slots__ = (
+        "term",
+        "leader",
+        "last_included_index",
+        "last_included_term",
+        "data",
+        "config",
+    )
 
     def __init__(
         self,
@@ -165,12 +177,14 @@ class InstallSnapshotRequest:
         last_included_index: int,
         last_included_term: int,
         data: Any,
+        config: Any = None,
     ) -> None:
         self.term = term
         self.leader = leader
         self.last_included_index = last_included_index
         self.last_included_term = last_included_term
         self.data = data
+        self.config = config
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

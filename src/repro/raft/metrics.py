@@ -45,6 +45,16 @@ class NodeMetrics:
     entries_compacted: int = 0
     snapshots_sent: int = 0
     snapshots_installed: int = 0
+    #: Membership-change lifecycle (0 everywhere on a static cluster).
+    config_changes_appended: int = 0
+    config_changes_committed: int = 0
+    config_changes_rejected: int = 0
+    #: Learner→voter promotions this node proposed as leader.
+    learner_promotions: int = 0
+    #: Whether this node joined as a learner and was later promoted —
+    #: paired with ``snapshots_installed`` it asserts "snapshot-caught-up
+    #: before voting" for every joiner.
+    promoted_to_voter: int = 0
     #: The currently armed randomizedTimeout (ms); kept current by the node
     #: every time the election timer (or the leader's quorum timer) is armed.
     current_randomized_timeout_ms: float = 0.0

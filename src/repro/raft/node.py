@@ -58,6 +58,7 @@ import numpy as np
 from repro.dynatune.policy import TuningPolicy
 from repro.raft.commit import CommitTracker
 from repro.raft.log import RaftLog, Snapshot
+from repro.raft.membership import ClusterConfig, ConfigChange
 from repro.raft.messages import (
     AppendEntriesRequest,
     AppendEntriesResponse,
@@ -105,6 +106,10 @@ class RaftNode(Process):
         trace: shared structured log.
         rng: this node's random stream (election randomization).
         cost_model: optional CPU cost accounting (``charge(node, kind)``).
+        initial_config: starting membership.  Defaults to "every peer is a
+            voter" (the static-cluster behaviour).  A node spawned into a
+            running cluster passes a learner-only config — it learns the
+            real membership from the leader's snapshot/append stream.
     """
 
     def __init__(
@@ -119,13 +124,31 @@ class RaftNode(Process):
         trace: TraceLog,
         rng: np.random.Generator,
         cost_model: Any = None,
+        initial_config: ClusterConfig | None = None,
     ) -> None:
         super().__init__(loop, name, trace)
         if name not in peers:
             raise ValueError(f"peers must include the node itself ({name!r})")
-        self.peers = [p for p in peers if p != name]
-        self.cluster_size = len(peers)
-        self.quorum = self.cluster_size // 2 + 1
+        if initial_config is None:
+            initial_config = ClusterConfig(voters=tuple(peers))
+        # Membership is replicated state (one-at-a-time config changes,
+        # §4.1 of the Raft dissertation).  ``_base_config`` is the
+        # configuration at the log's compaction frontier; ``_config_log``
+        # mirrors every config entry in the *retained* log, in index
+        # order.  The effective membership is the newest of the two —
+        # applied-at-append, not at commit.  ``peers`` / ``cluster_size``
+        # / ``quorum`` are caches derived from it (see
+        # ``_refresh_membership``), no longer construction-time constants.
+        self._base_config = initial_config
+        self._config_log: list[tuple[int, ConfigChange]] = []
+        self.peers: list[str] = []
+        self._voter_peers: list[str] = []
+        self._voters: frozenset[str] = frozenset()
+        self.cluster_size = 0
+        self.quorum = 1
+        self._hb_timer_names: dict[str, str] = {}
+        self._hb_timer_cbs: dict[str, Any] = {}
+        self._refresh_membership()
         self.network = network
         self.config = config
         self.policy = policy
@@ -169,17 +192,9 @@ class RaftNode(Process):
         #: peer -> send time of an unacknowledged InstallSnapshot transfer.
         self._snapshot_inflight: dict[str, float] = {}
         # Incrementally maintained quorum-match frontier (reset per reign).
-        self._commit = CommitTracker(self.quorum - 1)
+        self._commit = CommitTracker(self._acks_needed())
 
         self._election_timer = self.timers.timer("election", self._on_election_timeout)
-        # Per-peer heartbeat timer names and callbacks, precomputed once:
-        # _schedule_heartbeat runs every tick and would otherwise build a
-        # fresh f-string and closure per beat.  partial() over a lambda:
-        # the call that fires every beat stays in C until the handler.
-        self._hb_timer_names = {peer: f"hb/{peer}" for peer in self.peers}
-        self._hb_timer_cbs = {
-            peer: functools.partial(self._heartbeat_tick, peer) for peer in self.peers
-        }
         self._started = False
 
         # -- hot-path caches (all derived, none carries protocol state) --- #
@@ -205,6 +220,9 @@ class RaftNode(Process):
         # Frozen-config compaction knobs, read after every apply batch.
         self._compaction_threshold: int = config.compaction_threshold
         self._compaction_margin: int = config.compaction_retain_margin
+        # Frozen-config membership knobs.
+        self._auto_promote: bool = config.auto_promote_learners
+        self._learner_margin: int = config.learner_catchup_margin
         # Frozen-config flags read on every beat.
         self._hb_consolidated: bool = config.consolidated_heartbeat_timer
         self._hb_stagger: bool = config.heartbeat_phase_stagger
@@ -248,7 +266,6 @@ class RaftNode(Process):
         self._inflight_appends = {}
         self._last_append_response = {}
         self._snapshot_inflight = {}
-        self._commit = CommitTracker(self.quorum - 1)
         self._hb_cache = {}
         self._hb_resp_cache = None
         self.state_machine.reset()
@@ -263,6 +280,23 @@ class RaftNode(Process):
         else:
             self.commit_index = 0
             self.last_applied = 0
+        # Rebuild the membership record from durable state alone: the
+        # committed configuration comes from the snapshot, then every
+        # config entry still in the (durable) log re-applies on top —
+        # Raft's "use the latest configuration in the log" rule, so an
+        # uncommitted config entry that survived the crash stays in force.
+        if snap is not None and snap.config is not None:
+            self._base_config = snap.config
+            floor = snap.last_included_index
+        else:
+            floor = self.log.last_included_index
+        self._config_log = [
+            (entry.index, entry.command)
+            for entry in self.log.entries()
+            if entry.index > floor and entry.command.__class__ is ConfigChange
+        ]
+        self._refresh_membership()
+        self._commit = CommitTracker(self._acks_needed())
         self.policy.on_leader_change(None, self.loop.now)
         self._arm_election_timer()
 
@@ -284,6 +318,323 @@ class RaftNode(Process):
             f"RaftNode({self.name!r}, {self.role.value}, term={self.current_term}, "
             f"commit={self.commit_index})"
         )
+
+    # ------------------------------------------------------------------ #
+    # membership (one-at-a-time configuration changes, dissertation §4.1)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def membership(self) -> ClusterConfig:
+        """The configuration currently in force (applied-at-append)."""
+        return self._membership
+
+    @property
+    def is_voter(self) -> bool:
+        return self.name in self._voters
+
+    def _refresh_membership(self) -> None:
+        """Recompute every membership-derived cache from the config record.
+
+        The effective configuration is the newest config entry in the
+        retained log, falling back to the base (frontier) config.  Stale
+        heartbeat-timer name/callback cache entries for departed peers are
+        deliberately kept — they are tiny, and keeping the dicts
+        append-only means the hot per-beat lookups never miss.
+        """
+        stack = self._config_log
+        cfg: ClusterConfig = stack[-1][1].config if stack else self._base_config
+        self._membership = cfg
+        name = self.name
+        self.peers = [p for p in cfg.members if p != name]
+        self._voters = frozenset(cfg.voters)
+        self._voter_peers = [p for p in cfg.voters if p != name]
+        self.cluster_size = len(cfg.voters)
+        self.quorum = cfg.quorum
+        names = self._hb_timer_names
+        cbs = self._hb_timer_cbs
+        for peer in self.peers:
+            if peer not in names:
+                names[peer] = f"hb/{peer}"
+                cbs[peer] = functools.partial(self._heartbeat_tick, peer)
+
+    def _acks_needed(self) -> int:
+        """Follower acks required to commit: quorum minus the leader's own
+        log — which only counts while the leader is itself a voter (it is
+        not, between appending its own removal and that entry committing)."""
+        return self.quorum - (1 if self.name in self._voters else 0)
+
+    def _config_at(self, index: int) -> ClusterConfig:
+        """The configuration in force at log position ``index``."""
+        cfg = self._base_config
+        for idx, change in self._config_log:
+            if idx > index:
+                break
+            cfg = change.config
+        return cfg
+
+    def config_change_in_flight(self) -> bool:
+        """True while a config entry is appended but not yet committed."""
+        return bool(self._config_log) and self._config_log[-1][0] > self.commit_index
+
+    def propose_config_change(self, kind: str, node: str) -> bool:
+        """Leader API: append one membership change (``add_learner`` /
+        ``promote`` / ``remove``) as a log entry.
+
+        Applied-at-append: the leader runs under the new configuration the
+        moment the entry is in its log.  At most one change may be in
+        flight — a second proposal is rejected until the first commits,
+        which is what makes one-at-a-time changes safe without joint
+        consensus.
+
+        Returns:
+            True if the change was appended; False if this node is not the
+            leader, a change is already in flight, or the change is
+            invalid for the current membership (double add, unknown
+            removal target, promoting a non-learner).
+        """
+        if self.role is not Role.LEADER:
+            return False
+        now = self.loop.now
+        reason: str | None = None
+        new_cfg: ClusterConfig | None = None
+        if self.config_change_in_flight():
+            reason = "config change already in flight"
+        else:
+            try:
+                current = self._membership
+                if kind == "add_learner":
+                    new_cfg = current.with_learner(node)
+                elif kind == "promote":
+                    new_cfg = current.with_promoted(node)
+                elif kind == "remove":
+                    new_cfg = current.without(node)
+                else:
+                    reason = f"unknown config-change kind {kind!r}"
+            except ValueError as exc:
+                reason = str(exc)
+        if reason is not None or new_cfg is None:
+            self.metrics.config_changes_rejected += 1
+            self.trace.record(
+                now,
+                self.name,
+                "config_rejected",
+                change=kind,
+                target=node,
+                reason=reason,
+                term=self.current_term,
+            )
+            return False
+        change = ConfigChange(kind=kind, node=node, config=new_cfg)
+        old_cfg = self._membership
+        entry = self.log.append_new(self.current_term, change)
+        self._config_log.append((entry.index, change))
+        self._refresh_membership()
+        self.metrics.config_changes_appended += 1
+        self.trace.record(
+            now,
+            self.name,
+            "config_append",
+            index=entry.index,
+            term=entry.term,
+            change=kind,
+            target=node,
+            voters=list(new_cfg.voters),
+            learners=list(new_cfg.learners),
+            prev_voters=list(old_cfg.voters),
+        )
+        self._apply_membership_change(old_cfg, new_cfg)
+        if self.role is Role.LEADER:  # may have stepped down committing a self-remove
+            for peer in self.peers:
+                self._send_append(peer)
+        return True
+
+    def _pop_stale_config_records(self) -> bool:
+        """Drop config records whose log entries no longer exist (conflict
+        truncation or a wholesale snapshot install).  Records at or below
+        the compaction frontier are committed and stay by construction."""
+        log = self.log
+        stack = self._config_log
+        changed = False
+        while stack:
+            idx, change = stack[-1]
+            if idx <= log.last_included_index:
+                break
+            if idx <= log.last_index and log.entry_at(idx).command is change:
+                break
+            stack.pop()
+            changed = True
+        return changed
+
+    def _reconcile_membership(self, entries: tuple[Any, ...]) -> None:
+        """Follower-side applied-at-append: sync the config record with the
+        log after an AppendEntries batch (new config entries adopted, a
+        truncated suffix's records dropped)."""
+        log = self.log
+        stack = self._config_log
+        changed = self._pop_stale_config_records()
+        top = stack[-1][0] if stack else 0
+        base = log.last_included_index
+        for entry in entries:
+            cmd = entry.command
+            if (
+                cmd is not None
+                and cmd.__class__ is ConfigChange
+                and entry.index > top
+                and entry.index > base
+                and entry.index <= log.last_index
+                and log.entry_at(entry.index).command is cmd
+            ):
+                stack.append((entry.index, cmd))
+                top = entry.index
+                changed = True
+        if changed:
+            old = self._membership
+            self._refresh_membership()
+            self._apply_membership_change(old, self._membership)
+
+    def _rebase_config(self, upto: int, config: ClusterConfig | None) -> None:
+        """Fold config records at or below ``upto`` into the base config
+        (compaction / snapshot install moved the frontier there).  With an
+        explicit ``config`` (from an installed snapshot) it becomes the
+        new base; otherwise the newest folded record does."""
+        stack = self._config_log
+        while stack and stack[0][0] <= upto:
+            folded = stack.pop(0)
+            if config is None:
+                self._base_config = folded[1].config
+        if config is not None:
+            self._base_config = config
+
+    def _apply_membership_change(
+        self, old: ClusterConfig, new: ClusterConfig
+    ) -> None:
+        """React to the effective configuration moving ``old → new``
+        (caches are already refreshed; this handles the side effects)."""
+        if old == new:
+            return
+        name = self.name
+        old_members = set(old.members)
+        new_members = set(new.members)
+        removed = old_members - new_members
+        if removed:
+            hook = getattr(self.policy, "on_peer_removed", None)
+            if hook is not None:
+                for peer in removed:
+                    if peer != name:
+                        hook(peer)
+        if name in new.voters and name not in old.voters:
+            self.metrics.promoted_to_voter += 1
+        if self.role is Role.LEADER:
+            now = self.loop.now
+            for peer in sorted(new_members - old_members):
+                if peer == name:
+                    continue
+                self.next_index[peer] = self.log.last_index + 1
+                self.match_index[peer] = 0
+                self._last_peer_response[peer] = now
+                self._inflight_appends[peer] = 0
+                self._last_append_response[peer] = now
+                self._send_append(peer)
+                self._schedule_heartbeat(peer, first=True)
+            for peer in removed:
+                if peer == name:
+                    continue
+                self.timers.drop(self._hb_timer_names.get(peer, f"hb/{peer}"))
+                self._hb_timers.pop(peer, None)
+                self._hb_cache.pop(peer, None)
+                self.next_index.pop(peer, None)
+                self.match_index.pop(peer, None)
+                self._last_peer_response.pop(peer, None)
+                self._inflight_appends.pop(peer, None)
+                self._last_append_response.pop(peer, None)
+                self._snapshot_inflight.pop(peer, None)
+            if old.voters != new.voters:
+                # The quorum arithmetic changed mid-reign: rebuild the
+                # incremental tracker from the surviving voters' match
+                # indices, floored at what is already committed, then
+                # re-check — removing a straggler can make the smaller
+                # quorum instantly satisfied by the acks already in hand.
+                tracker = CommitTracker(self._acks_needed())
+                tracker.discard_through(self.commit_index)
+                for peer in self._voter_peers:
+                    tracker.advance(0, self.match_index.get(peer, 0))
+                self._commit = tracker
+                self._recheck_commit()
+        elif name not in self._voters and self.role in (
+            Role.PRECANDIDATE,
+            Role.CANDIDATE,
+        ):
+            # A campaign by a non-voter can no longer win; stand down
+            # without disturbing the term further.
+            self.role = Role.FOLLOWER
+            self._prevotes = set()
+            self._votes = set()
+
+    def _recheck_commit(self) -> None:
+        """Advance the commit index from already-held evidence (used after
+        a quorum-size change; the §5.4.2 term restriction still applies)."""
+        if self.role is not Role.LEADER:
+            return
+        if self._commit.acks_needed == 0:
+            candidate = self.log.last_index if self.name in self._voters else 0
+        else:
+            candidate = self._commit.frontier
+        if candidate > self.commit_index and self.log.term_at(candidate) == self.current_term:
+            self.commit_index = candidate
+            self._commit.discard_through(candidate)
+            self.metrics.commit_advances += 1
+            self._apply_committed()
+
+    def _on_config_committed(self, index: int, change: ConfigChange) -> None:
+        """Commit-time duties of a config entry (its *effect* started at
+        append time): trace for the safety checker, step down after
+        committing our own removal (dissertation §4.2.2)."""
+        self.metrics.config_changes_committed += 1
+        self.trace.record(
+            self.loop.now,
+            self.name,
+            "config_commit",
+            index=index,
+            change=change.kind,
+            target=change.node,
+            term=self.current_term,
+            voters=list(change.config.voters),
+            learners=list(change.config.learners),
+            prev_voters=list(self._config_at(index - 1).voters),
+        )
+        if (
+            change.kind == "remove"
+            and change.node == self.name
+            and self.role is Role.LEADER
+        ):
+            self._become_follower(self.current_term, None)
+        elif self.role is Role.LEADER and change.config.learners:
+            # A committed change unblocks the one-in-flight gate; any
+            # learner that finished catching up in the meantime can now
+            # have its promotion proposed.
+            for learner in change.config.learners:
+                if self.match_index.get(learner, 0) >= self.log.last_index:
+                    self._maybe_promote(learner)
+
+    def _maybe_promote(self, follower: str) -> None:
+        """Auto-promote a caught-up learner to voter (leader side).
+
+        Fires from replication acks: once the learner's match index is
+        within the configured margin of the leader's commit index — i.e.
+        it has been caught up, through the snapshot path if it started
+        behind the leader's first retained entry — the leader proposes the
+        ``promote`` entry, provided no other change is in flight.
+        """
+        if not self._auto_promote or self.role is not Role.LEADER:
+            return
+        if follower not in self._membership.learners:
+            return
+        if self.config_change_in_flight():
+            return
+        if self.match_index.get(follower, 0) + self._learner_margin < self.commit_index:
+            return
+        if self.propose_config_change("promote", follower):
+            self.metrics.learner_promotions += 1
 
     # ------------------------------------------------------------------ #
     # plumbing
@@ -364,8 +715,9 @@ class RaftNode(Process):
         self.trace.record(
             self.loop.now, self.name, "step_down", term=self.current_term
         )
+        names = self._hb_timer_names
         for peer in self.peers:
-            self.timers.drop(self._hb_timer_names[peer])
+            self.timers.drop(names.get(peer, f"hb/{peer}"))
         self.timers.drop("hb")
         self.timers.drop("quorum")
         self._hb_timers = {}
@@ -383,6 +735,11 @@ class RaftNode(Process):
     def _on_election_timeout(self) -> None:
         if self.role is Role.LEADER:
             return  # leaders do not run an election timer
+        if self.name not in self._voters:
+            # Learners and removed nodes never campaign — they keep the
+            # timer armed only so a later promotion needs no special case.
+            self._arm_election_timer()
+            return
         had_leader = self.leader_id
         self.metrics.election_timeouts += 1
         self.trace.record(
@@ -418,7 +775,7 @@ class RaftNode(Process):
             last_log_index=self.log.last_index,
             last_log_term=self.log.last_term,
         )
-        for peer in self.peers:
+        for peer in self._voter_peers:
             self._rpc(peer, req)
         self._arm_election_timer()  # retry the poll if it stalls
 
@@ -441,7 +798,7 @@ class RaftNode(Process):
             last_log_index=self.log.last_index,
             last_log_term=self.log.last_term,
         )
-        for peer in self.peers:
+        for peer in self._voter_peers:
             self._rpc(peer, req)
         self._arm_election_timer()  # retry with a fresh draw on split vote
 
@@ -460,7 +817,7 @@ class RaftNode(Process):
         self._inflight_appends = {p: 0 for p in self.peers}
         self._last_append_response = {p: self.loop.now for p in self.peers}
         self._snapshot_inflight = {}
-        self._commit = CommitTracker(self.quorum - 1)
+        self._commit = CommitTracker(self._acks_needed())
         self._hb_cache = {}
         # No-op entry: lets this leader commit its predecessors' tail
         # (commit is restricted to current-term entries, §5.4.2).
@@ -476,6 +833,8 @@ class RaftNode(Process):
 
     def _schedule_heartbeat(self, peer: str, *, first: bool = False) -> None:
         if self._hb_consolidated:
+            if not self.peers:
+                return  # every peer removed mid-reign; nothing to beat
             # §IV-E feature 2: one timer for everyone at the minimum h.
             interval = min(
                 self.policy.heartbeat_interval_ms(p) for p in self.peers
@@ -579,7 +938,8 @@ class RaftNode(Process):
             return
         for peer in self.peers:
             self._send_heartbeat_to(peer)
-        self._schedule_heartbeat(self.peers[0])
+        if self.peers:
+            self._schedule_heartbeat(self.peers[0])
 
     def _schedule_quorum_check(self) -> None:
         if not self.config.check_quorum:
@@ -595,10 +955,10 @@ class RaftNode(Process):
             return
         et = self.policy.election_timeout_ms(None)
         now = self.loop.now
-        active = 1
+        active = 1 if self.name in self._voters else 0
         last = self._last_peer_response
         get = last.get
-        for p in self.peers:
+        for p in self._voter_peers:
             if now - get(p, _NEG_INF) <= et:
                 active += 1
         if active < self.quorum:
@@ -674,7 +1034,10 @@ class RaftNode(Process):
         applied = self.last_applied
         if snap is None or applied - snap.last_included_index > self._compaction_margin:
             snap = self.snapshot = Snapshot(
-                applied, self.log.term_at(applied), self.state_machine.snapshot()
+                applied,
+                self.log.term_at(applied),
+                self.state_machine.snapshot(),
+                self._config_at(applied),
             )
             self.metrics.snapshots_taken += 1
         self._snapshot_inflight[peer] = self.loop.now
@@ -684,6 +1047,7 @@ class RaftNode(Process):
             snap.last_included_index,
             snap.last_included_term,
             snap.data,
+            snap.config,
         )
         try:
             n_items = len(snap.data)
@@ -722,11 +1086,16 @@ class RaftNode(Process):
         while self.last_applied < self.commit_index:
             self.last_applied += 1
             entry = self.log.entry_at(self.last_applied)
-            result = (
-                self.state_machine.apply(entry.command)
-                if entry.command is not None
-                else None
-            )
+            command = entry.command
+            if command is None:
+                result = None
+            elif command.__class__ is ConfigChange:
+                # Membership changes took effect at append time; commit
+                # only finalizes them (trace + self-removal step-down).
+                result = None
+                self._on_config_committed(entry.index, command)
+            else:
+                result = self.state_machine.apply(command)
             self.metrics.entries_applied += 1
             self._charge("apply")
             pending = self._pending_client.pop(entry.index, None)
@@ -781,9 +1150,13 @@ class RaftNode(Process):
             return
         applied = self.last_applied
         self.snapshot = Snapshot(
-            applied, log.term_at(applied), self.state_machine.snapshot()
+            applied,
+            log.term_at(applied),
+            self.state_machine.snapshot(),
+            self._config_at(applied),
         )
         dropped = log.compact(upto)
+        self._rebase_config(upto, None)
         self.metrics.snapshots_taken += 1
         self.metrics.compactions += 1
         self.metrics.entries_compacted += dropped
@@ -943,6 +1316,8 @@ class RaftNode(Process):
         if self.role is not Role.LEADER or m.term < self.current_term:
             return
         follower = m.follower
+        if follower not in self.next_index:
+            return  # straggler ack from a peer removed this reign
         now = self.loop.now
         self._last_peer_response[follower] = now
         self.policy.on_heartbeat_response(follower, m.meta, now)
@@ -986,6 +1361,10 @@ class RaftNode(Process):
         ok, match, conflict = self.log.try_append(
             m.prev_log_index, m.prev_log_term, m.entries
         )
+        if ok and (m.entries or self._config_log):
+            # Applied-at-append: adopt (or retract, after a conflict
+            # truncation) config entries before the commit index moves.
+            self._reconcile_membership(m.entries)
         if ok and m.leader_commit > self.commit_index:
             self.commit_index = max(self.commit_index, min(m.leader_commit, match))
             self._apply_committed()
@@ -1009,6 +1388,8 @@ class RaftNode(Process):
         if self.role is not Role.LEADER or m.term < self.current_term:
             return
         follower = m.follower
+        if follower not in self.next_index:
+            return  # straggler ack from a peer removed this reign
         now = self.loop.now
         self._last_peer_response[follower] = now
         self._last_append_response[follower] = now
@@ -1023,6 +1404,8 @@ class RaftNode(Process):
                 self._advance_commit(old, m.match_index)
             if self.match_index.get(follower, 0) < self.log.last_index:
                 self._send_append(follower)
+            else:
+                self._maybe_promote(follower)
         else:
             hint = m.conflict_index
             fallback = max(1, self.next_index.get(follower, 2) - 1)
@@ -1046,9 +1429,19 @@ class RaftNode(Process):
             self.state_machine.restore(m.data)
             # The received image becomes this node's own durable snapshot:
             # a crash right after installation must not lose it.
-            self.snapshot = Snapshot(s_index, m.last_included_term, m.data)
+            self.snapshot = Snapshot(s_index, m.last_included_term, m.data, m.config)
             self.commit_index = s_index
             self.last_applied = s_index
+            if m.config is not None or self._config_log:
+                # The snapshot replaces the log prefix, so it also settles
+                # the membership that prefix established: its config is
+                # the new base, records it covers fold away, and records
+                # for entries the install discarded are retracted.
+                old = self._membership
+                self._rebase_config(s_index, m.config)
+                self._pop_stale_config_records()
+                self._refresh_membership()
+                self._apply_membership_change(old, self._membership)
             self.metrics.snapshots_installed += 1
             self.trace.record(
                 self.loop.now,
@@ -1077,6 +1470,8 @@ class RaftNode(Process):
         if self.role is not Role.LEADER or m.term < self.current_term:
             return
         follower = m.follower
+        if follower not in self.next_index:
+            return  # straggler ack from a peer removed this reign
         now = self.loop.now
         self._last_peer_response[follower] = now
         self._last_append_response[follower] = now
@@ -1092,6 +1487,8 @@ class RaftNode(Process):
                 self.next_index[follower] = s_index + 1
         if self.match_index.get(follower, 0) < self.log.last_index:
             self._send_append(follower)
+        else:
+            self._maybe_promote(follower)
 
     # -- pre-vote ------------------------------------------------------------- #
 
@@ -1120,7 +1517,7 @@ class RaftNode(Process):
             return
         if self.role is not Role.PRECANDIDATE:
             return
-        if m.granted and m.term == self.current_term + 1:
+        if m.granted and m.term == self.current_term + 1 and m.voter in self._voters:
             self._prevotes.add(m.voter)
             if len(self._prevotes) >= self.quorum:
                 self._become_candidate()
@@ -1168,7 +1565,7 @@ class RaftNode(Process):
             return
         if self.role is not Role.CANDIDATE or m.term < self.current_term:
             return
-        if m.granted:
+        if m.granted and m.voter in self._voters:
             self._votes.add(m.voter)
             if len(self._votes) >= self.quorum:
                 self._become_leader()
@@ -1190,10 +1587,11 @@ class RaftNode(Process):
             return
         entry = self.log.append_new(self.current_term, m.command)
         self._pending_client[entry.index] = (sender, m.request_id)
-        if self.cluster_size == 1:
+        if self._commit.acks_needed == 0:
+            # Sole-voter fast path: the leader's own log is the quorum.
+            # Learners (if any) still get the entry via the loop below.
             self.commit_index = entry.index
             self._apply_committed()
-            return
         for peer in self.peers:
             self._send_append(peer)
 

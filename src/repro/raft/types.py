@@ -78,6 +78,17 @@ class RaftConfig:
             ``min(live match_index)``, but a follower that stopped
             responding does not hold memory hostage: it gets a snapshot
             when it returns.
+        auto_promote_learners: a leader promotes a non-voting learner to
+            voter (by appending the ``promote`` config entry) as soon as
+            the learner's match index has caught up to the leader's commit
+            index and no other config change is in flight.  On (the
+            dissertation's recommended flow) a single ``add_learner``
+            proposal grows the cluster end to end; off, promotion must be
+            proposed explicitly — useful for tests that need to hold a
+            node in the learner state.
+        learner_catchup_margin: how close (in entries) a learner's match
+            index must be to the leader's commit index before
+            auto-promotion fires.  ``0`` demands exact catch-up.
     """
 
     prevote: bool = True
@@ -91,6 +102,8 @@ class RaftConfig:
     consolidated_heartbeat_timer: bool = False
     compaction_threshold: int = 0
     compaction_retain_margin: int = 64
+    auto_promote_learners: bool = True
+    learner_catchup_margin: int = 0
 
     def __post_init__(self) -> None:
         if self.max_entries_per_append < 1:
@@ -112,4 +125,9 @@ class RaftConfig:
             raise ValueError(
                 "compaction_retain_margin must be >= 0, "
                 f"got {self.compaction_retain_margin!r}"
+            )
+        if self.learner_catchup_margin < 0:
+            raise ValueError(
+                "learner_catchup_margin must be >= 0, "
+                f"got {self.learner_catchup_margin!r}"
             )

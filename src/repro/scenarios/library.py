@@ -20,7 +20,16 @@ The nine canonical entries:
 ``leader_churn_loop``      whoever leads gets put to sleep, repeatedly
 ``correlated_stall_storm`` simultaneous short pauses across several nodes
 ``partition_rtt_spike``    a split lands mid RTT-spike (SEER's worst case)
+``elastic_grow``           fresh learners join and get promoted, one by one
+``elastic_shrink``         members removed one at a time (optionally the
+                           leader itself)
+``elastic_replace_all``    rolling replacement of every original member
 ========================== ==================================================
+
+The three ``elastic_*`` scenarios are the dynamic-membership family: they
+reconfigure the cluster through one-at-a-time config changes while the
+run is live, and only take effect on clusters installed with membership
+enabled (the default).
 """
 
 from __future__ import annotations
@@ -31,12 +40,15 @@ from repro.cluster.measurements import LEADER_FAILURE_KIND
 from repro.scenarios.scenario import Scenario
 from repro.scenarios.steps import (
     LEADER_SELECTOR,
+    AddNode,
     Churn,
     Flap,
     Heal,
     Partition,
     Pause,
+    RemoveNode,
     Repeat,
+    ReplaceNode,
     SetLoss,
     SetRtt,
 )
@@ -55,6 +67,9 @@ __all__ = [
     "leader_churn_loop",
     "correlated_stall_storm",
     "partition_rtt_spike",
+    "elastic_grow",
+    "elastic_shrink",
+    "elastic_replace_all",
 ]
 
 
@@ -292,6 +307,111 @@ def partition_rtt_spike(
     )
 
 
+def _fresh_names(names: Sequence[str], count: int) -> list[str]:
+    """Mint ``count`` names that continue the cluster's naming sequence.
+
+    ``["n1", "n2", "n3"]`` → ``["n4", "n5", ...]``.  Node names are never
+    reused, so joiners always extend past the highest existing index.
+    """
+    prefix = names[0].rstrip("0123456789") or "n"
+    top = 0
+    for name in names:
+        suffix = name[len(prefix) :] if name.startswith(prefix) else ""
+        if suffix.isdigit():
+            top = max(top, int(suffix))
+    return [f"{prefix}{top + 1 + i}" for i in range(count)]
+
+
+def elastic_grow(
+    names: Sequence[str],
+    *,
+    start_ms: float = 4_000.0,
+    gap_ms: float = 6_000.0,
+    joiners: int = 2,
+) -> Scenario:
+    """Grow the cluster by ``joiners`` fresh nodes, one at a time.
+
+    Each joiner enters as a learner, is snapshot/append caught up, and is
+    auto-promoted to voter; ``gap_ms`` spaces the additions so each config
+    change (and its follow-on promotion) can commit before the next.
+    """
+    names = _names(names)
+    if joiners < 1:
+        raise ValueError(f"joiners must be >= 1, got {joiners!r}")
+    steps = [
+        AddNode(at_ms=start_ms + i * gap_ms, node=fresh)
+        for i, fresh in enumerate(_fresh_names(names, joiners))
+    ]
+    return Scenario(
+        "elastic_grow",
+        steps,
+        description="fresh learners join and get promoted, one by one",
+    )
+
+
+def elastic_shrink(
+    names: Sequence[str],
+    *,
+    start_ms: float = 4_000.0,
+    gap_ms: float = 6_000.0,
+    removals: int | None = None,
+    include_leader: bool = False,
+) -> Scenario:
+    """Shrink the cluster one removal at a time.
+
+    Removes the tail of the name list (defaults to shrinking down to three
+    members, at least one removal).  With ``include_leader`` the first
+    removal targets ``"@leader"`` instead — the step-down-on-self-removal
+    path (§4.2.2).
+    """
+    names = _names(names)
+    if removals is None:
+        removals = max(1, len(names) - 3)
+    if not (1 <= removals < len(names)):
+        raise ValueError(
+            f"removals must be in [1, {len(names) - 1}], got {removals!r}"
+        )
+    victims = [LEADER_SELECTOR] if include_leader else []
+    victims += list(reversed(names))[: removals - len(victims)]
+    steps = [
+        RemoveNode(at_ms=start_ms + i * gap_ms, node=victim)
+        for i, victim in enumerate(victims)
+    ]
+    return Scenario(
+        "elastic_shrink",
+        steps,
+        description="members removed one at a time",
+    )
+
+
+def elastic_replace_all(
+    names: Sequence[str],
+    *,
+    start_ms: float = 4_000.0,
+    gap_ms: float = 8_000.0,
+) -> Scenario:
+    """Rolling replacement: every original member swapped for a fresh node.
+
+    Each swap adds the replacement first (learner → voter) and then
+    removes the original, so fault-tolerance capacity never dips below the
+    starting level.  By the end no original member remains — the
+    history-independence stress: the final cluster's state exists only
+    through snapshots and replicated config entries.
+    """
+    names = _names(names)
+    steps = [
+        ReplaceNode(at_ms=start_ms + i * gap_ms, node=victim, replacement=fresh)
+        for i, (victim, fresh) in enumerate(
+            zip(names, _fresh_names(names, len(names)))
+        )
+    ]
+    return Scenario(
+        "elastic_replace_all",
+        steps,
+        description="rolling replacement of every original member",
+    )
+
+
 #: Name → builder for every canonical scenario.
 SCENARIO_BUILDERS: dict[str, Callable[..., Scenario]] = {
     "symmetric_split": symmetric_split,
@@ -303,6 +423,9 @@ SCENARIO_BUILDERS: dict[str, Callable[..., Scenario]] = {
     "leader_churn_loop": leader_churn_loop,
     "correlated_stall_storm": correlated_stall_storm,
     "partition_rtt_spike": partition_rtt_spike,
+    "elastic_grow": elastic_grow,
+    "elastic_shrink": elastic_shrink,
+    "elastic_replace_all": elastic_replace_all,
 }
 
 

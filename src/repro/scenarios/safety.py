@@ -39,6 +39,7 @@ cluster event is caught at the instant it exists.
 from __future__ import annotations
 
 from repro.cluster.builder import Cluster
+from repro.raft.membership import quorums_overlap
 from repro.raft.types import Role
 from repro.sim.events import PRIORITY_CONTROL
 from repro.sim.process import ProcessState
@@ -63,6 +64,10 @@ HOOK_KINDS: frozenset[str] = frozenset(
         "process_paused",
         "process_resumed",
         "process_crashed",
+        # Quorum arithmetic changes the instant a config entry commits or a
+        # removed node is decommissioned — worth a full sample each.
+        "config_commit",
+        "process_stopped",
     }
 )
 
@@ -238,6 +243,79 @@ class SafetyChecker:
                         f"{what}: {name} holds term {held} at index {index}, "
                         f"but term {term} was committed there"
                     )
+
+        problems.extend(self._verify_membership())
+        return problems
+
+    def _verify_membership(self) -> list[str]:
+        """Reconfiguration invariants, checked from ``config_commit`` records.
+
+        * **config agreement** — every node that commits the config entry
+          at an index reports the same resulting voter set;
+        * **one-at-a-time** — adjacent configurations differ by at most one
+          voter (the structural precondition of the single-change protocol);
+        * **quorum overlap** — any majority of the old voters intersects
+          any majority of the new (what actually transfers safety across
+          the change);
+        * **no orphaned committed entry** — every entry ever observed
+          committed is still held (in log or via snapshot) by a majority of
+          the *final* committed configuration's voters, i.e. removing the
+          replicas that acked it never stranded it on departed nodes.
+        """
+        problems: list[str] = []
+        by_index: dict[int, TraceRecord] = {}
+        for rec in self.cluster.trace.of_kind("config_commit"):
+            index = rec.get("index")
+            first = by_index.get(index)
+            if first is None:
+                by_index[index] = rec
+            elif sorted(first.get("voters")) != sorted(rec.get("voters")) or sorted(
+                first.get("learners")
+            ) != sorted(rec.get("learners")):
+                problems.append(
+                    f"config divergence at index {index}: {first.node} committed "
+                    f"{sorted(first.get('voters'))} but {rec.node} committed "
+                    f"{sorted(rec.get('voters'))}"
+                )
+        if not by_index:
+            return problems
+
+        for index in sorted(by_index):
+            rec = by_index[index]
+            old = set(rec.get("prev_voters") or ())
+            new = set(rec.get("voters") or ())
+            if len(old ^ new) > 1:
+                problems.append(
+                    f"config change at index {index} moved more than one voter: "
+                    f"{sorted(old)} -> {sorted(new)}"
+                )
+            if not quorums_overlap(old, new):
+                problems.append(
+                    f"config change at index {index} breaks quorum overlap: "
+                    f"{sorted(old)} -> {sorted(new)}"
+                )
+
+        final = by_index[max(by_index)]
+        final_voters = [
+            v for v in final.get("voters", ()) if v in self.cluster.nodes
+        ]
+        if not final_voters:
+            return problems
+        quorum = len(final_voters) // 2 + 1
+        for index, term in sorted(self._committed.items()):
+            holders = 0
+            for name in final_voters:
+                log = self.cluster.nodes[name].log
+                if index <= log.last_included_index:
+                    holders += 1  # retained via snapshot
+                elif index <= log.last_index and log.term_at(index) == term:
+                    holders += 1
+            if holders < quorum:
+                problems.append(
+                    f"orphaned committed entry: index {index} (term {term}) held "
+                    f"by {holders}/{len(final_voters)} final voters "
+                    f"(quorum {quorum}) — stranded on removed nodes"
+                )
         return problems
 
     def assert_safe(self) -> None:

@@ -31,13 +31,24 @@ __all__ = ["Scenario", "ScenarioRuntime"]
 class ScenarioRuntime:
     """Resolution context handed to steps at apply time."""
 
-    __slots__ = ("cluster", "network", "loop", "trace", "_flap_tokens")
+    __slots__ = (
+        "cluster",
+        "network",
+        "loop",
+        "trace",
+        "membership_enabled",
+        "_flap_tokens",
+    )
 
-    def __init__(self, cluster: Cluster) -> None:
+    def __init__(self, cluster: Cluster, *, membership_enabled: bool = True) -> None:
         self.cluster = cluster
         self.network = cluster.network
         self.loop = cluster.loop
         self.trace = cluster.trace
+        #: When ``False`` the membership steps (AddNode/RemoveNode/
+        #: ReplaceNode) are traced no-ops — how a replayed fuzz timeline
+        #: with its membership knob off stays bit-identical.
+        self.membership_enabled = membership_enabled
         self._flap_tokens: dict[tuple[str, str], int] = {}
 
     def next_flap_token(self, a: str, b: str) -> int:
@@ -150,6 +161,10 @@ class Scenario:
         """Concrete node names the timeline mentions (selectors excluded)."""
         names: set[str] = set()
         for step in self.steps:
+            if step._DYNAMIC_NODES:
+                # Membership steps may legally reference nodes that do not
+                # exist yet (spawned mid-run) or that an earlier step adds.
+                continue
             for field in ("node", "a", "b"):
                 value = getattr(step, field, None)
                 if isinstance(value, str):
@@ -179,6 +194,7 @@ class Scenario:
         cluster: Cluster,
         *,
         on_apply: Callable[[Step], None] | None = None,
+        membership_enabled: bool = True,
     ) -> None:
         """Register every step occurrence as a future control event.
 
@@ -187,9 +203,11 @@ class Scenario:
                 the timeline; occurrences in the past are rejected by the
                 loop).
             on_apply: optional observer invoked after each occurrence.
+            membership_enabled: pass ``False`` to turn membership steps
+                into traced no-ops (fuzz replays with the knob off).
         """
         self.validate_against(set(cluster.names))
-        rt = ScenarioRuntime(cluster)
+        rt = ScenarioRuntime(cluster, membership_enabled=membership_enabled)
         for step in self.steps:
             for occurrence, t in enumerate(step.occurrence_times()):
                 cluster.loop.schedule_at(

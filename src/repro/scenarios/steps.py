@@ -51,6 +51,9 @@ __all__ = [
     "Recover",
     "Flap",
     "Churn",
+    "AddNode",
+    "RemoveNode",
+    "ReplaceNode",
     "step_from_dict",
     "STEP_TYPES",
 ]
@@ -101,6 +104,9 @@ class Step:
     kind: ClassVar[str]
     #: Fields whose JSON form is a (possibly nested) list.
     _TUPLE_FIELDS: ClassVar[tuple[str, ...]] = ()
+    #: Membership steps reference nodes that may not exist at install time
+    #: (a joiner spawned mid-run) — install-time name validation skips them.
+    _DYNAMIC_NODES: ClassVar[bool] = False
 
     # These annotations are provided by every subclass dataclass.
     at_ms: float
@@ -422,6 +428,8 @@ class Crash(Step):
         proc = rt.process(self.node)
         if proc is None:
             return {"skipped": True, "reason": "node unresolved"}
+        if proc.state is ProcessState.STOPPED:
+            return {"skipped": True, "reason": f"node {proc.name} removed"}
         if proc.state is ProcessState.CRASHED:
             return {"skipped": True, "reason": f"node {proc.name} already crashed"}
         crash_node(proc)
@@ -489,6 +497,10 @@ class Churn(Step):
         proc = rt.process(selector)
         if proc is None:
             return {"skipped": True, "reason": "node unresolved"}
+        if proc.state is ProcessState.STOPPED:
+            # A churn list may name a node that was removed mid-run; hitting
+            # it is a traced no-op, never a resurrection.
+            return {"skipped": True, "reason": f"node {proc.name} removed"}
         if self.fault == "pause":
             if proc.state is not ProcessState.RUNNING:
                 return {"skipped": True, "reason": f"node {proc.name} not running"}
@@ -513,8 +525,227 @@ class Churn(Step):
         return {"target": proc.name, "fault": "crash", "down_ms": self.down_ms}
 
 
+# --------------------------------------------------------------------- #
+# dynamic membership
+# --------------------------------------------------------------------- #
+
+
+def _propose_with_retry(
+    rt: "ScenarioRuntime",
+    change: str,
+    target: str,
+    retry_ms: float,
+    max_retries: int,
+    on_accepted: Any = None,
+) -> None:
+    """Keep proposing ``change`` at whoever currently leads until a leader
+    *appends* it (commit and any follow-on promotion are the protocol's
+    business), giving up after ``max_retries`` re-attempts.
+
+    Retries absorb the two transient rejection causes a live timeline
+    produces: no leader right now (election in progress) and the
+    one-at-a-time gate (an earlier config change still uncommitted).
+    Permanent rejections (unknown node, double-add) burn retries too and
+    end in a traced ``membership_giveup`` — a fault timeline must not
+    fail the run.
+    """
+    state = [0]  # attempts so far
+
+    def _try() -> None:
+        leader = rt.cluster.leader()
+        accepted = False
+        if leader is not None:
+            accepted = rt.cluster.nodes[leader].propose_config_change(change, target)
+        if accepted:
+            if on_accepted is not None:
+                on_accepted()
+            return
+        state[0] += 1
+        if state[0] > max_retries:
+            rt.trace.record(
+                rt.loop.now,
+                "scenario",
+                "membership_giveup",
+                change=change,
+                target=target,
+                attempts=state[0],
+            )
+            return
+        rt.loop.schedule(retry_ms, _try, priority=PRIORITY_CONTROL)
+
+    _try()
+
+
+class _MembershipStep(Step):
+    """Shared validation/plumbing for the membership step family."""
+
+    _DYNAMIC_NODES: ClassVar[bool] = True
+
+    retry_ms: float
+    max_retries: int
+
+    def _validate_retry(self) -> None:
+        if self.retry_ms <= 0.0:
+            raise ValueError(f"retry_ms must be > 0, got {self.retry_ms!r}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries!r}")
+
+    def effect_duration_ms(self) -> float:
+        # Worst case: the proposal is retried to exhaustion.
+        return self.retry_ms * (self.max_retries + 1)
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class AddNode(_MembershipStep):
+    """Grow the cluster: spawn ``node`` fresh and propose ``add_learner``.
+
+    The joiner enters as a non-voting learner, is caught up by the leader
+    (through the snapshot path when it starts behind the compaction
+    frontier) and auto-promoted to voter once caught up — one step covers
+    the whole §4.1 join flow.  ``node`` must be a concrete fresh name;
+    names are never reused.
+    """
+
+    kind: ClassVar[str] = "add_node"
+
+    at_ms: float
+    node: str
+    retry_ms: float = 500.0
+    max_retries: int = 40
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        self._validate_retry()
+        if not isinstance(self.node, str) or not self.node or self.node.startswith("@"):
+            raise ValueError(f"add_node needs a concrete fresh name, got {self.node!r}")
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        if not rt.membership_enabled:
+            return {"skipped": True, "reason": "membership disabled"}
+        cluster = rt.cluster
+        if self.node in cluster.nodes:
+            return {"skipped": True, "reason": f"node {self.node} already exists"}
+        cluster.spawn_node(self.node)
+        _propose_with_retry(rt, "add_learner", self.node, self.retry_ms, self.max_retries)
+        return {"target": self.node}
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class RemoveNode(_MembershipStep):
+    """Shrink the cluster: propose removing ``node`` (selectors allowed).
+
+    ``"@leader"`` resolves at apply time, pinning whoever leads *now*; the
+    proposal then chases the current leader on each retry (removing a
+    leader makes it step down once the entry commits, so the retry target
+    and the victim diverge by design).  The committed removal is finalized
+    by the cluster: the node stops and detaches, never to return.
+    """
+
+    kind: ClassVar[str] = "remove_node"
+
+    at_ms: float
+    node: str
+    retry_ms: float = 500.0
+    max_retries: int = 40
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        self._validate_retry()
+        _check_selector(self.node, "node")
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        if not rt.membership_enabled:
+            return {"skipped": True, "reason": "membership disabled"}
+        name = rt.resolve(self.node)
+        if name is None:
+            return {"skipped": True, "reason": "node unresolved"}
+        if rt.cluster.nodes[name].state is ProcessState.STOPPED:
+            return {"skipped": True, "reason": f"node {name} already removed"}
+        rt.cluster.enable_membership()
+        _propose_with_retry(rt, "remove", name, self.retry_ms, self.max_retries)
+        return {"target": name}
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class ReplaceNode(_MembershipStep):
+    """Rolling replacement: add ``replacement`` first, then remove ``node``.
+
+    Add-before-remove preserves fault-tolerance capacity through the swap.
+    The two proposals are sequenced by the one-in-flight gate itself: the
+    removal is first proposed once the *addition* is appended, and its
+    retries absorb rejections until the addition (and usually the
+    follow-on promotion) commits.
+    """
+
+    kind: ClassVar[str] = "replace_node"
+
+    at_ms: float
+    node: str
+    replacement: str
+    retry_ms: float = 500.0
+    max_retries: int = 40
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        self._validate_retry()
+        _check_selector(self.node, "node")
+        if (
+            not isinstance(self.replacement, str)
+            or not self.replacement
+            or self.replacement.startswith("@")
+        ):
+            raise ValueError(
+                f"replace_node needs a concrete fresh replacement name, "
+                f"got {self.replacement!r}"
+            )
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        if not rt.membership_enabled:
+            return {"skipped": True, "reason": "membership disabled"}
+        cluster = rt.cluster
+        victim = rt.resolve(self.node)
+        if victim is None:
+            return {"skipped": True, "reason": "node unresolved"}
+        if victim == self.replacement:
+            return {"skipped": True, "reason": "replacement equals victim"}
+        if cluster.nodes[victim].state is ProcessState.STOPPED:
+            return {"skipped": True, "reason": f"node {victim} already removed"}
+        if self.replacement in cluster.nodes:
+            return {"skipped": True, "reason": f"node {self.replacement} already exists"}
+        cluster.spawn_node(self.replacement)
+
+        def _then_remove() -> None:
+            _propose_with_retry(rt, "remove", victim, self.retry_ms, self.max_retries)
+
+        _propose_with_retry(
+            rt,
+            "add_learner",
+            self.replacement,
+            self.retry_ms,
+            self.max_retries,
+            on_accepted=_then_remove,
+        )
+        return {"target": victim, "replacement": self.replacement}
+
+
 #: Registry used by :func:`step_from_dict` (kind tag → class).
 STEP_TYPES: dict[str, type[Step]] = {
     cls.kind: cls
-    for cls in (SetRtt, SetLoss, Partition, Heal, Pause, Crash, Recover, Flap, Churn)
+    for cls in (
+        SetRtt,
+        SetLoss,
+        Partition,
+        Heal,
+        Pause,
+        Crash,
+        Recover,
+        Flap,
+        Churn,
+        AddNode,
+        RemoveNode,
+        ReplaceNode,
+    )
 }

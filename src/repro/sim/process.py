@@ -29,6 +29,7 @@ class ProcessState(enum.Enum):
     RUNNING = "running"
     PAUSED = "paused"  # container sleep: state retained, nothing executes
     CRASHED = "crashed"  # crash fault: volatile state lost on recovery
+    STOPPED = "stopped"  # decommissioned (removed from the cluster): terminal
 
 
 class Process:
@@ -76,8 +77,12 @@ class Process:
 
     def crash(self) -> None:
         """Crash the process: all timers disarm, volatile state is the
-        subclass's responsibility to reset in :meth:`on_recover`."""
-        if self._state is ProcessState.CRASHED:
+        subclass's responsibility to reset in :meth:`on_recover`.
+
+        A no-op on a STOPPED process — decommissioning is terminal, and a
+        fault timeline that still names a removed node must not drag it
+        back into a recoverable state."""
+        if self._state in (ProcessState.CRASHED, ProcessState.STOPPED):
             return
         self.timers.cancel_all()
         self._state = ProcessState.CRASHED
@@ -90,6 +95,23 @@ class Process:
         self._state = ProcessState.RUNNING
         self.trace.record(self.loop.now, self.name, "process_recovered")
         self.on_recover()
+
+    def stop(self) -> None:
+        """Decommission the process — the terminal state of a node removed
+        from the cluster.
+
+        Unlike :meth:`pause`/:meth:`crash` this is valid from *any* state
+        (a node may be removed while crashed or paused) and is never
+        reversed.  All timers are cancelled, so callbacks already queued
+        fire as no-ops, and the ``deliver`` liveness gate drops every
+        in-flight message still addressed here — a removed node cannot be
+        resurrected by stale traffic or a stale timer.  Idempotent.
+        """
+        if self._state is ProcessState.STOPPED:
+            return
+        self.timers.cancel_all()
+        self._state = ProcessState.STOPPED
+        self.trace.record(self.loop.now, self.name, "process_stopped")
 
     # -- messaging ------------------------------------------------------- #
 

@@ -270,3 +270,77 @@ def test_sampling_survives_a_node_compacting_between_samples():
     checker.sample()
     assert checker.violations == []
     assert len(checker._committed) > 10  # frontier-and-above still recorded
+
+
+# --------------------------------------------------------------------- #
+# membership invariants
+# --------------------------------------------------------------------- #
+
+
+def _record_config_commit(c, node, index, *, voters, prev_voters, learners=()):
+    c.trace.record(
+        c.loop.now,
+        node,
+        "config_commit",
+        index=index,
+        change="remove",
+        target="nX",
+        term=1,
+        voters=tuple(voters),
+        learners=tuple(learners),
+        prev_voters=tuple(prev_voters),
+    )
+
+
+def test_clean_one_at_a_time_change_has_no_membership_violations():
+    c = make_raft_cluster(3)
+    checker = SafetyChecker(c, interval_ms=200.0)
+    c.run_until_leader()
+    for name in c.names:
+        _record_config_commit(
+            c, name, 5, voters=("n1", "n2"), prev_voters=("n1", "n2", "n3")
+        )
+    assert [p for p in checker.verify() if "config" in p] == []
+
+
+def test_detects_config_divergence_at_one_index():
+    c = make_raft_cluster(3)
+    checker = SafetyChecker(c, interval_ms=200.0)
+    c.run_until_leader()
+    _record_config_commit(
+        c, "n1", 5, voters=("n1", "n2"), prev_voters=("n1", "n2", "n3")
+    )
+    _record_config_commit(
+        c, "n2", 5, voters=("n1", "n2", "n3"), prev_voters=("n1", "n2", "n3")
+    )
+    assert any("config divergence" in p for p in checker.verify())
+
+
+def test_detects_two_at_a_time_change_and_quorum_overlap_break():
+    c = make_raft_cluster(5)
+    checker = SafetyChecker(c, interval_ms=200.0)
+    c.run_until_leader()
+    _record_config_commit(
+        c,
+        "n1",
+        5,
+        voters=("n1", "n2", "n3"),
+        prev_voters=("n1", "n2", "n3", "n4", "n5"),
+    )
+    problems = checker.verify()
+    assert any("moved more than one voter" in p for p in problems)
+    assert any("breaks quorum overlap" in p for p in problems)
+
+
+def test_detects_orphaned_committed_entry():
+    c = make_raft_cluster(3)
+    checker = SafetyChecker(c, interval_ms=200.0)
+    c.run_until_leader()
+    c.run_for(1_000.0)
+    # Claim an entry was committed at an index no final voter holds — as
+    # if the only replicas that acked it were since removed.
+    checker._committed[999] = 7
+    _record_config_commit(
+        c, "n1", 5, voters=("n1", "n2", "n3"), prev_voters=("n1", "n2", "n3")
+    )
+    assert any("orphaned committed entry" in p for p in checker.verify())

@@ -153,6 +153,9 @@ def test_registry_covers_the_vocabulary():
         "recover",
         "flap",
         "churn",
+        "add_node",
+        "remove_node",
+        "replace_node",
     }
 
 
