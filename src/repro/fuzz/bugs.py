@@ -74,7 +74,9 @@ def _commit_rewrite(cluster: Cluster) -> None:
                 entries[i] = LogEntry(
                     term=e.term + 1_000, index=e.index, command=e.command
                 )
-            node.current_term += 1_000
+            # Deliberate protocol-state corruption: this injector exists to
+            # prove the commit-safety oracle bites.
+            node.current_term += 1_000  # repolint: disable=state-protected-write
             cluster.trace.record(
                 cluster.loop.now,
                 name,
@@ -143,7 +145,9 @@ def _greedy_remove(cluster: Cluster) -> None:
                     entries[pos] = LogEntry(
                         term=e.term, index=e.index, command=corrupted
                     )
-                    _node._config_log[-1] = (index, corrupted)
+                    # Deliberate config-record corruption (two-at-a-time
+                    # removal): only the membership oracle may catch it.
+                    _node._config_log[-1] = (index, corrupted)  # repolint: disable=state-protected-write
                     _node._refresh_membership()
                     cluster.trace.record(
                         cluster.loop.now,

@@ -694,6 +694,19 @@ class RaftNode(Process):
     # role transitions
     # ------------------------------------------------------------------ #
 
+    def _grant_vote(self, candidate: str) -> None:
+        """Designated mutator for granting our vote this term.
+
+        ``voted_for`` is persistent state (§5.2): every write is a
+        durability point, and the election-safety argument depends on a
+        node never granting two different candidates in one term.  All
+        grant-path writes go through here so the invariant has exactly
+        one place to live (the other writers — term adoption clearing the
+        vote, and self-voting on candidacy — are the two role
+        transitions below; ``tools/repolint`` enforces the set).
+        """
+        self.voted_for = candidate
+
     def _become_follower(self, term: int, leader: str | None) -> None:
         was_leader = self.role is Role.LEADER
         if term > self.current_term:
@@ -724,8 +737,11 @@ class RaftNode(Process):
         self._hb_cache = {}
         self.policy.on_step_down(self.loop.now)
         # Pending proposals can no longer be confirmed by this node.
+        # (Keys are appended in increasing log-index order, so sorting is
+        # a no-op today — it pins the response order against any future
+        # change to how the dict is populated.)
         pending, self._pending_client = self._pending_client, {}
-        for _idx, (client, req_id) in pending.items():
+        for _idx, (client, req_id) in sorted(pending.items()):
             self._send(
                 client,
                 ClientResponse(request_id=req_id, ok=False, leader_hint=None),
@@ -1549,7 +1565,7 @@ class RaftNode(Process):
             m.last_log_index, m.last_log_term
         )
         if granted:
-            self.voted_for = m.candidate
+            self._grant_vote(m.candidate)
             self.metrics.votes_granted += 1
             self._arm_election_timer()  # granting defers our own candidacy
         else:

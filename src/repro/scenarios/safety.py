@@ -43,6 +43,7 @@ from repro.raft.membership import quorums_overlap
 from repro.raft.types import Role
 from repro.sim.events import PRIORITY_CONTROL
 from repro.sim.process import ProcessState
+from repro.sim.trace_kinds import TRACE_KINDS
 from repro.sim.tracing import TraceRecord
 
 __all__ = ["SafetyChecker", "HOOK_KINDS"]
@@ -103,7 +104,21 @@ class SafetyChecker:
                 run :meth:`check_now` on every term/role/fault transition
                 (see :data:`HOOK_KINDS`) — catches violation windows
                 shorter than ``interval_ms``.
+
+        Raises:
+            ValueError: if any hook kind is absent from the generated
+                :data:`repro.sim.trace_kinds.TRACE_KINDS` registry — a
+                typo'd hook kind would never match a record, silently
+                shrinking event-hook coverage.
         """
+        unknown = HOOK_KINDS - TRACE_KINDS
+        if unknown:
+            raise ValueError(
+                f"SafetyChecker hook kind(s) {sorted(unknown)} are not in "
+                "repro.sim.trace_kinds.TRACE_KINDS; a typo here silently "
+                "disables the event-driven safety hooks (regenerate with: "
+                "python -m tools.repolint src/ --write-trace-registry)"
+            )
         if event_hooks and not self._hooked:
             self._hooked = True
             self.cluster.trace.subscribe(self._on_trace_record)

@@ -194,7 +194,7 @@ class TimerService:
         if self._frozen is None:
             raise SimulationError(f"timers of {self._owner!r} are not frozen")
         frozen, self._frozen = self._frozen, None
-        for name, remaining in frozen.items():
+        for name, remaining in sorted(frozen.items()):
             t = self._timers.get(name)
             if t is not None and not t.running:
                 t.reset(remaining)

@@ -1,0 +1,57 @@
+"""Generated trace-kind registry — do not edit by hand.
+
+Regenerate with::
+
+    python -m tools.repolint src/ --write-trace-registry
+
+Every kind emitted anywhere under ``src/`` (plus the justified
+``extra_trace_kinds`` from ``tools/repolint/config.py``) is listed here.
+``TraceLog.keep_kinds`` and ``SafetyChecker.install`` validate against
+this set at runtime so a typo'd kind fails loudly instead of silently
+blinding a gate or a safety hook; ``tools/repolint`` cross-checks it
+statically on every run.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TRACE_KINDS"]
+
+TRACE_KINDS: frozenset[str] = frozenset(
+    (
+        "become_leader",
+        "bug_commit_rewrite",
+        "bug_greedy_remove",
+        "client_abandon",
+        "client_giveup",
+        "config_append",
+        "config_commit",
+        "config_rejected",
+        "election_start",
+        "election_timeout",
+        "fault_crash",
+        "fault_leader_pause",
+        "fault_pause",
+        "fault_recover",
+        "leader_observed",
+        "log_compact",
+        "membership_giveup",
+        "node_decommissioned",
+        "prevote_start",
+        "process_crashed",
+        "process_paused",
+        "process_recovered",
+        "process_resumed",
+        "process_stopped",
+        "quorum_lost",
+        "rt_sample",
+        "rt_snapshot",
+        "rtt_probe",
+        "safety_violation_two_leaders",
+        "scenario_step",
+        "snapshot_install",
+        "snapshot_send",
+        "stall",
+        "stall_pause",
+        "step_down",
+    )
+)

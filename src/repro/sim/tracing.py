@@ -16,9 +16,28 @@ sites can index and len() them freely.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Any, Callable, Iterable
 
+from repro.sim.trace_kinds import TRACE_KINDS
+
 __all__ = ["TraceRecord", "TraceLog"]
+
+#: Unregistered kinds already warned about by :meth:`TraceLog.wants`
+#: (process-wide warn-once, so a hot probe loop cannot flood stderr).
+_WARNED_KINDS: set[str] = set()
+
+
+def _warn_unregistered(kind: str) -> None:
+    _WARNED_KINDS.add(kind)
+    warnings.warn(
+        f"trace kind {kind!r} is not in repro.sim.trace_kinds.TRACE_KINDS; "
+        "a typo here silently blinds every gate and query that greps for "
+        "it (regenerate with: python -m tools.repolint src/ "
+        "--write-trace-registry)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 @dataclasses.dataclass(slots=True, frozen=True)
@@ -112,9 +131,35 @@ class TraceLog:
         """Turn record retention on or off (existing records are kept)."""
         self._enabled = bool(enabled)
 
-    def keep_kinds(self, kinds: Iterable[str] | None) -> None:
-        """Retain only these kinds (``None`` restores store-everything)."""
-        self._kinds = None if kinds is None else frozenset(kinds)
+    def keep_kinds(
+        self, kinds: Iterable[str] | None, *, validate: bool = True
+    ) -> None:
+        """Retain only these kinds (``None`` restores store-everything).
+
+        By default every kind must appear in the generated
+        :data:`repro.sim.trace_kinds.TRACE_KINDS` registry — a typo'd
+        allow-list would otherwise drop the records its caller meant to
+        keep without any symptom until an analysis comes up empty.  Pass
+        ``validate=False`` for synthetic kinds in tests.
+
+        Raises:
+            ValueError: if ``validate`` and any kind is unregistered.
+        """
+        if kinds is None:
+            self._kinds = None
+            return
+        wanted = frozenset(kinds)
+        if validate:
+            unknown = wanted - TRACE_KINDS
+            if unknown:
+                raise ValueError(
+                    f"keep_kinds: unregistered trace kind(s) "
+                    f"{sorted(unknown)}; known kinds live in "
+                    "repro.sim.trace_kinds.TRACE_KINDS (regenerate with: "
+                    "python -m tools.repolint src/ --write-trace-registry; "
+                    "pass validate=False for synthetic test kinds)"
+                )
+        self._kinds = wanted
 
     @property
     def kept_kinds(self) -> frozenset[str] | None:
@@ -127,7 +172,13 @@ class TraceLog:
         Hot callers with expensive-to-build fields can skip the
         :meth:`record` call (and its kwargs dict) entirely when this is
         ``False``.
+
+        Probing an unregistered kind warns once per kind per process
+        (the probe site almost certainly typo'd the kind it emits); the
+        check is one frozenset lookup, cheap enough for the hot path.
         """
+        if kind not in TRACE_KINDS and kind not in _WARNED_KINDS:
+            _warn_unregistered(kind)
         if self._listeners:
             return True
         return self._enabled and (self._kinds is None or kind in self._kinds)

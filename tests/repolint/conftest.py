@@ -1,0 +1,50 @@
+"""Fixture-corpus helpers for the repolint rule tests.
+
+Each test writes a tiny source tree (files keyed by modpath, mirroring
+the real ``repro/...`` layout) into ``tmp_path`` and lints it.  Rule
+tests pass an explicit rule list so a determinism fixture never trips
+over, say, the trace-registry cross-check; engine and planted-violation
+tests run the full default rule set.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import textwrap
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.repolint import (  # noqa: E402  (path pin above)
+    Baseline,
+    DEFAULT_CONFIG,
+    run_repolint,
+)
+
+
+def write_tree(root: pathlib.Path, files: dict[str, str]) -> pathlib.Path:
+    """Materialise ``{modpath: source}`` under ``root`` (dedented)."""
+    for modpath, source in files.items():
+        path = root / modpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+def lint(
+    root: pathlib.Path,
+    files: dict[str, str],
+    *,
+    rules=None,
+    config=DEFAULT_CONFIG,
+    baseline: Baseline | None = None,
+):
+    """Write the fixture tree and run repolint over it."""
+    write_tree(root, files)
+    return run_repolint(root, config=config, rules=rules, baseline=baseline)
+
+
+def rule_hits(report, rule: str) -> list:
+    return [f for f in report.findings if f.rule == rule]

@@ -1,0 +1,159 @@
+"""Rule family 4 (dispatch completeness): messages and scenario steps."""
+
+from conftest import lint, rule_hits
+
+from tools.repolint import DEFAULT_CONFIG
+from tools.repolint.rules.dispatch import MessageDispatchRule, StepRegistryRule
+
+MSG = [MessageDispatchRule(DEFAULT_CONFIG)]
+STEP = [StepRegistryRule(DEFAULT_CONFIG)]
+
+MESSAGES = """\
+class Heartbeat:
+    __slots__ = ("term",)
+
+class VoteRequest:
+    __slots__ = ("term",)
+
+class ClientResponse:
+    __slots__ = ("ok",)
+"""
+
+
+def node_with(*names: str) -> str:
+    entries = "".join(f"    {n}: RaftNode._on_{n.lower()},\n" for n in names)
+    return (
+        "class RaftNode:\n"
+        "    def _on_heartbeat(self, m): ...\n"
+        "    def _on_voterequest(self, m): ...\n"
+        "\n"
+        f"RaftNode._DISPATCH = {{\n{entries}}}\n"
+    )
+
+
+def test_complete_dispatch_table_passes(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/messages.py": MESSAGES,
+            "repro/raft/node.py": node_with("Heartbeat", "VoteRequest"),
+        },
+        rules=MSG,
+    )
+    # ClientResponse is exempt (client-bound), so this is complete.
+    assert report.findings == []
+
+
+def test_unhandled_message_class_is_flagged(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/messages.py": MESSAGES,
+            "repro/raft/node.py": node_with("Heartbeat"),
+        },
+        rules=MSG,
+    )
+    (hit,) = rule_hits(report, "dispatch-unhandled-message")
+    assert hit.symbol == "VoteRequest"
+    assert hit.path == "repro/raft/messages.py"
+
+
+def test_stale_dispatch_key_is_flagged(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/messages.py": MESSAGES,
+            "repro/raft/node.py": node_with(
+                "Heartbeat", "VoteRequest", "RenamedAway"
+            ),
+        },
+        rules=MSG,
+    )
+    (hit,) = rule_hits(report, "dispatch-unknown-message")
+    assert hit.symbol == "RenamedAway"
+    assert hit.path == "repro/raft/node.py"
+
+
+def test_missing_dispatch_table_is_itself_a_finding(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/messages.py": MESSAGES,
+            "repro/raft/node.py": "class RaftNode:\n    pass\n",
+        },
+        rules=MSG,
+    )
+    (hit,) = rule_hits(report, "dispatch-unhandled-message")
+    assert "_DISPATCH" in hit.message
+
+
+STEPS = """\
+class Step:
+    pass
+
+class _TimedStep(Step):
+    pass
+
+class KillLeader(_TimedStep):
+    pass
+
+class Partition(Step):
+    pass
+
+STEP_TYPES = {
+    "kill_leader": KillLeader,
+    "partition": Partition,
+}
+"""
+
+
+def test_registered_steps_pass(tmp_path):
+    report = lint(
+        tmp_path, {"repro/scenarios/steps.py": STEPS}, rules=STEP
+    )
+    assert report.findings == []
+
+
+def test_unregistered_step_subclass_is_flagged(tmp_path):
+    source = STEPS.replace('    "partition": Partition,\n', "")
+    report = lint(
+        tmp_path, {"repro/scenarios/steps.py": source}, rules=STEP
+    )
+    (hit,) = rule_hits(report, "step-unregistered")
+    assert hit.symbol == "Partition"
+
+
+def test_private_step_base_is_exempt(tmp_path):
+    # _TimedStep is transitively a Step subclass but underscore-private:
+    # it must not be required in the registry (the STEPS fixture passing
+    # in test_registered_steps_pass already relies on this; here the
+    # registry is rebuilt without it explicitly).
+    report = lint(
+        tmp_path, {"repro/scenarios/steps.py": STEPS}, rules=STEP
+    )
+    assert rule_hits(report, "step-unregistered") == []
+
+
+def test_registry_entry_for_non_step_is_flagged(tmp_path):
+    source = STEPS + "\nclass FreeRider:\n    pass\n"
+    source = source.replace(
+        '    "partition": Partition,\n',
+        '    "partition": Partition,\n    "free": FreeRider,\n',
+    )
+    report = lint(
+        tmp_path, {"repro/scenarios/steps.py": source}, rules=STEP
+    )
+    (hit,) = rule_hits(report, "step-unknown-registered")
+    assert hit.symbol == "FreeRider"
+
+
+def test_dict_comprehension_registry_is_parsed(tmp_path):
+    source = STEPS.replace(
+        'STEP_TYPES = {\n    "kill_leader": KillLeader,\n'
+        '    "partition": Partition,\n}\n',
+        "STEP_TYPES = {c.__name__: c for c in (KillLeader, Partition)}\n",
+    )
+    report = lint(
+        tmp_path, {"repro/scenarios/steps.py": source}, rules=STEP
+    )
+    assert report.findings == []

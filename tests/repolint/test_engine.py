@@ -1,0 +1,169 @@
+"""Engine behavior: suppressions, baseline, CLI exit codes, JSON output."""
+
+import json
+import subprocess
+import sys
+
+from conftest import REPO_ROOT, lint, write_tree
+
+from tools.repolint import Baseline, DEFAULT_CONFIG, run_repolint
+from tools.repolint.rules.determinism import ForbiddenNondeterminismRule
+
+RULES = [ForbiddenNondeterminismRule(DEFAULT_CONFIG)]
+
+VIOLATION = """\
+import time
+
+def stamp() -> float:
+    return time.time()
+"""
+
+
+def test_same_line_suppression(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/sim/x.py": """\
+            import time
+
+            def stamp() -> float:
+                return time.time()  # repolint: disable=determinism-forbidden-call
+            """
+        },
+        rules=RULES,
+    )
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+
+
+def test_comment_line_above_suppression(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/sim/x.py": """\
+            import time
+
+            def stamp() -> float:
+                # repolint: disable=determinism-forbidden-call
+                return time.time()
+            """
+        },
+        rules=RULES,
+    )
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+
+
+def test_suppression_for_other_rule_does_not_apply(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/sim/x.py": """\
+            import time
+
+            def stamp() -> float:
+                return time.time()  # repolint: disable=hotpath-alloc
+            """
+        },
+        rules=RULES,
+    )
+    assert len(report.findings) == 1
+
+
+def test_code_line_above_does_not_suppress(tmp_path):
+    # A trailing suppression on the *previous code line* must not leak
+    # onto the next line: only bare comment lines count as "above".
+    report = lint(
+        tmp_path,
+        {
+            "repro/sim/x.py": """\
+            import time
+
+            def stamp() -> float:
+                a = 1  # repolint: disable=determinism-forbidden-call
+                return time.time()
+            """
+        },
+        rules=RULES,
+    )
+    assert len(report.findings) == 1
+
+
+def test_baseline_covers_finding_across_line_drift(tmp_path):
+    files = {"repro/sim/x.py": VIOLATION}
+    report = lint(tmp_path / "a", files, rules=RULES)
+    assert len(report.findings) == 1
+    baseline = Baseline.from_findings(report.findings)
+
+    # The same violation, pushed down by an unrelated edit above it.
+    drifted = {"repro/sim/x.py": "import time\n\nPAD = 1\nPAD2 = 2\n" + VIOLATION[12:]}
+    report2 = lint(tmp_path / "b", drifted, rules=RULES, baseline=baseline)
+    assert report2.findings == []
+    assert len(report2.baselined) == 1
+    assert report2.ok
+
+
+def test_baseline_round_trips_through_json(tmp_path):
+    report = lint(tmp_path / "a", {"repro/sim/x.py": VIOLATION}, rules=RULES)
+    baseline = Baseline.from_findings(report.findings)
+    path = tmp_path / "baseline.json"
+    baseline.dump(path)
+    reloaded = Baseline.load(path)
+    assert all(reloaded.covers(f) for f in report.findings)
+
+
+def test_report_json_is_parseable(tmp_path):
+    report = lint(tmp_path, {"repro/sim/x.py": VIOLATION}, rules=RULES)
+    data = json.loads(report.to_json())
+    assert data["ok"] is False
+    assert data["findings"][0]["rule"] == "determinism-forbidden-call"
+
+
+def test_syntax_error_is_reported_not_fatal(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/sim/bad.py": "def broken(:\n",
+            "repro/sim/good.py": VIOLATION,
+        },
+        rules=RULES,
+    )
+    assert len(report.parse_errors) == 1
+    assert len(report.findings) == 1  # the good file is still checked
+    assert not report.ok
+
+
+def _run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "tools.repolint", *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_cli_exit_zero_on_clean_tree(tmp_path):
+    write_tree(tmp_path, {"repro/sim/x.py": "X = 1\n"})
+    proc = _run_cli(str(tmp_path), "--no-baseline")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_cli_exit_one_on_findings_and_json_output(tmp_path):
+    write_tree(tmp_path, {"repro/sim/x.py": VIOLATION})
+    proc = _run_cli(str(tmp_path), "--no-baseline", "--json")
+    assert proc.returncode == 1
+    data = json.loads(proc.stdout)
+    assert data["ok"] is False
+    assert any(
+        f["rule"] == "determinism-forbidden-call" for f in data["findings"]
+    )
+
+
+def test_run_repolint_accepts_default_rule_set(tmp_path):
+    # Full default rule set over a minimal tree must not crash and must
+    # come back clean (no registry / dispatch modules => families 3-4
+    # skip their cross-checks by design).
+    write_tree(tmp_path, {"repro/sim/x.py": "X = 1\n"})
+    report = run_repolint(tmp_path)
+    assert report.ok

@@ -1,0 +1,182 @@
+"""Rule family 2 (hot-path discipline): slots and per-call allocations."""
+
+import dataclasses
+
+from conftest import lint, rule_hits
+
+from tools.repolint import DEFAULT_CONFIG
+from tools.repolint.rules.hotpath import HotPathAllocRule, SlotsRule
+
+SLOTS = [SlotsRule(DEFAULT_CONFIG)]
+
+# A config whose hot list points at the fixture module.
+HOT_CONFIG = dataclasses.replace(
+    DEFAULT_CONFIG,
+    hot_functions={"repro/raft/x.py": frozenset({"Node.deliver"})},
+)
+HOT = [HotPathAllocRule(HOT_CONFIG)]
+
+
+# -- hotpath-slots --------------------------------------------------------- #
+
+
+def test_slotless_class_in_messages_module_is_flagged(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/messages.py": """\
+            class Probe:
+                def __init__(self, term: int) -> None:
+                    self.term = term
+            """
+        },
+        rules=SLOTS,
+    )
+    (hit,) = rule_hits(report, "hotpath-slots")
+    assert hit.symbol == "Probe"
+
+
+def test_explicit_slots_and_dataclass_slots_pass(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/messages.py": """\
+            import dataclasses
+
+            class Probe:
+                __slots__ = ("term",)
+
+                def __init__(self, term: int) -> None:
+                    self.term = term
+
+            @dataclasses.dataclass(slots=True, frozen=True)
+            class Reply:
+                term: int
+            """
+        },
+        rules=SLOTS,
+    )
+    assert report.findings == []
+
+
+def test_exception_class_in_messages_module_is_exempt(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/messages.py": """\
+            class CodecError(ValueError):
+                pass
+            """
+        },
+        rules=SLOTS,
+    )
+    assert report.findings == []
+
+
+def test_named_envelope_class_is_checked_everywhere(tmp_path):
+    # _Delivery lives in the net module (not a slots_module) but is on
+    # the envelope name list, so it is checked wherever it appears.
+    report = lint(
+        tmp_path,
+        {
+            "repro/net/transport.py": """\
+            class _Delivery:
+                def __init__(self, payload) -> None:
+                    self.payload = payload
+
+            class FreeHelper:
+                def __init__(self) -> None:
+                    self.x = 1
+            """
+        },
+        rules=SLOTS,
+    )
+    (hit,) = rule_hits(report, "hotpath-slots")
+    assert hit.symbol == "_Delivery"  # FreeHelper is not on any list
+
+
+# -- hotpath-alloc --------------------------------------------------------- #
+
+
+def test_comprehension_in_hot_function_is_flagged(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/x.py": """\
+            class Node:
+                def deliver(self, msgs) -> list:
+                    return [m for m in msgs]
+            """
+        },
+        rules=HOT,
+    )
+    (hit,) = rule_hits(report, "hotpath-alloc")
+    assert "list comprehension" in hit.message
+
+
+def test_fstring_in_raise_is_exempt(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/x.py": """\
+            class Node:
+                def deliver(self, msg) -> None:
+                    if msg is None:
+                        raise ValueError(f"bad message {msg!r}")
+                    self.last = msg
+            """
+        },
+        rules=HOT,
+    )
+    assert report.findings == []
+
+
+def test_fstring_outside_raise_is_flagged(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/x.py": """\
+            class Node:
+                def deliver(self, msg) -> str:
+                    return f"got {msg}"
+            """
+        },
+        rules=HOT,
+    )
+    (hit,) = rule_hits(report, "hotpath-alloc")
+    assert "f-string" in hit.message
+
+
+def test_allocations_in_cold_functions_are_not_flagged(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/x.py": """\
+            class Node:
+                def deliver(self, msg) -> None:
+                    self.last = msg
+
+                def summary(self) -> str:
+                    return f"{[m for m in self.seen]}"
+            """
+        },
+        rules=HOT,
+    )
+    assert report.findings == []
+
+
+def test_missing_configured_hot_function_is_flagged(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/x.py": """\
+            class Node:
+                def deliver_v2(self, msg) -> None:
+                    self.last = msg
+            """
+        },
+        rules=HOT,
+    )
+    (hit,) = rule_hits(report, "hotpath-alloc")
+    assert hit.symbol == "Node.deliver"
+    assert "not found" in hit.message

@@ -1,0 +1,78 @@
+"""Runtime trace-kind registry guard.
+
+``tools/repolint`` cross-checks trace kinds statically; these tests pin
+the runtime half of the contract: a typo'd kind handed to a storage gate
+or a safety hook fails loudly instead of silently blinding the consumer.
+"""
+
+import warnings
+
+import pytest
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.experiments.common import make_policy_factory
+from repro.scenarios import safety as safety_mod
+from repro.scenarios.safety import HOOK_KINDS, SafetyChecker
+from repro.sim import tracing as tracing_mod
+from repro.sim.trace_kinds import TRACE_KINDS
+from repro.sim.tracing import TraceLog
+
+
+def test_registry_covers_all_hook_kinds():
+    # Same invariant repolint checks statically; pinned at runtime too so
+    # an edit that skips the linter still cannot ship a blind hook.
+    assert HOOK_KINDS <= TRACE_KINDS
+
+
+def test_registry_contains_core_measurement_kinds():
+    assert {
+        "become_leader",
+        "election_timeout",
+        "fault_leader_pause",
+        "stall_pause",
+    } <= TRACE_KINDS
+
+
+def test_keep_kinds_rejects_typod_kind():
+    log = TraceLog()
+    with pytest.raises(ValueError, match="becom_leader"):
+        log.keep_kinds({"becom_leader"})  # typo'd "become_leader"
+    # The failed call must not have installed a partial gate.
+    assert log.kept_kinds is None
+    assert log.record(1.0, "n1", "become_leader", term=1) is not None
+
+
+def test_keep_kinds_accepts_registered_and_synthetic_kinds():
+    log = TraceLog()
+    log.keep_kinds({"become_leader", "election_timeout"})
+    assert log.kept_kinds == {"become_leader", "election_timeout"}
+    log.keep_kinds({"synthetic_test_kind"}, validate=False)
+    assert log.kept_kinds == {"synthetic_test_kind"}
+    log.keep_kinds(None)
+    assert log.kept_kinds is None
+
+
+def test_wants_warns_once_per_unregistered_kind():
+    log = TraceLog()
+    tracing_mod._WARNED_KINDS.discard("wants_typo_kind")
+    with pytest.warns(RuntimeWarning, match="wants_typo_kind"):
+        log.wants("wants_typo_kind")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        log.wants("wants_typo_kind")  # second probe: no warning
+        log.wants("become_leader")  # registered: never warns
+
+
+def test_safety_checker_install_rejects_typod_hook_kind(monkeypatch):
+    cluster = build_cluster(
+        ClusterConfig(n_nodes=3, seed=7, rtt_ms=50.0),
+        make_policy_factory("raft"),
+    )
+    checker = SafetyChecker(cluster)
+    monkeypatch.setattr(
+        safety_mod, "HOOK_KINDS", HOOK_KINDS | {"proces_paused"}
+    )
+    with pytest.raises(ValueError, match="proces_paused"):
+        checker.install(event_hooks=True)
+    # The aborted install must not have left a half-armed checker.
+    assert not checker._installed and not checker._hooked

@@ -1,0 +1,43 @@
+"""Strict-typing island: ``mypy --strict`` over the kernel and protocol core.
+
+The island (``repro.raft``, ``repro.sim``) is declared in ``mypy.ini`` at
+the repo root; this test runs it when mypy is installed and skips
+otherwise, so environments without the checker (the pinned reproduction
+container ships without it) still run the rest of the suite unchanged.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy not installed in this environment",
+)
+def test_strict_island_is_clean():
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--config-file",
+            str(REPO_ROOT / "mypy.ini"),
+            "src/repro/raft",
+            "src/repro/sim",
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        "mypy --strict island (repro.raft, repro.sim) reported errors:\n"
+        + proc.stdout
+        + proc.stderr
+    )

@@ -1,0 +1,149 @@
+"""Command-line entry point: ``python -m tools.repolint [paths...]``.
+
+Exit status 0 when every finding is suppressed or baselined, 1 when any
+active finding (or parse error) remains, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from tools.repolint.config import DEFAULT_CONFIG
+from tools.repolint.engine import Baseline, load_project, run_repolint
+from tools.repolint.rules import rule_classes
+from tools.repolint.rules.tracekinds import generate_trace_registry
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repolint",
+        description="AST-based invariant checker for this repository.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="root directories to scan (default: src)",
+    )
+    parser.add_argument("--json", action="store_true", help="JSON report")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline file of grandfathered findings",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline (report grandfathered findings too)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write every active finding into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--write-trace-registry",
+        action="store_true",
+        help="regenerate the trace-kind registry module from the scan",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in rule_classes():
+            print(f"{cls.name:28s} {cls.description}")
+        return 0
+
+    roots = [Path(p) for p in args.paths]
+    for root in roots:
+        if not root.is_dir():
+            print(f"error: {root} is not a directory", file=sys.stderr)
+            return 2
+
+    if args.write_trace_registry:
+        for root in roots:
+            project, errors = load_project(root, DEFAULT_CONFIG)
+            if errors:
+                print("\n".join(errors), file=sys.stderr)
+                return 1
+            target = root / DEFAULT_CONFIG.trace_registry_modpath
+            if not target.parent.is_dir():
+                continue
+            target.write_text(
+                generate_trace_registry(project, DEFAULT_CONFIG),
+                encoding="utf-8",
+            )
+            print(f"wrote {target}")
+        return 0
+
+    baseline = (
+        None if args.no_baseline else Baseline.load(args.baseline)
+    )
+    t0 = time.perf_counter()
+    reports = [
+        run_repolint(root, config=DEFAULT_CONFIG, baseline=baseline)
+        for root in roots
+    ]
+    elapsed = time.perf_counter() - t0
+
+    findings = [f for r in reports for f in r.findings]
+    suppressed = [f for r in reports for f in r.suppressed]
+    baselined = [f for r in reports for f in r.baselined]
+    parse_errors = [e for r in reports for e in r.parse_errors]
+    files = sum(r.files_checked for r in reports)
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).dump(args.baseline)
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    if args.json:
+        import json as _json
+
+        print(
+            _json.dumps(
+                {
+                    "ok": not findings and not parse_errors,
+                    "files_checked": files,
+                    "elapsed_s": round(elapsed, 3),
+                    "findings": [
+                        {
+                            "rule": f.rule,
+                            "path": f.path,
+                            "line": f.line,
+                            "symbol": f.symbol,
+                            "message": f.message,
+                        }
+                        for f in findings
+                    ],
+                    "suppressed": len(suppressed),
+                    "baselined": len(baselined),
+                    "parse_errors": parse_errors,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for err in parse_errors:
+            print(f"PARSE ERROR: {err}")
+        for f in findings:
+            print(f.render())
+        status = "FAILED" if (findings or parse_errors) else "ok"
+        print(
+            f"repolint: {status} — {files} files, {len(findings)} "
+            f"finding(s), {len(suppressed)} suppressed, "
+            f"{len(baselined)} baselined, {elapsed:.2f}s"
+        )
+    return 1 if (findings or parse_errors) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

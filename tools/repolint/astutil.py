@@ -1,0 +1,229 @@
+"""Shared AST analysis helpers used by several rule families."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repolint.engine import FileContext, Project
+
+__all__ = [
+    "ImportMap",
+    "module_str_constants",
+    "resolve_str_constant",
+    "iter_functions",
+    "class_has_slots",
+    "set_dict_attrs",
+    "dotted_call_name",
+]
+
+
+class ImportMap:
+    """Resolves names in one module back to their origin.
+
+    ``modules``: local alias -> imported module name (``import time as t``
+    maps ``t -> time``).  ``names``: local alias -> (module, original
+    name) for ``from x import y [as z]``.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.modules: dict[str, str] = {}
+        self.names: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.modules[local] = alias.name if alias.asname else local
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+
+
+def dotted_call_name(node: ast.AST, imports: ImportMap) -> str | None:
+    """Best-effort dotted origin of a Name/Attribute expression.
+
+    ``t.monotonic`` with ``import time as t`` -> ``time.monotonic``;
+    ``urandom`` with ``from os import urandom`` -> ``os.urandom``.
+    """
+    if isinstance(node, ast.Name):
+        origin = imports.names.get(node.id)
+        if origin is not None:
+            return f"{origin[0]}.{origin[1]}"
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_call_name(node.value, imports)
+        if base is None:
+            return None
+        # The base may itself be an aliased module.
+        root, _, rest = base.partition(".")
+        real_root = imports.modules.get(root, root)
+        base = real_root + ("." + rest if rest else "")
+        return f"{base}.{node.attr}"
+    return None
+
+
+def module_str_constants(tree: ast.Module) -> dict[str, str]:
+    """Module-level ``NAME = "literal"`` assignments."""
+    out: dict[str, str] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            out[node.targets[0].id] = node.value.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            out[node.target.id] = node.value.value
+    return out
+
+
+def resolve_str_constant(
+    name: str, ctx: FileContext, project: Project
+) -> str | None:
+    """Resolve ``name`` to a string constant: same module first, then a
+    ``from x import NAME`` chased into the scanned project."""
+    local = module_str_constants(ctx.tree)
+    if name in local:
+        return local[name]
+    imports = ImportMap(ctx.tree)
+    origin = imports.names.get(name)
+    if origin is None:
+        return None
+    mod, orig = origin
+    target = project.file(mod.replace(".", "/") + ".py")
+    if target is None:
+        return None
+    return module_str_constants(target.tree).get(orig)
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield ``(qualname, node)`` for every function, methods as
+    ``Class.method`` (nested functions as ``outer.<locals>.inner``)."""
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[
+        tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]
+    ]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield qual, child
+                yield from walk(child, f"{qual}.<locals>.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.")
+            elif isinstance(child, (ast.If, ast.Try, ast.With)):
+                yield from walk(child, prefix)
+
+    yield from walk(tree, "")
+
+
+def class_has_slots(node: ast.ClassDef) -> bool:
+    """True for an explicit ``__slots__`` or ``@dataclass(slots=True)``."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name) and t.id == "__slots__":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "__slots__":
+                return True
+    for dec in node.decorator_list:
+        if isinstance(dec, ast.Call):
+            fn = dec.func
+            name = fn.attr if isinstance(fn, ast.Attribute) else (
+                fn.id if isinstance(fn, ast.Name) else ""
+            )
+            if name == "dataclass":
+                for kw in dec.keywords:
+                    if (
+                        kw.arg == "slots"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        return True
+    return False
+
+
+_SET_DICT_ANN = {"set", "frozenset", "dict", "Set", "FrozenSet", "Dict"}
+
+
+def _annotation_is_set_or_dict(ann: ast.AST) -> bool:
+    if isinstance(ann, ast.Name):
+        return ann.id in _SET_DICT_ANN
+    if isinstance(ann, ast.Subscript):
+        return _annotation_is_set_or_dict(ann.value)
+    if isinstance(ann, ast.Attribute):
+        return ann.attr in _SET_DICT_ANN
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        head = ann.value.split("[", 1)[0].strip()
+        return head in _SET_DICT_ANN
+    return False
+
+
+def _value_is_set_or_dict(value: ast.AST | None) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, (ast.Set, ast.Dict, ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(value, ast.Call):
+        fn = value.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else ""
+        )
+        return name in {"set", "frozenset", "dict"}
+    return False
+
+
+def set_dict_attrs(tree: ast.Module) -> dict[str, set[str]]:
+    """Per class: attribute names known (by annotation or assigned value)
+    to hold a ``set``/``frozenset``/``dict``.
+
+    Looks at class-body annotations and ``self.x`` assignments in any
+    method.  An attribute ever assigned a non-set/dict value is *not*
+    removed — one set-typed assignment is enough to make iteration order
+    suspect at every use site.
+    """
+    out: dict[str, set[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        attrs: set[str] = set()
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                if _annotation_is_set_or_dict(stmt.annotation):
+                    attrs.add(stmt.target.id)
+        for sub in ast.walk(node):
+            target: ast.AST | None = None
+            ann: ast.AST | None = None
+            value: ast.AST | None = None
+            if isinstance(sub, ast.AnnAssign):
+                target, ann, value = sub.target, sub.annotation, sub.value
+            elif isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                target, value = sub.targets[0], sub.value
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                if (ann is not None and _annotation_is_set_or_dict(ann)) or (
+                    _value_is_set_or_dict(value)
+                ):
+                    attrs.add(target.attr)
+        if attrs:
+            out[node.name] = attrs
+    return out

@@ -1,0 +1,161 @@
+"""Repo-specific configuration for the repolint rule families.
+
+Everything path-like is a **modpath**: the file's path relative to the
+scanned root, in posix form.  Scanning ``src/`` therefore yields modpaths
+such as ``repro/raft/node.py`` — the same shape fixture trees use in
+``tests/repolint/``, so one config drives both the real tree and the
+fixture corpora.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["RepolintConfig", "DEFAULT_CONFIG"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RepolintConfig:
+    """Knobs consumed by the rule families (see ``tools/repolint/rules``)."""
+
+    # -- determinism (rule family 1) ----------------------------------- #
+    #: Modpath prefixes where wall clocks, stdlib ``random``, ``os.urandom``
+    #: and unseeded ``default_rng()`` are forbidden and where unordered
+    #: iteration feeding scheduling/tracing/sends is flagged.
+    determinism_scopes: tuple[str, ...] = (
+        "repro/sim/",
+        "repro/raft/",
+        "repro/net/",
+        "repro/dynatune/",
+        "repro/scenarios/",
+        "repro/fuzz/",
+    )
+    #: Callable attribute names that schedule events, emit trace records or
+    #: send messages — the sinks whose invocation order must not depend on
+    #: set/dict iteration order.
+    order_sensitive_sinks: frozenset[str] = frozenset(
+        {
+            "send",
+            "transmit",
+            "broadcast",
+            "schedule",
+            "schedule_at",
+            "_push_event",
+            "record",
+            "_rpc",
+            "_send",
+            "_send_append",
+            "_send_heartbeat_to",
+            "_send_snapshot",
+            "reset",  # Timer.reset arms an event
+        }
+    )
+
+    # -- hot-path discipline (rule family 2) --------------------------- #
+    #: Modules whose every class must declare ``__slots__`` (directly or
+    #: via ``@dataclass(slots=True)``).
+    slots_modules: tuple[str, ...] = (
+        "repro/raft/messages.py",
+        "repro/dynatune/metadata.py",
+    )
+    #: Envelope-style class names that must be slotted wherever they live.
+    slots_class_names: frozenset[str] = frozenset(
+        {"_Delivery", "Message", "TraceRecord"}
+    )
+    #: modpath -> qualified function names that must stay free of
+    #: comprehension/lambda/f-string allocations (error paths inside
+    #: ``raise`` statements are exempt).
+    hot_functions: dict[str, frozenset[str]] = dataclasses.field(
+        default_factory=lambda: {
+            "repro/raft/node.py": frozenset(
+                {
+                    "RaftNode.deliver",
+                    "RaftNode._on_heartbeat",
+                    "RaftNode._on_heartbeat_response",
+                    "RaftNode._send_heartbeat_to",
+                    "RaftNode._heartbeat_tick",
+                }
+            ),
+            "repro/net/network.py": frozenset({"Network.transmit"}),
+            "repro/dynatune/measurement.py": frozenset(
+                {"PathMeasurement.record_id", "PathMeasurement.record_rtt"}
+            ),
+            "repro/sim/tracing.py": frozenset(
+                {"TraceLog.record", "TraceLog.wants"}
+            ),
+        }
+    )
+
+    # -- trace-kind registry (rule family 3) --------------------------- #
+    #: Modpath of the generated registry module.
+    trace_registry_modpath: str = "repro/sim/trace_kinds.py"
+    #: Kinds merged into the registry that static extraction cannot see.
+    #: All three reach ``TraceLog.record`` through ``pause_for``'s dynamic
+    #: ``kind`` parameter (the one suppressed ``trace-dynamic-kind`` site):
+    #: * ``fault_leader_pause`` — a pause that *is* a leader failure;
+    #:   consumed by the measurement layer as ``LEADER_FAILURE_KIND``;
+    #: * ``fault_pause`` — ``pause_for``'s default / plain container sleep;
+    #: * ``stall_pause`` — ``StallInjector`` processing stalls.
+    extra_trace_kinds: tuple[str, ...] = (
+        "fault_leader_pause",
+        "fault_pause",
+        "stall_pause",
+    )
+
+    #: Module/class constants whose string elements are consumed trace
+    #: kinds (membership-dispatch sets like ``SafetyChecker.HOOK_KINDS``)
+    #: — checked against the registry like any ``of_kind`` argument.
+    trace_kind_constant_names: frozenset[str] = frozenset({"HOOK_KINDS"})
+
+    # -- dispatch completeness (rule family 4) ------------------------- #
+    #: Module defining the RPC payload classes.
+    messages_modpath: str = "repro/raft/messages.py"
+    #: Module holding the type-indexed dispatch table assignment.
+    dispatch_modpath: str = "repro/raft/node.py"
+    #: Name the dispatch dict is assigned to (``X._DISPATCH = {...}``).
+    dispatch_attr: str = "_DISPATCH"
+    #: Message classes nodes legitimately never receive (client-bound).
+    dispatch_exempt: frozenset[str] = frozenset({"ClientResponse"})
+    #: Module defining the scenario Step subclasses.
+    steps_modpath: str = "repro/scenarios/steps.py"
+    #: Name of the kind-tag -> class registry dict in that module.
+    step_registry_name: str = "STEP_TYPES"
+    #: Step base/abstract classes exempt from registration (private
+    #: ``_Foo`` helpers are exempt automatically).
+    step_abstract_names: frozenset[str] = frozenset({"Step"})
+
+    # -- protocol-state hygiene (rule family 5) ------------------------ #
+    #: Protected attribute -> qualified methods allowed to write it.
+    #: A write anywhere else (any file in the scan) is an error.
+    protected_state: dict[str, frozenset[str]] = dataclasses.field(
+        default_factory=lambda: {
+            "current_term": frozenset(
+                {
+                    "RaftNode.__init__",
+                    "RaftNode._become_follower",
+                    "RaftNode._become_candidate",
+                }
+            ),
+            "voted_for": frozenset(
+                {
+                    "RaftNode.__init__",
+                    "RaftNode._become_follower",
+                    "RaftNode._become_candidate",
+                    "RaftNode._grant_vote",
+                }
+            ),
+            "_base_config": frozenset(
+                {
+                    "RaftNode.__init__",
+                    "RaftNode.on_recover",
+                    "RaftNode._rebase_config",
+                }
+            ),
+            "_config_log": frozenset(
+                {"RaftNode.__init__", "RaftNode.on_recover"}
+            ),
+        }
+    )
+
+
+DEFAULT_CONFIG = RepolintConfig()

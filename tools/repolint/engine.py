@@ -1,0 +1,269 @@
+"""repolint core: file loading, rule driving, suppressions, baseline.
+
+Design notes:
+
+* **Findings are keyed without line numbers** — ``(rule, path, symbol,
+  message)`` — so a committed baseline survives unrelated edits above a
+  grandfathered finding.  Rule authors must therefore keep line numbers
+  (and anything else that drifts) out of the message text.
+* **Suppressions are per line**: ``# repolint: disable=rule-a,rule-b``
+  on the reported line, or on a standalone comment line directly above
+  it (multi-line calls report at the statement head, so the comment
+  naturally sits on top).
+* **Two pass shapes**: :meth:`Rule.check_file` runs once per parsed
+  file; :meth:`Rule.finish` runs once at the end with the whole
+  :class:`Project` — cross-file rules (trace registry, dispatch
+  completeness) do their work there.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import re
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from tools.repolint.config import DEFAULT_CONFIG, RepolintConfig
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Project",
+    "Rule",
+    "Baseline",
+    "Report",
+    "run_repolint",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*repolint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific site."""
+
+    rule: str
+    path: str  # modpath (relative to the scanned root, posix)
+    line: int
+    message: str
+    symbol: str = ""  # stable anchor (class/function/kind name) if any
+
+    @property
+    def key(self) -> tuple[str, str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.symbol, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class FileContext:
+    """One parsed source file plus the helpers rules need."""
+
+    def __init__(
+        self, root: Path, path: Path, config: RepolintConfig
+    ) -> None:
+        self.root = root
+        self.path = path
+        self.modpath = path.relative_to(root).as_posix()
+        self.config = config
+        self.source = path.read_text(encoding="utf-8")
+        self.lines = self.source.splitlines()
+        self.tree = ast.parse(self.source, filename=str(path))
+
+    def finding(
+        self, rule: str, node: ast.AST | int, message: str, symbol: str = ""
+    ) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 0)
+        return Finding(
+            rule=rule, path=self.modpath, line=line, message=message, symbol=symbol
+        )
+
+    def suppressed_rules_at(self, line: int) -> frozenset[str]:
+        """Rules disabled for ``line`` (1-based) via suppression comments."""
+        out: set[str] = set()
+        for cand in (line, line - 1):
+            if 1 <= cand <= len(self.lines):
+                text = self.lines[cand - 1]
+                if cand != line and text.lstrip()[:1] != "#":
+                    continue  # the line above only counts as a bare comment
+                m = _SUPPRESS_RE.search(text)
+                if m:
+                    out.update(
+                        r.strip() for r in m.group(1).split(",") if r.strip()
+                    )
+        return frozenset(out)
+
+
+class Project:
+    """Every parsed file of one run, handed to cross-file passes."""
+
+    def __init__(
+        self, root: Path, files: list[FileContext], config: RepolintConfig
+    ) -> None:
+        self.root = root
+        self.files = files
+        self.config = config
+        self._by_modpath = {f.modpath: f for f in files}
+
+    def file(self, modpath: str) -> FileContext | None:
+        return self._by_modpath.get(modpath)
+
+
+class Rule:
+    """Base class for one lint rule (a family may ship several)."""
+
+    name: str = ""
+    description: str = ""
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+class Baseline:
+    """Committed list of grandfathered findings (line-independent keys)."""
+
+    def __init__(self, entries: list[dict[str, str]]) -> None:
+        self.entries = entries
+        self._keys = {
+            (e["rule"], e["path"], e.get("symbol", ""), e["message"])
+            for e in entries
+        }
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls([])
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return cls(list(data.get("findings", [])))
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(
+            [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "symbol": f.symbol,
+                    "message": f.message,
+                }
+                for f in sorted(findings, key=lambda f: f.key)
+            ]
+        )
+
+    def dump(self, path: Path) -> None:
+        path.write_text(
+            json.dumps({"findings": self.entries}, indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.key in self._keys
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclasses.dataclass
+class Report:
+    """Outcome of one repolint run."""
+
+    findings: list[Finding]  # active (not suppressed, not baselined)
+    suppressed: list[Finding]
+    baselined: list[Finding]
+    parse_errors: list[str]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def to_json(self) -> str:
+        def enc(f: Finding) -> dict[str, object]:
+            return {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "symbol": f.symbol,
+                "message": f.message,
+            }
+
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "files_checked": self.files_checked,
+                "findings": [enc(f) for f in self.findings],
+                "suppressed": [enc(f) for f in self.suppressed],
+                "baselined": [enc(f) for f in self.baselined],
+                "parse_errors": self.parse_errors,
+            },
+            indent=2,
+        )
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    yield from sorted(
+        p
+        for p in root.rglob("*.py")
+        if "__pycache__" not in p.parts and not p.name.startswith(".")
+    )
+
+
+def load_project(
+    root: Path, config: RepolintConfig
+) -> tuple[Project, list[str]]:
+    files: list[FileContext] = []
+    errors: list[str] = []
+    for path in iter_python_files(root):
+        try:
+            files.append(FileContext(root, path, config))
+        except SyntaxError as exc:
+            errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+    return Project(root, files, config), errors
+
+
+def run_repolint(
+    root: Path | str,
+    *,
+    config: RepolintConfig = DEFAULT_CONFIG,
+    rules: Iterable[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> Report:
+    """Run every rule over every ``.py`` file under ``root``."""
+    from tools.repolint.rules import default_rules
+
+    root = Path(root)
+    active_rules = list(rules) if rules is not None else default_rules(config)
+    project, parse_errors = load_project(root, config)
+
+    raw_set: set[Finding] = set()
+    for rule in active_rules:
+        for ctx in project.files:
+            raw_set.update(rule.check_file(ctx))
+        raw_set.update(rule.finish(project))
+    raw = list(raw_set)
+
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    baselined: list[Finding] = []
+    for f in sorted(raw, key=lambda f: (f.path, f.line, f.rule, f.message)):
+        ctx = project.file(f.path)
+        if ctx is not None and f.rule in ctx.suppressed_rules_at(f.line):
+            suppressed.append(f)
+        elif baseline is not None and baseline.covers(f):
+            baselined.append(f)
+        else:
+            findings.append(f)
+    return Report(
+        findings=findings,
+        suppressed=suppressed,
+        baselined=baselined,
+        parse_errors=parse_errors,
+        files_checked=len(project.files),
+    )

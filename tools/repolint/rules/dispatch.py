@@ -1,0 +1,190 @@
+"""Rule family 4 — dispatch completeness.
+
+* ``dispatch-unhandled-message`` — every RPC payload class defined in
+  the messages module must be a key of the node's type-indexed
+  ``_DISPATCH`` table (minus the configured client-bound exemptions).
+  An unhandled class means ``deliver`` raises at runtime — but only the
+  first time that message is actually sent, which under rare scenarios
+  can be long after the class ships.
+* ``dispatch-unknown-message`` — the dispatch table references a class
+  the messages module does not define (stale key after a rename).
+* ``step-unregistered`` — every concrete ``Step`` subclass in the
+  scenario module must be registered in ``STEP_TYPES`` so
+  ``step_from_dict`` (and therefore every JSON reproducer) can round-trip
+  it.  Private ``_Foo`` bases are exempt.
+* ``step-unknown-registered`` — ``STEP_TYPES`` registers a name that is
+  not a concrete Step subclass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from tools.repolint.config import RepolintConfig
+from tools.repolint.engine import Finding, Project, Rule
+
+__all__ = ["MessageDispatchRule", "StepRegistryRule"]
+
+
+def _module_classes(tree: ast.Module) -> dict[str, ast.ClassDef]:
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+
+
+class MessageDispatchRule(Rule):
+    name = "dispatch-unhandled-message"
+    description = "every message class needs a _DISPATCH handler"
+
+    def __init__(self, config: RepolintConfig) -> None:
+        self.config = config
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        cfg = self.config
+        messages_ctx = project.file(cfg.messages_modpath)
+        dispatch_ctx = project.file(cfg.dispatch_modpath)
+        if messages_ctx is None or dispatch_ctx is None:
+            return  # family not exercised by this tree
+        classes = _module_classes(messages_ctx.tree)
+
+        keys: dict[str, int] = {}
+        found_table = False
+        for node in ast.walk(dispatch_ctx.tree):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Attribute)
+                and node.targets[0].attr == cfg.dispatch_attr
+                and isinstance(node.value, ast.Dict)
+            ):
+                continue
+            found_table = True
+            for key in node.value.keys:
+                if isinstance(key, ast.Name):
+                    keys[key.id] = key.lineno
+                elif isinstance(key, ast.Attribute):
+                    keys[key.attr] = key.lineno
+        if not found_table:
+            yield dispatch_ctx.finding(
+                self.name,
+                1,
+                f"no `X.{cfg.dispatch_attr} = {{...}}` table found in the "
+                f"dispatch module — repolint cannot verify handler "
+                f"completeness",
+            )
+            return
+
+        for name in sorted(set(classes) - set(keys) - cfg.dispatch_exempt):
+            yield messages_ctx.finding(
+                self.name,
+                classes[name],
+                f"message class {name} has no handler in "
+                f"{cfg.dispatch_modpath}'s {cfg.dispatch_attr} table — "
+                f"deliver() will raise the first time one arrives",
+                symbol=name,
+            )
+        for name in sorted(set(keys) - set(classes)):
+            yield dispatch_ctx.finding(
+                "dispatch-unknown-message",
+                keys[name],
+                f"{cfg.dispatch_attr} references {name}, which "
+                f"{cfg.messages_modpath} does not define",
+                symbol=name,
+            )
+
+
+class StepRegistryRule(Rule):
+    name = "step-unregistered"
+    description = "every concrete Step subclass needs a STEP_TYPES entry"
+
+    def __init__(self, config: RepolintConfig) -> None:
+        self.config = config
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        cfg = self.config
+        ctx = project.file(cfg.steps_modpath)
+        if ctx is None:
+            return
+        classes = _module_classes(ctx.tree)
+
+        # Transitive subclasses of the configured base(s), local names only.
+        bases_of = {
+            name: {
+                b.id if isinstance(b, ast.Name) else getattr(b, "attr", "")
+                for b in node.bases
+            }
+            for name, node in classes.items()
+        }
+        step_like: set[str] = set(cfg.step_abstract_names)
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in bases_of.items():
+                if name not in step_like and bases & step_like:
+                    step_like.add(name)
+                    changed = True
+        concrete = {
+            n
+            for n in step_like
+            if n in classes
+            and not n.startswith("_")
+            and n not in cfg.step_abstract_names
+        }
+
+        registered: dict[str, int] = {}
+        found_registry = False
+        for node in ast.walk(ctx.tree):
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+            if not (
+                isinstance(target, ast.Name)
+                and target.id == cfg.step_registry_name
+            ):
+                continue
+            value = getattr(node, "value", None)
+            if value is None:
+                continue
+            found_registry = True
+            if isinstance(value, ast.Dict):
+                for v in value.values:
+                    if isinstance(v, ast.Name):
+                        registered[v.id] = v.lineno
+            elif isinstance(value, ast.DictComp) and value.generators:
+                it = value.generators[0].iter
+                if isinstance(it, (ast.Tuple, ast.List)):
+                    for elt in it.elts:
+                        if isinstance(elt, ast.Name):
+                            registered[elt.id] = elt.lineno
+        if not found_registry:
+            yield ctx.finding(
+                self.name,
+                1,
+                f"no {cfg.step_registry_name} registry found in "
+                f"{cfg.steps_modpath} — repolint cannot verify step "
+                f"round-trip registration",
+            )
+            return
+
+        for name in sorted(concrete - set(registered)):
+            yield ctx.finding(
+                self.name,
+                classes[name],
+                f"Step subclass {name} is not registered in "
+                f"{cfg.step_registry_name} — step_from_dict cannot "
+                f"round-trip it (JSON reproducers break)",
+                symbol=name,
+            )
+        for name in sorted(set(registered) - concrete):
+            yield ctx.finding(
+                "step-unknown-registered",
+                registered[name],
+                f"{cfg.step_registry_name} registers {name}, which is not "
+                f"a concrete Step subclass in this module",
+                symbol=name,
+            )

@@ -1,0 +1,151 @@
+"""Rule family 2 — hot-path discipline.
+
+* ``hotpath-slots`` — every class in the configured message/metadata
+  modules, and every envelope class (``_Delivery``, ``Message``,
+  ``TraceRecord``) wherever it lives, must declare ``__slots__`` either
+  directly or via ``@dataclass(slots=True)``.  A slotless payload class
+  adds a per-instance ``__dict__`` on the hottest allocation path in the
+  simulator.
+* ``hotpath-alloc`` — functions on the configured hot list (message
+  delivery, the envelope-free transmit, heartbeat send/receive, the
+  measurement-window recorders, trace recording) must not contain
+  comprehensions, generator expressions, lambdas or f-strings: each is a
+  hidden per-call allocation (comprehensions also pay a frame).
+  Allocations inside ``raise`` statements are exempt — error paths may
+  format freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from tools.repolint.astutil import class_has_slots, iter_functions
+from tools.repolint.config import RepolintConfig
+from tools.repolint.engine import FileContext, Finding, Rule
+
+__all__ = ["SlotsRule", "HotPathAllocRule"]
+
+
+class SlotsRule(Rule):
+    name = "hotpath-slots"
+    description = "message/envelope classes must declare __slots__"
+
+    def __init__(self, config: RepolintConfig) -> None:
+        self.config = config
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        module_wide = ctx.modpath in self.config.slots_modules
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            wanted = module_wide or node.name in self.config.slots_class_names
+            if not wanted:
+                continue
+            if _is_exception(node) or _is_protocol_or_enum(node):
+                continue
+            if not class_has_slots(node):
+                yield ctx.finding(
+                    self.name,
+                    node,
+                    f"class {node.name} must declare __slots__ (or use "
+                    f"@dataclass(slots=True)) — it is a hot-path "
+                    f"message/envelope class",
+                    symbol=node.name,
+                )
+
+
+def _base_names(node: ast.ClassDef) -> list[str]:
+    out = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            out.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            out.append(base.attr)
+    return out
+
+
+def _is_exception(node: ast.ClassDef) -> bool:
+    return any(b.endswith(("Error", "Exception")) for b in _base_names(node))
+
+
+def _is_protocol_or_enum(node: ast.ClassDef) -> bool:
+    return any(
+        b in {"Protocol", "Enum", "IntEnum", "StrEnum"}
+        for b in _base_names(node)
+    )
+
+
+_ALLOC_NODES = (
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+    ast.Lambda,
+    ast.JoinedStr,
+)
+
+_ALLOC_LABEL = {
+    ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension",
+    ast.DictComp: "dict comprehension",
+    ast.GeneratorExp: "generator expression",
+    ast.Lambda: "lambda",
+    ast.JoinedStr: "f-string",
+}
+
+
+class HotPathAllocRule(Rule):
+    name = "hotpath-alloc"
+    description = (
+        "configured hot functions must be free of comprehension/lambda/"
+        "f-string allocations (raise statements exempt)"
+    )
+
+    def __init__(self, config: RepolintConfig) -> None:
+        self.config = config
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        wanted = self.config.hot_functions.get(ctx.modpath)
+        if not wanted:
+            return
+        seen: set[str] = set()
+        for qual, fn in iter_functions(ctx.tree):
+            if qual not in wanted:
+                continue
+            seen.add(qual)
+            yield from self._check_function(ctx, qual, fn)
+        for missing in sorted(wanted - seen):
+            yield ctx.finding(
+                self.name,
+                1,
+                f"hot function {missing} is configured but was not found "
+                f"in this module — update tools/repolint/config.py",
+                symbol=missing,
+            )
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        qual: str,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterable[Finding]:
+        raise_spans = [
+            (n.lineno, n.end_lineno or n.lineno)
+            for n in ast.walk(fn)
+            if isinstance(n, ast.Raise)
+        ]
+
+        def in_raise(node: ast.AST) -> bool:
+            line = getattr(node, "lineno", 0)
+            return any(lo <= line <= hi for lo, hi in raise_spans)
+
+        for node in ast.walk(fn):
+            if isinstance(node, _ALLOC_NODES) and not in_raise(node):
+                yield ctx.finding(
+                    self.name,
+                    node,
+                    f"{_ALLOC_LABEL[type(node)]} in hot function {qual} — "
+                    f"hoist it off the per-call path",
+                    symbol=qual,
+                )
