@@ -1,0 +1,33 @@
+"""Serving fast-path bench: the ISSUE-8 acceptance number.
+
+Runs the closed-loop serving grid (see ``repro.experiments.serving``)
+once and records the headline throughput per mode in ``extra_info``, so
+every ``BENCH_<stamp>.json`` snapshot — and the committed
+``BENCH_latest.json`` trajectory point — carries the fast-path speedup
+next to the wall-clock timings.  The ≥ 3× gate is asserted here on the
+**simulated** ops/sec (seed-deterministic); wall-clock ops/sec is
+recorded advisory-only, like the memory trajectory.
+"""
+
+from repro.experiments import serving
+
+
+def test_serving_fastpath_speedup(once, benchmark):
+    cfg = serving.ServingConfig(n_clients=64, duration_ms=18_000.0)
+    result = once(serving.run, cfg)
+
+    for r in result.runs:
+        benchmark.extra_info[f"{r.mode}_ops_per_sim_s"] = round(r.ops_per_sim_s)
+        benchmark.extra_info[f"{r.mode}_ops_per_wall_s"] = round(r.ops_per_wall_s)
+    benchmark.extra_info["serving_speedup"] = round(result.speedup, 2)
+    benchmark.extra_info["reads_lease"] = result.find("lease").reads_lease
+    benchmark.extra_info["reads_readindex"] = result.find("readindex").reads_readindex
+
+    # The full gate set: safety clean in every mode, fast paths covered,
+    # the drift control always falling back, speedup >= 3x.
+    assert serving.check(result) == []
+    assert result.speedup >= serving.MIN_SPEEDUP
+
+    # The fast path must not buy throughput with dropped requests.
+    for r in result.runs:
+        assert r.availability >= serving.MIN_AVAILABILITY, r.mode

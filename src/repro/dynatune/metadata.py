@@ -78,22 +78,33 @@ class HeartbeatResponseMeta:
         tuned_h_ms: the heartbeat interval the follower computed for this
             path (§III-D2), or ``None`` while the follower is still in
             Step 0 (fewer than ``minListSize`` samples).
+        tuned_et_ms: the election timeout the follower is currently
+            applying toward this leader, or ``None`` while on the
+            default.  The leader's lease arithmetic needs a lower bound
+            on the ``Et`` any voter would wait before granting a vote
+            (see ``TuningPolicy.lease_bound_ms``); piggybacking the tuned
+            value keeps that bound tight without extra messages — the
+            same "no additional communication" framing as the rest of
+            the metadata.
     """
 
-    __slots__ = ("echo_seq", "echo_ts", "tuned_h_ms")
+    __slots__ = ("echo_seq", "echo_ts", "tuned_h_ms", "tuned_et_ms")
 
     def __init__(
         self,
         echo_seq: int,
         echo_ts: float,
         tuned_h_ms: float | None = None,
+        tuned_et_ms: float | None = None,
     ) -> None:
         self.echo_seq = echo_seq
         self.echo_ts = echo_ts
         self.tuned_h_ms = tuned_h_ms
+        self.tuned_et_ms = tuned_et_ms
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"HeartbeatResponseMeta(echo_seq={self.echo_seq}, "
-            f"echo_ts={self.echo_ts}, tuned_h_ms={self.tuned_h_ms})"
+            f"echo_ts={self.echo_ts}, tuned_h_ms={self.tuned_h_ms}, "
+            f"tuned_et_ms={self.tuned_et_ms})"
         )

@@ -91,6 +91,22 @@ class TuningPolicy(Protocol):
 
     def on_step_down(self, now_ms: float) -> None: ...
 
+    def lease_bound_ms(self) -> float | None:
+        """Lower bound on the election timeout any current voter is
+        applying, for leader-lease reads — no follower grants a vote
+        before ``last leader contact + Et``, so a lease of
+        ``bound − drift margin`` from confirmed quorum contact cannot
+        outlive this leader's exclusivity.  ``None`` means the policy
+        cannot bound it (leases must fall back to ReadIndex).
+
+        Static policies return their configured ``Et``; Dynatune returns
+        the minimum over every follower's last *piggybacked* tuned ``Et``
+        (default ``Et`` for followers still on defaults) — at most one
+        response stale, which the caller's drift margin must absorb
+        together with clock drift and the response's one-way delay.
+        """
+        ...
+
     def on_peer_removed(self, peer: str) -> None:
         """``peer`` left the cluster for good (committed ``remove`` config
         change): drop any per-peer tuning state so a long-lived policy
@@ -173,6 +189,9 @@ class StaticPolicy:
     def on_step_down(self, now_ms: float) -> None:  # noqa: ARG002
         return None
 
+    def lease_bound_ms(self) -> float | None:
+        return self._et  # every follower waits the same static Et
+
     def on_peer_removed(self, peer: str) -> None:  # noqa: ARG002
         return None  # static policies hold no per-peer state
 
@@ -197,6 +216,8 @@ class _FollowerPathState:
     last_rtt_ms: float | None = None
     rtt_seq: int = 0
     applied_h_ms: float | None = None
+    #: The Et this follower last piggybacked (None = still on defaults).
+    reported_et_ms: float | None = None
 
 
 class DynatunePolicy:
@@ -343,7 +364,9 @@ class DynatunePolicy:
                 meas.ready = True
         if meas.ready:
             self._retune()
-        return HeartbeatResponseMeta(meta.seq, meta.send_ts, self._tuned_h)
+        return HeartbeatResponseMeta(
+            meta.seq, meta.send_ts, self._tuned_h, self._tuned_et
+        )
 
     def _retune(self) -> None:
         """Steps 1–2 of §III-B: derive Et from RTT stats, then h from loss.
@@ -466,6 +489,7 @@ class DynatunePolicy:
         if rtt >= 0.0:
             st.last_rtt_ms = rtt
             st.rtt_seq += 1
+        st.reported_et_ms = meta.tuned_et_ms
         if meta.tuned_h_ms is not None:
             # Apply the follower's h as-is: tune_heartbeat already clamped
             # it into [min(h_floor, Et), Et], and a piggybacked h *below*
@@ -477,6 +501,30 @@ class DynatunePolicy:
             # "repaired": that is the §II-B heartbeat-storm guard.
             if meta.tuned_h_ms >= min(self.config.h_floor_ms, self.config.et_floor_ms):
                 st.applied_h_ms = meta.tuned_h_ms
+
+    def lease_bound_ms(self) -> float | None:
+        """Minimum *tuned* Et across the followers this reign has heard
+        from, or ``None`` (no lease) while any of them is still untuned.
+
+        The ``None`` case is load-bearing, not just conservatism: an
+        untuned follower applies the default Et *today* but first-tunes
+        to ``mu + c·sigma`` — potentially an order of magnitude lower —
+        the moment its measurement window fills, and the leader only
+        learns one response later.  A lease computed from the default
+        would outlive that follower's vote-refusal window across the
+        cliff.  Between ordinary retunes the reported value is at most
+        one response stale and moves by one window sample; that slew,
+        plus clock drift and the response's one-way delay, is what the
+        caller's ``lease_drift_margin_ms`` must absorb.
+        """
+        bound: float | None = None
+        for st in self._paths.values():
+            et = st.reported_et_ms
+            if et is None:
+                return None
+            if bound is None or et < bound:
+                bound = et
+        return bound
 
     def on_become_leader(self, now_ms: float) -> None:  # noqa: ARG002
         # Fresh leadership: per-follower sequence spaces restart, and no

@@ -88,6 +88,9 @@ class TrialRecord:
     config_commits: int = 0
     nodes_added: int = 0
     nodes_removed: int = 0
+    batches_flushed: int = 0
+    reads_readindex: int = 0
+    reads_lease: int = 0
 
     @property
     def ok(self) -> bool:
@@ -148,6 +151,9 @@ def _run_one(task: tuple[FuzzCampaignConfig, int]) -> TrialRecord:
         config_commits=result.config_commits,
         nodes_added=result.nodes_added,
         nodes_removed=result.nodes_removed,
+        batches_flushed=result.batches_flushed,
+        reads_readindex=result.reads_readindex,
+        reads_lease=result.reads_lease,
     )
 
 
@@ -255,6 +261,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--serving",
+        action="store_true",
+        help=(
+            "run trials with the client-serving fast path on (leader-side "
+            "append batching, replication pipelining, lease reads) and "
+            "route the workload's gets over ReadIndex/lease serving, so "
+            "batched writes and fast-path reads run under the full "
+            "safety + linearizability oracle"
+        ),
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help=(
@@ -296,6 +313,14 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--membership probability must be in (0, 1]")
         gen_overrides["p_membership"] = args.membership
         trial = dataclasses.replace(trial, membership=True)
+    if args.serving:
+        trial = dataclasses.replace(
+            trial,
+            batching=True,
+            pipelining=True,
+            lease_reads=True,
+            workload=dataclasses.replace(trial.workload, read_fastpath=True),
+        )
     cfg = FuzzCampaignConfig(
         n_trials=args.trials,
         seed=args.seed,
@@ -326,6 +351,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{sum(t.config_commits for t in result.trials)} config commits, "
             f"{sum(t.nodes_added for t in result.trials)} promotions, "
             f"{sum(t.nodes_removed for t in result.trials)} decommissions "
+            "across the campaign"
+        )
+    if cfg.trial.batching or cfg.trial.workload.read_fastpath:
+        print(
+            f"serving coverage: "
+            f"{sum(t.batches_flushed for t in result.trials)} batches flushed, "
+            f"{sum(t.reads_readindex for t in result.trials)} ReadIndex reads, "
+            f"{sum(t.reads_lease for t in result.trials)} lease reads "
             "across the campaign"
         )
     if args.digest:

@@ -1,0 +1,426 @@
+"""Closed-loop serving bench: the client fast path end to end.
+
+Five modes share one workload — N sequential clients hammering a 5-node
+cluster with a read-heavy KV mix — and differ only in which fast-path
+knobs are on:
+
+* ``baseline`` — the seed serving path: every op (reads included) is one
+  log entry, one AppendEntries per follower per request;
+* ``batched`` — leader-side append batching + replication pipelining;
+  reads still go through the log;
+* ``readindex`` — batching/pipelining plus ReadIndex fast-path reads
+  (quorum probe round, no log entry);
+* ``lease`` — lease serving on top: reads answered locally while the
+  leader holds a quorum-anchored lease derived from the policy's Et
+  bound (Dynatune's tuned Et under the default system);
+* ``lease-drift`` — the safety control: the same lease mode with an
+  absurd injected clock-drift margin, under which the lease must *never*
+  validate — every read must fall back to ReadIndex and still be served.
+
+The topology is the paper's serving shape: a geo-replicated quorum
+(inter-node RTT ``rtt_ms``) with clients co-located at the leader's
+serving edge (``client_rtt_ms`` ≪ ``rtt_ms``).  On the seed path every
+read pays the full consensus round trip on top of the client hop; the
+lease path answers it in one client hop, so closed-loop throughput is
+bounded by the fast path, not the WAN.
+
+Each mode runs under the event-hooked
+:class:`~repro.scenarios.safety.SafetyChecker`; :func:`check` gates on
+zero violations everywhere, full fast-path coverage (batches flushed,
+ReadIndex and lease reads actually served, the drift control falling
+back every single time), and the headline number: the ``lease`` mode
+completing at least :data:`MIN_SPEEDUP` (3×) the ops/sec of
+``baseline`` in **simulated** time — a seed-deterministic quantity, so
+the gate cannot flake on a loaded CI machine.  Wall-clock throughput is
+reported alongside (machine-dependent, excluded from :func:`digest`).
+
+Modes run serially (never fanned out) so the advisory wall-clock
+comparison is not distorted by CPU contention between workers.
+
+CLI::
+
+    python -m repro.experiments.serving            # full bench (~1 min)
+    python -m repro.experiments.serving --smoke    # CI budget
+    python -m repro.experiments.serving --digest   # print the result digest
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import sys
+import time
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.experiments.common import make_policy_factory
+from repro.fuzz.history import OpHistory
+from repro.fuzz.workload import WorkloadConfig, WorkloadDriver
+from repro.raft.types import RaftConfig
+from repro.scenarios.safety import SafetyChecker
+
+__all__ = [
+    "MODES",
+    "MIN_SPEEDUP",
+    "ServingConfig",
+    "ServingRunResult",
+    "ServingResult",
+    "run_one",
+    "run",
+    "check",
+    "digest",
+    "main",
+]
+
+#: The mode grid, in the order :func:`run` executes it.
+MODES: tuple[str, ...] = ("baseline", "batched", "readindex", "lease", "lease-drift")
+
+#: The acceptance gate: ``lease`` simulated ops/sec over ``baseline``.
+MIN_SPEEDUP = 3.0
+
+#: A drift margin no real deployment has (an hour of clock skew per
+#: beat): with it injected the lease arithmetic must reject every read.
+DRIFT_MARGIN_MS = 3_600_000.0
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class ServingConfig:
+    """One serving bench (the grid in :func:`run` derives the modes)."""
+
+    system: str = "dynatune"
+    n_nodes: int = 5
+    seed: int = 42
+    #: Inter-node RTT: a geo-replicated quorum, the regime where the
+    #: Dynatune-tuned Et (and hence the lease bound) is RTT-scale.
+    rtt_ms: float = 80.0
+    #: Client↔cluster RTT: clients co-located with the serving edge.
+    client_rtt_ms: float = 10.0
+    #: Closed-loop client pool — large enough that the baseline's
+    #: one-append-per-op behaviour is the visible bottleneck.
+    n_clients: int = 128
+    n_keys: int = 32
+    duration_ms: float = 25_000.0
+    think_min_ms: float = 1.0
+    think_max_ms: float = 8.0
+    op_timeout_ms: float = 2_000.0
+    #: Read-heavy serving mix (the remainder are deletes).
+    p_put: float = 0.12
+    p_get: float = 0.85
+    #: Fast-path knobs applied in the batched+ modes.
+    batch_max: int = 64
+    batch_window_ms: float = 5.0
+    max_inflight: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {self.n_clients!r}")
+        if self.duration_ms <= 0.0:
+            raise ValueError(f"duration_ms must be > 0, got {self.duration_ms!r}")
+
+    def raft_config(self, mode: str) -> RaftConfig:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if mode == "baseline":
+            return RaftConfig()
+        return RaftConfig(
+            client_batching=True,
+            client_batch_max=self.batch_max,
+            client_batch_window_ms=self.batch_window_ms,
+            replication_pipelining=True,
+            max_inflight_appends=self.max_inflight,
+            lease_reads=mode in ("lease", "lease-drift"),
+            lease_drift_margin_ms=(
+                DRIFT_MARGIN_MS
+                if mode == "lease-drift"
+                else RaftConfig().lease_drift_margin_ms
+            ),
+        )
+
+    def workload(self, mode: str) -> WorkloadConfig:
+        return WorkloadConfig(
+            n_clients=self.n_clients,
+            n_keys=self.n_keys,
+            op_timeout_ms=self.op_timeout_ms,
+            think_min_ms=self.think_min_ms,
+            think_max_ms=self.think_max_ms,
+            p_put=self.p_put,
+            p_get=self.p_get,
+            start_ms=400.0,
+            max_ops_per_client=1_000_000,
+            read_fastpath=mode in ("readindex", "lease", "lease-drift"),
+            client_rtt_ms=self.client_rtt_ms,
+        )
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class ServingRunResult:
+    """One mode reduced to its throughput and coverage numbers."""
+
+    mode: str
+    system: str
+    n_nodes: int
+    n_clients: int
+    duration_ms: float
+    ops_issued: int
+    ops_completed: int
+    mean_latency_ms: float
+    #: Cluster-wide message/replication load over the run.
+    messages_sent: int
+    appends_sent: int
+    #: Fast-path coverage counters (all zero in ``baseline``).
+    batches_flushed: int
+    batched_commands: int
+    reads_readindex: int
+    reads_lease: int
+    lease_fallbacks: int
+    #: Safety verdict over the whole run.
+    violations: tuple[str, ...]
+    #: Wall seconds for the run (machine-dependent; not in the digest).
+    wall_s: float
+
+    @property
+    def availability(self) -> float:
+        return self.ops_completed / self.ops_issued if self.ops_issued else 0.0
+
+    @property
+    def ops_per_sim_s(self) -> float:
+        return self.ops_completed / (self.duration_ms / 1_000.0)
+
+    @property
+    def ops_per_wall_s(self) -> float:
+        if self.wall_s <= 0.0:
+            return float("inf")
+        return self.ops_completed / self.wall_s
+
+    @property
+    def messages_per_op(self) -> float:
+        if not self.ops_completed:
+            return float("inf")
+        return self.messages_sent / self.ops_completed
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class ServingResult:
+    config: ServingConfig
+    runs: tuple[ServingRunResult, ...]
+
+    def find(self, mode: str) -> ServingRunResult:
+        for r in self.runs:
+            if r.mode == mode:
+                return r
+        raise KeyError(f"no serving run for mode {mode!r}")
+
+    @property
+    def speedup(self) -> float:
+        """``lease`` over ``baseline``, simulated ops/sec — the headline."""
+        base = self.find("baseline").ops_per_sim_s
+        return self.find("lease").ops_per_sim_s / base if base else float("inf")
+
+    @property
+    def wall_speedup(self) -> float:
+        """Same ratio in wall-clock ops/sec (advisory, machine-dependent)."""
+        base = self.find("baseline").ops_per_wall_s
+        return self.find("lease").ops_per_wall_s / base if base else float("inf")
+
+
+def run_one(config: ServingConfig, mode: str) -> ServingRunResult:
+    """Run one serving mode end to end (calm network, full safety oracle)."""
+    t0 = time.perf_counter()
+    cluster = build_cluster(
+        ClusterConfig(
+            n_nodes=config.n_nodes,
+            seed=config.seed,
+            rtt_ms=config.rtt_ms,
+            raft=config.raft_config(mode),
+        ),
+        make_policy_factory(config.system),
+    )
+    checker = SafetyChecker(cluster)
+    checker.install(event_hooks=True)
+    history = OpHistory()
+    driver = WorkloadDriver(
+        cluster,
+        config.workload(mode),
+        history,
+        stop_ms=config.duration_ms - 2.0 * config.op_timeout_ms,
+    )
+    driver.install()
+
+    cluster.start()
+    cluster.run_until(config.duration_ms)
+    wall_s = time.perf_counter() - t0
+
+    ops = history.ops()
+    latencies = [o.return_ms - o.invoke_ms for o in ops if o.completed]
+    nodes = cluster.nodes.values()
+    return ServingRunResult(
+        mode=mode,
+        system=config.system,
+        n_nodes=config.n_nodes,
+        n_clients=config.n_clients,
+        duration_ms=config.duration_ms,
+        ops_issued=len(ops),
+        ops_completed=len(latencies),
+        mean_latency_ms=sum(latencies) / len(latencies) if latencies else 0.0,
+        messages_sent=cluster.network.total_stats().sent,
+        appends_sent=sum(n.metrics.appends_sent for n in nodes),
+        batches_flushed=sum(n.metrics.batches_flushed for n in nodes),
+        batched_commands=sum(n.metrics.batched_commands for n in nodes),
+        reads_readindex=sum(n.metrics.reads_served_readindex for n in nodes),
+        reads_lease=sum(n.metrics.reads_served_lease for n in nodes),
+        lease_fallbacks=sum(n.metrics.lease_fallbacks for n in nodes),
+        violations=tuple(checker.verify()),
+        wall_s=wall_s,
+    )
+
+
+def run(config: ServingConfig | None = None) -> ServingResult:
+    """Run every mode, serially (see module docs on wall-clock fairness)."""
+    cfg = config if config is not None else ServingConfig()
+    return ServingResult(
+        config=cfg, runs=tuple(run_one(cfg, mode) for mode in MODES)
+    )
+
+
+def digest(result: ServingResult) -> str:
+    """SHA-256 over the canonical JSON of the simulated (deterministic)
+    quantities — wall-clock fields are excluded."""
+    payload = []
+    for r in result.runs:
+        d = dataclasses.asdict(r)
+        del d["wall_s"]
+        payload.append(d)
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+#: Completion-ratio floor on a calm network: anything lower means the
+#: serving path dropped requests rather than served them.
+MIN_AVAILABILITY = 0.98
+
+
+def check(result: ServingResult, *, min_speedup: float = MIN_SPEEDUP) -> list[str]:
+    """The serving acceptance gates; empty list means all held."""
+    problems: list[str] = []
+    for r in result.runs:
+        tag = r.mode
+        if r.violations:
+            problems.append(f"{tag}: safety violations: {r.violations[:3]}")
+        if r.ops_issued == 0 or r.availability < MIN_AVAILABILITY:
+            problems.append(
+                f"{tag}: availability {r.availability:.3f} below "
+                f"{MIN_AVAILABILITY:g} ({r.ops_completed}/{r.ops_issued} ops)"
+            )
+    base = result.find("baseline")
+    if base.batches_flushed or base.reads_readindex or base.reads_lease:
+        problems.append("baseline: fast-path counters moved with all knobs off")
+    for mode in ("batched", "readindex", "lease", "lease-drift"):
+        r = result.find(mode)
+        if r.batches_flushed == 0:
+            problems.append(f"{mode}: batching enabled but no batch ever flushed")
+        if r.appends_sent >= base.appends_sent:
+            problems.append(
+                f"{mode}: {r.appends_sent} AppendEntries vs baseline's "
+                f"{base.appends_sent} — batching saved nothing"
+            )
+    for mode in ("readindex", "lease", "lease-drift"):
+        if result.find(mode).reads_readindex == 0:
+            problems.append(f"{mode}: no read was ever served via ReadIndex")
+    lease = result.find("lease")
+    if lease.reads_lease == 0:
+        problems.append("lease: lease serving never engaged")
+    drift = result.find("lease-drift")
+    if drift.reads_lease > 0:
+        problems.append(
+            f"lease-drift: {drift.reads_lease} read(s) served on a lease the "
+            f"injected {DRIFT_MARGIN_MS:g} ms drift margin should have killed"
+        )
+    if drift.lease_fallbacks == 0:
+        problems.append("lease-drift: the drift margin never forced a fallback")
+    if result.speedup < min_speedup:
+        problems.append(
+            f"serving speedup {result.speedup:.2f}x below the "
+            f"{min_speedup:g}x gate ({lease.ops_per_sim_s:.0f} vs "
+            f"{base.ops_per_sim_s:.0f} ops/sim-s)"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--system", default="dynatune")
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--duration-ms", type=float, default=None)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=MIN_SPEEDUP,
+        help="simulated ops/sec gate, lease over baseline",
+    )
+    parser.add_argument(
+        "--digest", action="store_true", help="print the result digest"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI budget: fewer clients, shorter run — still asserts every gate",
+    )
+    args = parser.parse_args(argv)
+
+    config = ServingConfig(
+        system=args.system,
+        seed=args.seed,
+        n_clients=(
+            args.clients if args.clients is not None else (64 if args.smoke else 128)
+        ),
+        duration_ms=(
+            args.duration_ms
+            if args.duration_ms is not None
+            else (18_000.0 if args.smoke else 25_000.0)
+        ),
+    )
+    result = run(config)
+
+    print(
+        f"# serving — {config.n_nodes} nodes (RTT {config.rtt_ms:g} ms), "
+        f"{config.n_clients} closed-loop clients at {config.client_rtt_ms:g} ms, "
+        f"{config.duration_ms / 1_000.0:g}s sim, system {config.system}, "
+        f"seed {config.seed}"
+    )
+    header = (
+        f"{'mode':<12} {'ops':>7} {'avail':>6} {'lat':>7} {'op/sim-s':>9} "
+        f"{'op/wall-s':>10} {'msg/op':>7} {'batches':>8} {'ri':>6} {'lease':>6}"
+    )
+    print(header)
+    for r in result.runs:
+        print(
+            f"{r.mode:<12} {r.ops_completed:>7} {r.availability:>6.3f} "
+            f"{r.mean_latency_ms:>5.0f}ms {r.ops_per_sim_s:>9.0f} "
+            f"{r.ops_per_wall_s:>10.0f} {r.messages_per_op:>7.1f} "
+            f"{r.batches_flushed:>8} {r.reads_readindex:>6} {r.reads_lease:>6}"
+        )
+    print(
+        f"\nserving speedup (lease vs baseline): {result.speedup:.2f}x simulated "
+        f"(gate: >= {args.min_speedup:g}x), {result.wall_speedup:.2f}x wall-clock"
+    )
+    if args.digest:
+        print(f"digest: {digest(result)}")
+
+    problems = check(result, min_speedup=args.min_speedup)
+    if problems:
+        print(f"\n{len(problems)} serving gate(s) failed:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(
+        "all serving gates held (safety clean, fast paths covered, "
+        "drift control fell back, speedup over gate)."
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

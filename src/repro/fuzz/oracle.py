@@ -74,6 +74,16 @@ class FuzzTrialConfig:
     #: steps are traced no-ops — pre-membership timelines replay
     #: bit-identically.
     membership: bool = False
+    #: Client-serving fast path under the oracle.  All three default off
+    #: (what every existing reproducer file implies — pre-fast-path
+    #: timelines replay bit-identically).  ``batching`` turns on
+    #: leader-side append batching (2 ms window), ``pipelining`` the
+    #: optimistic per-follower append stream, and ``lease_reads`` lease
+    #: serving for fast-path gets (the workload's ``read_fastpath`` knob
+    #: controls whether gets take the fast path at all).
+    batching: bool = False
+    pipelining: bool = False
+    lease_reads: bool = False
 
     def __post_init__(self) -> None:
         if self.settle_ms < 0.0 or self.min_run_ms < 0.0:
@@ -118,6 +128,10 @@ class TrialResult:
     config_commits: int = 0
     nodes_added: int = 0
     nodes_removed: int = 0
+    #: Fast-path coverage (all 0 with batching/read knobs off).
+    batches_flushed: int = 0
+    reads_readindex: int = 0
+    reads_lease: int = 0
 
     @property
     def ok(self) -> bool:
@@ -135,6 +149,10 @@ def run_trial(config: FuzzTrialConfig, scenario: Scenario) -> TrialResult:
             raft=RaftConfig(
                 compaction_threshold=config.compaction_threshold,
                 compaction_retain_margin=config.compaction_margin,
+                client_batching=config.batching,
+                client_batch_window_ms=2.0 if config.batching else 0.0,
+                replication_pipelining=config.pipelining,
+                lease_reads=config.lease_reads,
             ),
         ),
         make_policy_factory(config.system),
@@ -195,4 +213,13 @@ def run_trial(config: FuzzTrialConfig, scenario: Scenario) -> TrialResult:
             }
         ),
         nodes_removed=len(cluster.trace.of_kind("node_decommissioned")),
+        batches_flushed=sum(
+            cluster.node(n).metrics.batches_flushed for n in cluster.names
+        ),
+        reads_readindex=sum(
+            cluster.node(n).metrics.reads_served_readindex for n in cluster.names
+        ),
+        reads_lease=sum(
+            cluster.node(n).metrics.reads_served_lease for n in cluster.names
+        ),
     )

@@ -47,6 +47,15 @@ class WorkloadConfig:
         start_ms: first submissions (staggered per client).
         max_ops_per_client: hard cap keeping per-key sub-histories small
             enough for the checker.
+        read_fastpath: route gets over the leader's read fast path
+            (ReadIndex / lease serving) instead of log serialization.
+            ``False`` is the default and what every existing reproducer
+            file implies — fast-path reads are *claimed* linearizable,
+            and this knob puts that claim in front of the checker.
+        client_rtt_ms: client↔server RTT; ``None`` (the default, and what
+            every existing reproducer file implies) keeps the cluster's
+            pairwise RTT.  The serving bench sets it low to model clients
+            co-located with the serving edge of a geo-replicated cluster.
     """
 
     n_clients: int = 3
@@ -58,6 +67,8 @@ class WorkloadConfig:
     p_get: float = 0.35
     start_ms: float = 400.0
     max_ops_per_client: int = 40
+    read_fastpath: bool = False
+    client_rtt_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_clients < 1 or self.n_keys < 1:
@@ -106,6 +117,7 @@ class WorkloadDriver:
             name = f"fc{i + 1}"
             client = self.cluster.add_client(
                 name,
+                rtt_ms=cfg.client_rtt_ms,
                 retry_timeout_ms=cfg.op_timeout_ms,
                 history=self.history,
                 resubmit_on_timeout=False,
@@ -136,15 +148,21 @@ class WorkloadDriver:
         key = f"k{int(rng.integers(cfg.n_keys)) + 1}"
         draw = float(rng.random())
         seq = self._issued[ci]
+        is_read = False
         if draw < cfg.p_put:
             command = kv_put(key, f"{client.name}:{seq}")
         elif draw < cfg.p_put + cfg.p_get:
             command = kv_get(key)
+            is_read = cfg.read_fastpath
         else:
             command = kv_delete(key)
         self._issued[ci] = seq + 1
         self._settled[ci] = False
-        client.submit(command, on_complete=lambda done, c=ci, t=seq + 1: self._settle(c, t))
+        client.submit(
+            command,
+            on_complete=lambda done, c=ci, t=seq + 1: self._settle(c, t),
+            read=is_read,
+        )
         # Fallback: if the op neither completes nor is superseded by the
         # time the client has abandoned it, move on regardless.
         self.cluster.loop.schedule(

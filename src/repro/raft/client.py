@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable
 
-from repro.raft.messages import ClientRequest, ClientResponse
+from repro.raft.messages import ClientReadRequest, ClientRequest, ClientResponse
 from repro.sim.loop import EventLoop
 from repro.sim.tracing import TraceLog
 
@@ -90,7 +90,8 @@ class RaftClient:
         self._next_id = 0
         self._contact = self.cluster[0]
         self._rr = 0
-        # request_id -> (command, submitted, retries, callback, timeout handle)
+        # request_id -> [command, submitted, retries, callback,
+        #                timeout handle, read flag]
         self._inflight: dict[int, list[Any]] = {}
 
     # -- network endpoint protocol ----------------------------------------- #
@@ -106,15 +107,21 @@ class RaftClient:
         command: Any,
         *,
         on_complete: Callable[[CompletedRequest], None] | None = None,
+        read: bool = False,
     ) -> int:
         """Submit a command; returns the request id.
+
+        ``read=True`` routes the command over the leader's read fast path
+        (ReadIndex / lease serving, no log entry) as a
+        :class:`ClientReadRequest`.  Only meaningful for read-only
+        commands; redirects, timeouts and retries behave identically.
 
         Completion (or final failure after ``max_retries``) is recorded in
         :attr:`completed` / :attr:`failed` and reported to ``on_complete``.
         """
         req_id = self._next_id
         self._next_id += 1
-        state = [command, self.loop.now, 0, on_complete, None]
+        state = [command, self.loop.now, 0, on_complete, None, read]
         self._inflight[req_id] = state
         if self.history is not None:
             self.history.invoke(self.name, req_id, command, self.loop.now)
@@ -146,7 +153,13 @@ class RaftClient:
         """
         if name not in self.cluster or len(self.cluster) == 1:
             return
-        self.cluster.remove(name)
+        idx = self.cluster.index(name)
+        del self.cluster[idx]
+        # Keep the rotation pointer on the server it pointed at: removing
+        # an entry below it shifts every later index down by one, and the
+        # old ``_rr %= len`` clamp silently skipped a server there.
+        if idx < self._rr:
+            self._rr -= 1
         self._rr %= len(self.cluster)
         if self._contact == name:
             self._contact = self.cluster[self._rr]
@@ -158,10 +171,14 @@ class RaftClient:
         if state is None:
             return
         command = state[0]
+        if state[5]:
+            payload: Any = ClientReadRequest(request_id=req_id, command=command)
+        else:
+            payload = ClientRequest(request_id=req_id, command=command)
         self.network.send(
             self.name,
             self._contact,
-            ClientRequest(request_id=req_id, command=command),
+            payload,
             channel="tcp",
             size_bytes=160,
         )
@@ -204,7 +221,7 @@ class RaftClient:
         state = self._inflight.get(resp.request_id)
         if state is None:
             return  # duplicate/stale answer for an already-settled request
-        command, submitted, retries, on_complete, handle = state
+        command, submitted, retries, on_complete, handle, _read = state
         if resp.ok:
             if handle is not None:
                 handle.cancel()
@@ -230,13 +247,24 @@ class RaftClient:
         # the earlier copy went to a different node before the contact was
         # updated.  With no hint (mid-election), the retry timer handles it.
         if resp.leader_hint is not None:
-            self._contact = resp.leader_hint
+            if resp.leader_hint in self.cluster:
+                self._contact = resp.leader_hint
+            else:
+                # A hint naming a server outside the rotation (a removed
+                # member the responder has not unlearned yet) must not
+                # strand the client on an unreachable contact: fall back
+                # to the round-robin rotation instead.
+                self._rr = (self._rr + 1) % len(self.cluster)
+                self._contact = self.cluster[self._rr]
             if handle is not None:
                 handle.cancel()
             state[2] += 1
             if state[2] > self.max_retries:
                 del self._inflight[resp.request_id]
                 self.failed.append(resp.request_id)
+                self.trace.record(
+                    self.loop.now, self.name, "client_giveup", request=resp.request_id
+                )
                 if self.history is not None:
                     self.history.abandon(self.name, resp.request_id, self.loop.now)
                 return

@@ -38,7 +38,10 @@ __all__ = [
     "InstallSnapshotResponse",
     "HeartbeatRequest",
     "HeartbeatResponse",
+    "ReadIndexProbe",
+    "ReadIndexAck",
     "ClientRequest",
+    "ClientReadRequest",
     "ClientResponse",
 ]
 
@@ -117,9 +120,24 @@ class AppendEntriesRequest:
 
 
 class AppendEntriesResponse:
-    """Replication ack (hot path).  Immutable by convention."""
+    """Replication ack (hot path).  Immutable by convention.
 
-    __slots__ = ("term", "follower", "success", "match_index", "conflict_index")
+    ``prev_log_index`` echoes the request's ``prev_log_index`` so a
+    pipelining leader can tell which in-flight append a *rejection*
+    answers: once it has backed ``next_index`` off below an echoed prev,
+    later rejections of the same doomed window are stale and must not
+    back off again (``None`` only from pre-echo senders; treated as
+    "unknown, apply the rejection").
+    """
+
+    __slots__ = (
+        "term",
+        "follower",
+        "success",
+        "match_index",
+        "conflict_index",
+        "prev_log_index",
+    )
 
     def __init__(
         self,
@@ -128,18 +146,20 @@ class AppendEntriesResponse:
         success: bool,
         match_index: int,
         conflict_index: int | None = None,
+        prev_log_index: int | None = None,
     ) -> None:
         self.term = term
         self.follower = follower
         self.success = success
         self.match_index = match_index
         self.conflict_index = conflict_index
+        self.prev_log_index = prev_log_index
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"AppendEntriesResponse(term={self.term}, follower={self.follower!r}, "
             f"success={self.success}, match={self.match_index}, "
-            f"conflict={self.conflict_index})"
+            f"conflict={self.conflict_index}, prev={self.prev_log_index})"
         )
 
 
@@ -270,9 +290,62 @@ class HeartbeatResponse:
         )
 
 
+class ReadIndexProbe:
+    """Leader → follower leadership confirmation for a ReadIndex round.
+
+    A batch of registered reads is served from the leader's state machine
+    *without a log entry* once a quorum acks the probe (etcd's
+    ``MsgReadIndex`` round).  The probe must be broadcast **after** the
+    reads register — an ack only proves the follower had not adopted a
+    newer term when it answered, so acks to earlier probes prove nothing
+    about reads registered since.  ``seq`` ties acks to their round.
+    Warm path (one broadcast per read batch), slotted like the other
+    replication payloads; immutable by convention.
+    """
+
+    __slots__ = ("term", "leader", "seq")
+
+    def __init__(self, term: int, leader: str, seq: int) -> None:
+        self.term = term
+        self.leader = leader
+        self.seq = seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReadIndexProbe(term={self.term}, leader={self.leader!r}, seq={self.seq})"
+
+
+class ReadIndexAck:
+    """Follower → leader ReadIndex confirmation.  ``term`` is the
+    follower's term at answer time: the leader counts the ack toward the
+    quorum only when it equals its own — a higher term deposes it
+    instead.  Immutable by convention."""
+
+    __slots__ = ("term", "follower", "seq")
+
+    def __init__(self, term: int, follower: str, seq: int) -> None:
+        self.term = term
+        self.follower = follower
+        self.seq = seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReadIndexAck(term={self.term}, follower={self.follower!r}, seq={self.seq})"
+
+
 @dataclasses.dataclass(slots=True, frozen=True)
 class ClientRequest:
     """A state-machine command submitted by a client process."""
+
+    request_id: int
+    command: Any
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class ClientReadRequest:
+    """A read-only command a client asks to be served via the leader's
+    read fast path (ReadIndex quorum round, or the leader lease when
+    enabled) instead of log serialization.  Answered with an ordinary
+    :class:`ClientResponse`; a non-leader redirects exactly like a write.
+    """
 
     request_id: int
     command: Any

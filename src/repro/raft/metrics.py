@@ -39,6 +39,15 @@ class NodeMetrics:
     commit_advances: int = 0
     client_requests: int = 0
     client_redirects: int = 0
+    #: Client-serving fast path (all 0 with batching/reads unused).
+    client_reads: int = 0
+    batches_flushed: int = 0
+    batched_commands: int = 0
+    read_probes_sent: int = 0
+    reads_served_readindex: int = 0
+    reads_served_lease: int = 0
+    lease_fallbacks: int = 0
+    reads_failed: int = 0
     #: Log-compaction lifecycle (0 everywhere while compaction is off).
     snapshots_taken: int = 0
     compactions: int = 0

@@ -62,6 +62,7 @@ from repro.raft.membership import ClusterConfig, ConfigChange
 from repro.raft.messages import (
     AppendEntriesRequest,
     AppendEntriesResponse,
+    ClientReadRequest,
     ClientRequest,
     ClientResponse,
     HeartbeatRequest,
@@ -70,6 +71,8 @@ from repro.raft.messages import (
     InstallSnapshotResponse,
     PreVoteRequest,
     PreVoteResponse,
+    ReadIndexAck,
+    ReadIndexProbe,
     VoteRequest,
     VoteResponse,
 )
@@ -89,6 +92,27 @@ _RAND_BLOCK = 256
 
 #: Module-level alias: ``deliver`` checks this once per delivered message.
 _RUNNING = ProcessState.RUNNING
+
+
+class _ReadBatch:
+    """One ReadIndex round: the reads it covers and its quorum progress.
+
+    ``read_index`` is frozen at registration time (max of the leader's
+    commit index and its term-start no-op); the batch serves once a
+    quorum has acked the round's probe *and* the commit index has
+    reached ``read_index``.
+    """
+
+    __slots__ = ("seq", "read_index", "reads", "acks", "confirmed")
+
+    def __init__(
+        self, seq: int, read_index: int, reads: list[tuple[str, int, Any]]
+    ) -> None:
+        self.seq = seq
+        self.read_index = read_index
+        self.reads = reads
+        self.acks: set[str] = set()
+        self.confirmed = False
 
 
 class RaftNode(Process):
@@ -231,6 +255,30 @@ class RaftNode(Process):
         # Per-peer heartbeat Timer objects (mirrors the TimerService entry;
         # cleared on step-down together with the service's).
         self._hb_timers: dict[str, Any] = {}
+        # -- client-serving fast path (all knobs default off) ------------- #
+        # Frozen-config knobs, read per client op / per append.
+        self._batching: bool = config.client_batching
+        self._batch_max: int = config.client_batch_max
+        self._batch_window_ms: float = config.client_batch_window_ms
+        self._pipelining: bool = config.replication_pipelining
+        self._max_inflight: int = config.max_inflight_appends
+        self._lease_reads: bool = config.lease_reads
+        self._lease_margin_ms: float = config.lease_drift_margin_ms
+        #: Buffered client writes awaiting one batched log append.
+        self._batch_buf: list[tuple[str, int, Any]] = []
+        #: Reads waiting for the *next* ReadIndex round: a probe must
+        #: broadcast after its reads register, so reads arriving while a
+        #: round is in flight queue here.
+        self._read_buf: list[tuple[str, int, Any]] = []
+        #: The in-flight ReadIndex round, if any.
+        self._read_round: _ReadBatch | None = None
+        self._read_seq = 0
+        #: Followers whose append pipeline collapsed to one-probe-at-a-time
+        #: after a rejection (replication_pipelining only).
+        self._append_probe: set[str] = set()
+        #: Log index of this term's no-op entry while leader (0 otherwise);
+        #: the read fast path gates on it being committed.
+        self._term_start_index = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -268,6 +316,12 @@ class RaftNode(Process):
         self._snapshot_inflight = {}
         self._hb_cache = {}
         self._hb_resp_cache = None
+        self._batch_buf = []
+        self._read_buf = []
+        self._read_round = None
+        self._read_seq = 0
+        self._append_probe = set()
+        self._term_start_index = 0
         self.state_machine.reset()
         snap = self.snapshot
         if snap is not None:
@@ -747,6 +801,29 @@ class RaftNode(Process):
                 ClientResponse(request_id=req_id, ok=False, leader_hint=None),
                 channel=self._rpc_channel,
             )
+        # Buffered-but-unappended commands and pending reads fail the same
+        # way: the client's retry path re-submits them to the new leader.
+        self.timers.drop("batch")
+        buffered, self._batch_buf = self._batch_buf, []
+        for client, req_id, _command in buffered:
+            self._send(
+                client,
+                ClientResponse(request_id=req_id, ok=False, leader_hint=None),
+                channel=self._rpc_channel,
+            )
+        round_, self._read_round = self._read_round, None
+        reads, self._read_buf = self._read_buf, []
+        if round_ is not None:
+            reads = round_.reads + reads
+        for client, req_id, _command in reads:
+            self.metrics.reads_failed += 1
+            self._send(
+                client,
+                ClientResponse(request_id=req_id, ok=False, leader_hint=None),
+                channel=self._rpc_channel,
+            )
+        self._append_probe = set()
+        self._term_start_index = 0
 
     def _on_election_timeout(self) -> None:
         if self.role is Role.LEADER:
@@ -836,8 +913,11 @@ class RaftNode(Process):
         self._commit = CommitTracker(self._acks_needed())
         self._hb_cache = {}
         # No-op entry: lets this leader commit its predecessors' tail
-        # (commit is restricted to current-term entries, §5.4.2).
-        self.log.append_new(self.current_term, None)
+        # (commit is restricted to current-term entries, §5.4.2).  Reads
+        # gate on this index committing (the ReadIndex precondition).
+        noop = self.log.append_new(self.current_term, None)
+        self._term_start_index = noop.index
+        self._append_probe = set()
         for peer in self.peers:
             self._send_append(peer)
             self._schedule_heartbeat(peer, first=True)
@@ -911,6 +991,8 @@ class RaftNode(Process):
         """
         if self.role is not Role.LEADER:
             return
+        if self._batch_buf:
+            self._flush_batch()  # beat-bounded latency for buffered writes
         policy = self.policy
         meta = policy.heartbeat_meta(peer, self.loop.now)
         term = self.current_term
@@ -952,6 +1034,8 @@ class RaftNode(Process):
         """Consolidated-timer beat: heartbeat every follower at once."""
         if self.role is not Role.LEADER:
             return
+        if self._batch_buf:
+            self._flush_batch()  # beat-bounded latency for buffered writes
         for peer in self.peers:
             self._send_heartbeat_to(peer)
         if self.peers:
@@ -1001,34 +1085,52 @@ class RaftNode(Process):
             if self.loop.now - sent_at <= self.APPEND_PIPELINE_STALL_MS:
                 return  # snapshot transfer in flight; wait for its ack
             del self._snapshot_inflight[peer]  # transfer presumed lost
-        if not force and self._inflight_appends.get(peer, 0) >= self.MAX_INFLIGHT_APPENDS:
+        if self._pipelining and peer in self._append_probe:
+            # A rejection knocked the pipe back: one append at a time
+            # until a success re-anchors next_index (etcd StateProbe).
+            cap = 1
+        else:
+            cap = self._max_inflight
+        if not force and self._inflight_appends.get(peer, 0) >= cap:
             return  # pipeline full; the next response will pull more
-        next_i = self.next_index.get(peer, self.log.last_index + 1)
-        if next_i > self.log.last_index + 1:
-            next_i = self.log.last_index + 1
-            self.next_index[peer] = next_i
-        if next_i < self.log.first_index:
-            # The entries this follower needs are compacted away — fall
-            # back to shipping the durable snapshot (§7).
-            self._send_snapshot(peer)
-            return
-        self._inflight_appends[peer] = self._inflight_appends.get(peer, 0) + 1
-        prev = next_i - 1
-        entries = self.log.slice_from(next_i, self.config.max_entries_per_append)
-        self._rpc(
-            peer,
-            AppendEntriesRequest(
-                term=self.current_term,
-                leader=self.name,
-                prev_log_index=prev,
-                prev_log_term=self.log.term_at(prev),
-                entries=entries,
-                leader_commit=self.commit_index,
-            ),
-            size=64 + 96 * len(entries),
-        )
-        self.metrics.appends_sent += 1
-        self._charge("append_send", units=max(1, len(entries)))
+        while True:
+            next_i = self.next_index.get(peer, self.log.last_index + 1)
+            if next_i > self.log.last_index + 1:
+                next_i = self.log.last_index + 1
+                self.next_index[peer] = next_i
+            if next_i < self.log.first_index:
+                # The entries this follower needs are compacted away — fall
+                # back to shipping the durable snapshot (§7).
+                self._send_snapshot(peer)
+                return
+            self._inflight_appends[peer] = self._inflight_appends.get(peer, 0) + 1
+            prev = next_i - 1
+            entries = self.log.slice_from(next_i, self.config.max_entries_per_append)
+            self._rpc(
+                peer,
+                AppendEntriesRequest(
+                    term=self.current_term,
+                    leader=self.name,
+                    prev_log_index=prev,
+                    prev_log_term=self.log.term_at(prev),
+                    entries=entries,
+                    leader_commit=self.commit_index,
+                ),
+                size=64 + 96 * len(entries),
+            )
+            self.metrics.appends_sent += 1
+            self._charge("append_send", units=max(1, len(entries)))
+            if not entries or not self._pipelining or peer in self._append_probe:
+                break
+            # Optimistic advance (etcd StateReplicate): assume this window
+            # lands and stream the next suffix without waiting for the
+            # ack; a rejection resets next_index from the conflict hint.
+            self.next_index[peer] = next_i + len(entries)
+            if (
+                self.next_index[peer] > self.log.last_index
+                or self._inflight_appends.get(peer, 0) >= self._max_inflight
+            ):
+                break
         if self.config.suppress_heartbeats_under_load and self.role is Role.LEADER:
             # §IV-E feature 1: this replication message is the heartbeat;
             # push the dedicated one out by a full interval.
@@ -1122,6 +1224,19 @@ class RaftNode(Process):
                     ClientResponse(request_id=req_id, ok=True, result=result),
                     channel=self._rpc_channel,
                 )
+        # A quorum-confirmed ReadIndex round may have been waiting for the
+        # commit index to reach its read_index (fresh leaders: the round
+        # registers before the term-start no-op commits).
+        round_ = self._read_round
+        if (
+            round_ is not None
+            and round_.confirmed
+            and self.commit_index >= round_.read_index
+        ):
+            self._read_round = None
+            self._serve_read_batch(round_)
+            if self._read_buf:
+                self._start_read_round()
         if self._compaction_threshold > 0:
             self._maybe_compact()
 
@@ -1393,6 +1508,7 @@ class RaftNode(Process):
                 success=ok,
                 match_index=match,
                 conflict_index=conflict,
+                prev_log_index=m.prev_log_index,
             ),
         )
 
@@ -1413,16 +1529,35 @@ class RaftNode(Process):
         if inflight > 0:
             self._inflight_appends[follower] = inflight - 1
         if m.success:
+            if self._pipelining:
+                self._append_probe.discard(follower)
             old = self.match_index.get(follower, 0)
             if m.match_index > old:
                 self.match_index[follower] = m.match_index
-                self.next_index[follower] = m.match_index + 1
+                nxt = m.match_index + 1
+                if self._pipelining:
+                    # Optimistic sends may have pushed next_index past
+                    # this ack already; never roll the stream back.
+                    if nxt > self.next_index.get(follower, 1):
+                        self.next_index[follower] = nxt
+                else:
+                    self.next_index[follower] = nxt
                 self._advance_commit(old, m.match_index)
             if self.match_index.get(follower, 0) < self.log.last_index:
                 self._send_append(follower)
             else:
                 self._maybe_promote(follower)
         else:
+            if self._pipelining:
+                echoed = m.prev_log_index
+                if echoed is not None and echoed >= self.next_index.get(follower, 1):
+                    # Stale rejection: a pipelined window rejects as a
+                    # volley, and we already backed next_index off below
+                    # this probe's prev — re-applying the hint would
+                    # thrash the stream backwards.
+                    self._send_append(follower)
+                    return
+                self._append_probe.add(follower)
             hint = m.conflict_index
             fallback = max(1, self.next_index.get(follower, 2) - 1)
             self.next_index[follower] = hint if hint is not None else fallback
@@ -1601,6 +1736,19 @@ class RaftNode(Process):
                 channel=self._rpc_channel,
             )
             return
+        if self._batching:
+            buf = self._batch_buf
+            buf.append((sender, m.request_id, m.command))
+            n = len(buf)
+            if n >= self._batch_max:
+                self._flush_batch()
+            elif n == 1 and self._batch_window_ms > 0.0:
+                # First command of a fresh batch arms the window timer;
+                # with window 0 the next heartbeat beat flushes instead.
+                self.timers.timer("batch", self._flush_batch).reset(
+                    self._batch_window_ms
+                )
+            return
         entry = self.log.append_new(self.current_term, m.command)
         self._pending_client[entry.index] = (sender, m.request_id)
         if self._commit.acks_needed == 0:
@@ -1610,6 +1758,192 @@ class RaftNode(Process):
             self._apply_committed()
         for peer in self.peers:
             self._send_append(peer)
+
+    def _flush_batch(self) -> None:
+        """Drain buffered client commands: one log append per command but
+        a single AppendEntries volley per follower — the leader-side
+        batching half of the client-serving fast path."""
+        buf = self._batch_buf
+        if not buf or self.role is not Role.LEADER:
+            return
+        self._batch_buf = []
+        term = self.current_term
+        log = self.log
+        pending = self._pending_client
+        for client, req_id, command in buf:
+            entry = log.append_new(term, command)
+            pending[entry.index] = (client, req_id)
+        self.metrics.batches_flushed += 1
+        self.metrics.batched_commands += len(buf)
+        if self._commit.acks_needed == 0:
+            # Sole-voter fast path (mirrors _on_client_request).
+            self.commit_index = log.last_index
+            self._apply_committed()
+        for peer in self.peers:
+            self._send_append(peer)
+
+    # -- read fast path (ReadIndex quorum round / leader lease) ------------ #
+
+    def _on_client_read(self, sender: str, m: ClientReadRequest) -> None:
+        self.metrics.client_reads += 1
+        self._charge("client_request")
+        if self.role is not Role.LEADER:
+            self.metrics.client_redirects += 1
+            self._send(
+                sender,
+                ClientResponse(
+                    request_id=m.request_id, ok=False, leader_hint=self.leader_id
+                ),
+                channel=self._rpc_channel,
+            )
+            return
+        if self._lease_reads:
+            if self._lease_valid_for_reads():
+                self.metrics.reads_served_lease += 1
+                self._send(
+                    sender,
+                    ClientResponse(
+                        request_id=m.request_id,
+                        ok=True,
+                        result=self.state_machine.read(m.command),
+                    ),
+                    channel=self._rpc_channel,
+                )
+                return
+            self.metrics.lease_fallbacks += 1
+            self.trace.record(
+                self.loop.now, self.name, "lease_fallback", term=self.current_term
+            )
+        if self._commit.acks_needed == 0:
+            # Sole-voter: this log IS the quorum.  The current-term no-op
+            # sits at last_index, so committing through it is exactly the
+            # §5.4.2-sanctioned commit; the read serves right after.
+            if self.commit_index < self.log.last_index:
+                self.commit_index = self.log.last_index
+                self._apply_committed()
+            self.metrics.reads_served_readindex += 1
+            self._send(
+                sender,
+                ClientResponse(
+                    request_id=m.request_id,
+                    ok=True,
+                    result=self.state_machine.read(m.command),
+                ),
+                channel=self._rpc_channel,
+            )
+            return
+        self._read_buf.append((sender, m.request_id, m.command))
+        if self._read_round is None:
+            self._start_read_round()
+
+    def _lease_valid_for_reads(self) -> bool:
+        """Leader-lease check for the read fast path (cold: called once
+        per lease read, so all lease arithmetic stays off the heartbeat
+        hot path).
+
+        The lease anchors at the ``acks_needed``-th freshest voter-peer
+        response: at that instant this leader plus those peers formed a
+        quorum that had all heard from it, and — with check-quorum's
+        lease-protected voting on — none of them grants a vote for
+        ``policy.lease_bound_ms()`` after *its own* contact.  Any rival
+        leader needs a vote from that quorum, so no newer write can
+        commit before the lease expires.  ``lease_drift_margin_ms``
+        absorbs what the anchor timestamp does not see: the response's
+        one-way flight plus the one-beat staleness of the piggybacked
+        tuned-Et report.
+
+        Serving additionally requires this term's no-op committed — the
+        same precondition as ReadIndex (§6.4): before that, the state
+        machine may miss commits from previous terms.
+        """
+        if not self.config.check_quorum:
+            return False  # voters would not refuse rivals; no exclusivity
+        if self.commit_index < self._term_start_index:
+            return False
+        bound = self.policy.lease_bound_ms()
+        if bound is None:
+            return False  # some voter may still be on its default Et
+        duration = bound - self._lease_margin_ms
+        if duration <= 0.0:
+            return False
+        needed = self._acks_needed()
+        if needed == 0:
+            return True  # sole voter: exclusivity is unconditional
+        last = self._last_peer_response
+        times = sorted(
+            (last.get(p, _NEG_INF) for p in self._voter_peers), reverse=True
+        )
+        if needed > len(times):
+            return False
+        return self.loop.now - times[needed - 1] < duration
+
+    def _start_read_round(self) -> None:
+        """Open a ReadIndex round covering everything in the read buffer.
+
+        The probe broadcasts strictly *after* its reads register (see
+        ReadIndexProbe's docstring for why the order is load-bearing);
+        reads arriving while this round is in flight queue for the next.
+        """
+        seq = self._read_seq = self._read_seq + 1
+        read_index = self.commit_index
+        if self._term_start_index > read_index:
+            read_index = self._term_start_index
+        batch = _ReadBatch(seq, read_index, self._read_buf)
+        self._read_buf = []
+        self._read_round = batch
+        probe = ReadIndexProbe(self.current_term, self.name, seq)
+        for peer in self._voter_peers:
+            self._rpc(peer, probe, size=64)
+        self.metrics.read_probes_sent += 1
+        self._charge("read_probe_send", units=len(self._voter_peers))
+
+    def _on_read_probe(self, sender: str, m: ReadIndexProbe) -> None:
+        self._charge("read_probe_recv")
+        if m.term >= self.current_term:
+            self._observe_leader_message(m.term, m.leader)
+        # A stale probe still gets an answer: the higher term deposes the
+        # old leader, aborting any round it was counting.
+        self._rpc(m.leader, ReadIndexAck(self.current_term, self.name, m.seq), size=64)
+
+    def _on_read_ack(self, sender: str, m: ReadIndexAck) -> None:
+        self._charge("read_ack_recv")
+        if m.term > self.current_term:
+            self._become_follower(m.term, None)
+            return
+        if self.role is not Role.LEADER or m.term < self.current_term:
+            return
+        follower = m.follower
+        if follower in self.next_index:
+            # An equal-term ack is leader-contact evidence like any other
+            # response; it feeds check-quorum and the lease anchor.
+            self._last_peer_response[follower] = self.loop.now
+        round_ = self._read_round
+        if round_ is None or round_.seq != m.seq:
+            return  # ack for an already-settled round
+        if follower not in self._voters:
+            return
+        round_.acks.add(follower)
+        if len(round_.acks) < self._acks_needed():
+            return
+        round_.confirmed = True
+        if self.commit_index >= round_.read_index:
+            self._read_round = None
+            self._serve_read_batch(round_)
+            if self._read_buf:
+                self._start_read_round()
+        # else: _apply_committed serves the round once commit catches up.
+
+    def _serve_read_batch(self, batch: _ReadBatch) -> None:
+        read = self.state_machine.read
+        n = 0
+        for client, req_id, command in batch.reads:
+            n += 1
+            self._send(
+                client,
+                ClientResponse(request_id=req_id, ok=True, result=read(command)),
+                channel=self._rpc_channel,
+            )
+        self.metrics.reads_served_readindex += n
 
 
 RaftNode._DISPATCH = {
@@ -1624,6 +1958,9 @@ RaftNode._DISPATCH = {
     VoteRequest: RaftNode._on_vote_request,
     VoteResponse: RaftNode._on_vote_response,
     ClientRequest: RaftNode._on_client_request,
+    ClientReadRequest: RaftNode._on_client_read,
+    ReadIndexProbe: RaftNode._on_read_probe,
+    ReadIndexAck: RaftNode._on_read_ack,
 }
 #: Module-level bound lookup: saves the class-attribute hop per message.
 _DISPATCH_GET = RaftNode._DISPATCH.get

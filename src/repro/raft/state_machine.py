@@ -11,7 +11,15 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Protocol, runtime_checkable
 
-__all__ = ["StateMachine", "KVStore", "KVCommand", "kv_put", "kv_get", "kv_delete"]
+__all__ = [
+    "StateMachine",
+    "KVStore",
+    "KVCommand",
+    "kv_put",
+    "kv_get",
+    "kv_delete",
+    "is_read_only",
+]
 
 
 @runtime_checkable
@@ -44,6 +52,15 @@ class StateMachine(Protocol):
         """Replace all state with a previously taken :meth:`snapshot`."""
         ...
 
+    def read(self, command: Any) -> Any:
+        """Evaluate a read-only command against current state without
+        applying it (the ReadIndex/lease fast path serves reads here,
+        bypassing the log).  Must not mutate any state — including
+        bookkeeping like apply counters — and must equal what
+        :meth:`apply` would return for the same command at this state.
+        """
+        ...
+
 
 @dataclasses.dataclass(slots=True, frozen=True)
 class KVCommand:
@@ -64,6 +81,15 @@ def kv_get(key: str) -> KVCommand:
 
 def kv_delete(key: str) -> KVCommand:
     return KVCommand(op="delete", key=key)
+
+
+def is_read_only(command: Any) -> bool:
+    """True for commands eligible for the read fast path (KV ``get``).
+
+    Clients use this to route reads as :class:`~repro.raft.messages.
+    ClientReadRequest` instead of a log-serialized write.
+    """
+    return isinstance(command, KVCommand) and command.op == "get"
 
 
 class KVStore:
@@ -104,6 +130,18 @@ class KVStore:
     def restore(self, data: dict[str, Any]) -> None:
         """Adopt a :meth:`snapshot` image (copied; the image stays intact)."""
         self._data = dict(data)
+
+    def read(self, command: Any) -> Any:
+        """Serve a ``get`` against current state without applying it.
+
+        Unlike :meth:`apply` this leaves ``applied_count`` untouched —
+        fast-path reads are not log entries and must not perturb replica
+        bookkeeping (replicas would diverge on a counter the snapshot
+        carries nowhere).
+        """
+        if not isinstance(command, KVCommand) or command.op != "get":
+            raise ValueError(f"read path only serves 'get', got {command!r}")
+        return self._data.get(command.key)
 
     # -- local inspection (not linearizable; tests/examples only) ---------- #
 

@@ -78,6 +78,48 @@ class RaftConfig:
             ``min(live match_index)``, but a follower that stopped
             responding does not hold memory hostage: it gets a snapshot
             when it returns.
+        client_batching: leader-side append batching — client commands are
+            buffered and flushed as *one* log append + one AppendEntries
+            per follower instead of a full replication fan-out per
+            command.  The flush fires when ``client_batch_max`` commands
+            are buffered, when the dedicated ``client_batch_window_ms``
+            timer expires, or at the next heartbeat tick to any follower
+            (whichever comes first).  Off by default: the per-command
+            fan-out is the behaviour every golden-seed digest and fuzz
+            reproducer was captured under.
+        client_batch_max: buffered commands that force an immediate flush.
+        client_batch_window_ms: dedicated flush timer armed when the first
+            command enters an empty buffer.  ``0`` (default) arms no
+            timer — the batch rides the next heartbeat tick, etcd's
+            classic "replicate on the tick" cadence.
+        replication_pipelining: stream AppendEntries to a follower without
+            waiting for acks — ``next_index`` advances optimistically at
+            send time (etcd's ``StateReplicate`` progress), so each
+            in-flight window slot carries *new* entries instead of
+            re-sending the same suffix.  A rejection drops the follower
+            into probe mode (one unpiped append at a time) until a
+            success re-establishes the match point; stale rejections of
+            already-superseded probes are ignored via the echoed
+            ``prev_log_index``.  Off by default (identical traffic to the
+            seed's ack-clocked resend).
+        max_inflight_appends: per-follower in-flight window depth (only
+            meaningful under load; the default equals the historical
+            ``RaftNode.MAX_INFLIGHT_APPENDS`` constant).
+        lease_reads: serve linearizable reads from the leader lease when
+            it is safely held, falling back to the ReadIndex quorum round
+            otherwise.  The lease duration derives from the policy's
+            ``lease_bound_ms()`` — the smallest election timeout any
+            voter is applying (Dynatune followers piggyback their tuned
+            ``Et`` so the bound tracks the tuned value) — minus
+            ``lease_drift_margin_ms``.  Off by default; ReadIndex reads
+            need no knob (they are triggered purely by clients sending
+            ``ClientReadRequest``).
+        lease_drift_margin_ms: safety slack subtracted from the lease
+            bound.  Must absorb (a) relative clock drift over one lease
+            and (b) the one-way network delay between a follower hearing
+            the leader and the leader learning it did (the lease clock
+            starts at response *receipt*).  Serving experiments assert
+            this margin against the measured RTT window.
         auto_promote_learners: a leader promotes a non-voting learner to
             voter (by appending the ``promote`` config entry) as soon as
             the learner's match index has caught up to the leader's commit
@@ -100,6 +142,13 @@ class RaftConfig:
     heartbeat_timer_jitter_ms: float = 0.5
     suppress_heartbeats_under_load: bool = False
     consolidated_heartbeat_timer: bool = False
+    client_batching: bool = False
+    client_batch_max: int = 64
+    client_batch_window_ms: float = 0.0
+    replication_pipelining: bool = False
+    max_inflight_appends: int = 4
+    lease_reads: bool = False
+    lease_drift_margin_ms: float = 50.0
     compaction_threshold: int = 0
     compaction_retain_margin: int = 64
     auto_promote_learners: bool = True
@@ -116,6 +165,24 @@ class RaftConfig:
             raise ValueError(
                 "heartbeat_timer_jitter_ms must be >= 0, "
                 f"got {self.heartbeat_timer_jitter_ms!r}"
+            )
+        if self.client_batch_max < 1:
+            raise ValueError(
+                f"client_batch_max must be >= 1, got {self.client_batch_max!r}"
+            )
+        if self.client_batch_window_ms < 0.0:
+            raise ValueError(
+                "client_batch_window_ms must be >= 0, "
+                f"got {self.client_batch_window_ms!r}"
+            )
+        if self.max_inflight_appends < 1:
+            raise ValueError(
+                f"max_inflight_appends must be >= 1, got {self.max_inflight_appends!r}"
+            )
+        if self.lease_drift_margin_ms < 0.0:
+            raise ValueError(
+                "lease_drift_margin_ms must be >= 0, "
+                f"got {self.lease_drift_margin_ms!r}"
             )
         if self.compaction_threshold < 0:
             raise ValueError(

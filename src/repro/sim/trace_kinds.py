@@ -33,6 +33,7 @@ TRACE_KINDS: frozenset[str] = frozenset(
         "fault_pause",
         "fault_recover",
         "leader_observed",
+        "lease_fallback",
         "log_compact",
         "membership_giveup",
         "node_decommissioned",

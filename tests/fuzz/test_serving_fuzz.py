@@ -1,0 +1,119 @@
+"""Fuzzing the client-serving fast path: batching, pipelining, reads.
+
+The fast paths *claim* linearizability — batched writes commit through the
+same log, ReadIndex reads wait for a quorum-confirmed commit index, lease
+reads ride a quorum-anchored lease.  These trials put each claim in front
+of the Wing & Gong checker, including across a leader-isolating partition.
+"""
+
+from repro.fuzz.oracle import FuzzTrialConfig, run_trial
+from repro.fuzz.workload import WorkloadConfig
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.steps import Heal, Partition
+
+SEEDS = [7, 101, 31_337]
+
+
+def small_trial(**kwargs):
+    kwargs.setdefault("n_nodes", 3)
+    kwargs.setdefault("seed", 9)
+    kwargs.setdefault("settle_ms", 4_000.0)
+    kwargs.setdefault("min_run_ms", 10_000.0)
+    return FuzzTrialConfig(**kwargs)
+
+
+def leader_flip(name="flip-leader"):
+    # Isolate whoever leads mid-run, then heal: exercises flush-on-step-
+    # down, pipeline recovery and read-round failover under the oracle.
+    return Scenario(
+        name,
+        [
+            Partition(at_ms=3_000.0, groups=(("@leader",),)),
+            Heal(at_ms=6_000.0),
+        ],
+    )
+
+
+def read_heavy(**kwargs):
+    kwargs.setdefault("read_fastpath", True)
+    kwargs.setdefault("p_put", 0.4)
+    kwargs.setdefault("p_get", 0.5)
+    return WorkloadConfig(**kwargs)
+
+
+def test_fastpath_off_is_the_default_and_counters_stay_zero():
+    # Back-compat: every existing reproducer file implies all-off knobs,
+    # and with them the fast-path coverage counters must stay at zero.
+    cfg = small_trial()
+    assert not cfg.batching and not cfg.pipelining and not cfg.lease_reads
+    assert not cfg.workload.read_fastpath
+    result = run_trial(cfg, Scenario("calm", []))
+    assert result.ok
+    assert result.batches_flushed == 0
+    assert result.reads_readindex == 0 and result.reads_lease == 0
+
+
+def test_trial_config_roundtrips_fastpath_knobs():
+    cfg = small_trial(
+        batching=True,
+        pipelining=True,
+        lease_reads=True,
+        workload=read_heavy(),
+    )
+    loaded = FuzzTrialConfig.from_dict(cfg.to_dict())
+    assert loaded == cfg
+    assert loaded.workload.read_fastpath
+
+
+def test_batched_pipelined_writes_stay_linearizable():
+    for seed in SEEDS:
+        cfg = small_trial(seed=seed, batching=True, pipelining=True)
+        result = run_trial(cfg, leader_flip())
+        assert result.ok, (seed, result.violations)
+        assert result.batches_flushed > 0
+        assert result.n_completed > 0
+
+
+def test_readindex_reads_stay_linearizable_across_leader_flip():
+    for seed in SEEDS:
+        cfg = small_trial(
+            seed=seed,
+            batching=True,
+            pipelining=True,
+            workload=read_heavy(),
+        )
+        result = run_trial(cfg, leader_flip())
+        assert result.ok, (seed, result.violations)
+        assert result.reads_readindex > 0
+        assert result.reads_lease == 0  # lease knob off: no lease serving
+
+
+def test_lease_reads_stay_linearizable():
+    # StaticPolicy publishes a lease bound from the first beat, so lease
+    # serving engages once the term-start no-op commits.
+    for seed in SEEDS:
+        cfg = small_trial(
+            seed=seed,
+            batching=True,
+            pipelining=True,
+            lease_reads=True,
+            workload=read_heavy(),
+        )
+        result = run_trial(cfg, leader_flip())
+        assert result.ok, (seed, result.violations)
+        assert result.reads_lease > 0
+
+
+def test_lease_reads_under_dynatune_policy():
+    # Dynatune's lease bound only exists after every path reports a tuned
+    # Et; until then reads must fall back to ReadIndex, never go stale.
+    cfg = small_trial(
+        system="dynatune",
+        batching=True,
+        lease_reads=True,
+        min_run_ms=14_000.0,
+        workload=read_heavy(),
+    )
+    result = run_trial(cfg, leader_flip())
+    assert result.ok, result.violations
+    assert result.reads_lease + result.reads_readindex > 0

@@ -182,3 +182,91 @@ def test_at_most_once_still_follows_redirects():
     # is safe even in at-most-once mode.
     assert len(client.completed) == 1
     assert history.ops()[0].completed
+
+
+# --------------------------------------------------------------------- #
+# regression tests: redirect give-up trace, bogus hints, rotation skew
+# --------------------------------------------------------------------- #
+
+
+def test_redirect_giveup_emits_trace_and_abandons_history():
+    # Exhausting max_retries on the *redirect* path must account the
+    # failure exactly like the timeout path: trace + history abandon.
+    from repro.fuzz.history import OpHistory
+
+    c = make_raft_cluster(5)
+    history = OpHistory()
+    client = c.add_client("cl", history=history)
+    client.max_retries = 0
+    leader = c.run_until_leader()
+    c.run_for(500.0)  # followers must know the leader to emit hints
+    follower = next(n for n in c.names if n != leader)
+    client._contact = follower
+    rid = client.submit(kv_put("x", 1))
+    c.run_for(3_000.0)
+    assert client.failed == [rid]
+    assert len(c.trace.of_kind("client_giveup")) == 1
+    ops = history.ops()
+    assert len(ops) == 1 and not ops[0].completed
+
+
+def test_redirect_with_unknown_leader_hint_falls_back_to_rotation():
+    # A hint naming a server outside the rotation (e.g. a removed member
+    # the responder has not unlearned) must not strand the client.
+    from repro.raft.messages import ClientResponse
+
+    c = make_raft_cluster(3)
+    client = c.add_client("cl")
+    c.run_until_leader()
+    rid = client.submit(kv_put("x", 1))
+    client._on_response(ClientResponse(request_id=rid, ok=False, leader_hint="ghost"))
+    assert client._contact in client.cluster
+    assert client._contact == client.cluster[1]  # round-robin advanced
+    c.run_for(3_000.0)
+    assert len(client.completed) == 1  # the request still completes
+
+
+def test_forget_server_preserves_rotation_position():
+    # Removing an entry below the rotation pointer used to leave the
+    # pointer indexing one server further along, skipping a live one.
+    c = make_raft_cluster(5)
+    client = c.add_client("cl")
+    pointed = client.cluster[2]
+    client._rr = 2
+    client.forget_server(client.cluster[0])
+    assert client.cluster[client._rr] == pointed
+
+
+def test_forget_server_at_rotation_index_moves_to_successor():
+    c = make_raft_cluster(3)
+    client = c.add_client("cl")
+    names = list(client.cluster)
+    client._rr = 1
+    client.forget_server(names[1])
+    assert client.cluster[client._rr] == names[2]
+
+
+def test_forget_server_above_rotation_index_is_unaffected():
+    c = make_raft_cluster(4)
+    client = c.add_client("cl")
+    pointed = client.cluster[1]
+    client._rr = 1
+    client.forget_server(client.cluster[3])
+    assert client.cluster[client._rr] == pointed
+
+
+def test_forget_server_rotation_walk_visits_every_survivor():
+    # Deterministic rotation check: after any single removal, one full
+    # walk of the rotation visits each surviving server exactly once.
+    c = make_raft_cluster(5)
+    for start_rr in range(5):
+        for removed_idx in range(5):
+            client = c.add_client(f"cl-{start_rr}-{removed_idx}")
+            client._rr = start_rr
+            survivors = set(client.cluster) - {client.cluster[removed_idx]}
+            client.forget_server(client.cluster[removed_idx])
+            seen = []
+            for _ in range(len(client.cluster)):
+                seen.append(client.cluster[client._rr])
+                client._rr = (client._rr + 1) % len(client.cluster)
+            assert set(seen) == survivors and len(seen) == len(survivors)

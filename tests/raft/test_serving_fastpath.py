@@ -1,0 +1,395 @@
+"""Client-serving fast path: batching, pipelining, ReadIndex/lease reads.
+
+Every knob here defaults off; these tests opt in per-cluster and check
+both the mechanics (windows, probes, flush points) and the client-visible
+guarantees (nothing lost across leader changes, no stale reads).
+"""
+
+from repro.dynatune.config import DynatuneConfig
+from repro.dynatune.metadata import HeartbeatResponseMeta
+from repro.dynatune.policy import DynatunePolicy, StaticPolicy
+from repro.raft.state_machine import kv_get, kv_put
+from repro.raft.types import RaftConfig
+from tests.conftest import make_raft_cluster
+
+# --------------------------------------------------------------------- #
+# leader-side append batching
+# --------------------------------------------------------------------- #
+
+
+def test_batching_completes_all_commands():
+    c = make_raft_cluster(
+        5, raft=RaftConfig(client_batching=True, client_batch_window_ms=5.0)
+    )
+    clients = [c.add_client(f"cl{i}") for i in range(8)]
+    leader = c.run_until_leader()
+    c.run_for(500.0)
+    for i, client in enumerate(clients):
+        for j in range(8):
+            client.submit(kv_put(f"k{i}", j))
+    c.run_for(3_000.0)
+    assert all(len(cl.completed) == 8 for cl in clients)
+    m = c.node(leader).metrics
+    assert m.batched_commands == 64
+    assert m.batches_flushed >= 1
+    # Batching is the point: far fewer than one flush per command.
+    assert m.batches_flushed <= 16
+
+
+def test_batching_sends_fewer_appends_than_unbatched():
+    def run(batching: bool) -> int:
+        c = make_raft_cluster(
+            5,
+            raft=RaftConfig(
+                client_batching=batching, client_batch_window_ms=5.0
+            ),
+        )
+        clients = [c.add_client(f"cl{i}") for i in range(8)]
+        leader = c.run_until_leader()
+        c.run_for(500.0)
+        base = c.node(leader).metrics.appends_sent
+        for i, client in enumerate(clients):
+            for j in range(8):
+                client.submit(kv_put(f"k{i}", j))
+        c.run_for(3_000.0)
+        assert all(len(cl.completed) == 8 for cl in clients)
+        return c.node(leader).metrics.appends_sent - base
+
+    batched = run(True)
+    unbatched = run(False)
+    assert batched * 2 < unbatched
+
+
+def test_batch_max_forces_immediate_flush():
+    c = make_raft_cluster(
+        3,
+        raft=RaftConfig(
+            client_batching=True,
+            client_batch_max=4,
+            client_batch_window_ms=10_000.0,  # timer would never fire in time
+        ),
+    )
+    client = c.add_client("cl")
+    leader = c.run_until_leader()
+    c.run_for(500.0)
+    node = c.node(leader)
+    # Deliver 4 commands in one event-loop instant: batch_max flushes
+    # without waiting for the window timer or the next beat.
+    from repro.raft.messages import ClientRequest
+
+    for rid in range(4):
+        node.deliver("cl", ClientRequest(request_id=rid, command=kv_put("x", rid)))
+    assert node.metrics.batches_flushed == 1
+    assert node.metrics.batched_commands == 4
+    assert node._batch_buf == []
+    client.submit(kv_put("y", 1))
+    c.run_for(2_000.0)
+    assert node.state_machine.peek("x") == 3
+
+
+def test_buffered_commands_survive_leader_change():
+    # Commands buffered (or pending) at the moment the leader falls away
+    # must fail back to the client and complete via retry at the new
+    # leader — never silently vanish.
+    c = make_raft_cluster(
+        5,
+        seed=7,
+        raft=RaftConfig(client_batching=True, client_batch_window_ms=5.0),
+    )
+    client = c.add_client("cl", retry_timeout_ms=300.0)
+    leader = c.run_until_leader()
+    c.run_for(500.0)
+    client._contact = leader
+    for j in range(5):
+        client.submit(kv_put("k", j))
+    # Cut the leader (and the in-flight batch machinery) off immediately.
+    c.network.set_partitions([{leader}])
+    c.run_for(8_000.0)
+    assert len(client.completed) == 5
+    new_leader = c.leader()
+    assert new_leader is not None and new_leader != leader
+    # The five retried writes reach the new leader concurrently, so any
+    # of them may apply last — but all five must have been applied.
+    assert c.node(new_leader).state_machine.peek("k") in range(5)
+    assert c.node(new_leader).state_machine.applied_count >= 5
+
+
+# --------------------------------------------------------------------- #
+# replication pipelining
+# --------------------------------------------------------------------- #
+
+
+def test_pipelining_streams_multiple_windows_at_once():
+    c = make_raft_cluster(3, raft=RaftConfig(replication_pipelining=True))
+    leader = c.run_until_leader()
+    c.run_for(500.0)
+    node = c.node(leader)
+    peer = node.peers[0]
+    for j in range(200):
+        node.log.append_new(node.current_term, kv_put("x", j))
+    node._send_append(peer)
+    # 200 entries / 64-entry windows: the whole backlog streams out
+    # immediately instead of one-window-per-ack.
+    assert node._inflight_appends[peer] == 4
+    c.run_for(2_000.0)
+    assert c.node(peer).log.last_index == node.log.last_index
+    assert node.commit_index == node.log.last_index
+
+
+def test_unpipelined_sends_single_window():
+    c = make_raft_cluster(3)
+    leader = c.run_until_leader()
+    c.run_for(500.0)
+    node = c.node(leader)
+    peer = node.peers[0]
+    for j in range(200):
+        node.log.append_new(node.current_term, kv_put("x", j))
+    node._send_append(peer)
+    assert node._inflight_appends[peer] == 1
+    c.run_for(2_000.0)
+    assert c.node(peer).log.last_index == node.log.last_index
+
+
+def test_pipelining_recovers_after_rejection():
+    # A follower that was cut off rejoins behind the stream: the leader's
+    # optimistic next_index gets rejected, probe mode re-anchors it, and
+    # the follower still converges.
+    c = make_raft_cluster(3, raft=RaftConfig(replication_pipelining=True))
+    client = c.add_client("cl")
+    leader = c.run_until_leader()
+    c.run_for(500.0)
+    lagging = c.node(leader).peers[0]
+    c.network.set_partitions([(set(c.names) - {lagging}) | {"cl"}])
+    for j in range(30):
+        client.submit(kv_put("x", j))
+    c.run_for(6_000.0)
+    assert len(client.completed) == 30
+    c.network.set_partitions([])
+    c.run_for(3_000.0)
+    node = c.node(leader)
+    assert c.node(lagging).log.last_index == node.log.last_index
+    # Concurrent retried writes apply in an arbitrary (but agreed) order.
+    assert c.node(lagging).state_machine.peek("x") == node.state_machine.peek("x")
+    assert node._append_probe == set()  # probe mode exited after re-anchor
+
+
+def test_pipelining_falls_back_to_snapshot_transfer():
+    # When the lagging follower's entries are compacted away, the pipeline
+    # must hand off to InstallSnapshot instead of spinning on appends.
+    c = make_raft_cluster(
+        3,
+        raft=RaftConfig(
+            replication_pipelining=True,
+            compaction_threshold=20,
+            compaction_retain_margin=5,
+        ),
+    )
+    client = c.add_client("cl")
+    leader = c.run_until_leader()
+    c.run_for(500.0)
+    lagging = c.node(leader).peers[0]
+    c.network.set_partitions([(set(c.names) - {lagging}) | {"cl"}])
+    for j in range(80):
+        client.submit(kv_put(f"x{j}", j))
+    c.run_for(6_000.0)
+    assert len(client.completed) == 80
+    node = c.node(leader)
+    assert node.log.first_index > 1  # compaction actually ran
+    c.network.set_partitions([])
+    c.run_for(4_000.0)
+    assert node.metrics.snapshots_sent >= 1
+    assert c.node(lagging).metrics.snapshots_installed >= 1
+    assert c.node(lagging).state_machine.peek("x79") == 79
+
+
+def test_pipelining_with_batching_under_load():
+    c = make_raft_cluster(
+        5,
+        raft=RaftConfig(
+            client_batching=True,
+            client_batch_window_ms=2.0,
+            replication_pipelining=True,
+        ),
+    )
+    clients = [c.add_client(f"cl{i}") for i in range(4)]
+    c.run_until_leader()
+    c.run_for(500.0)
+    for i, client in enumerate(clients):
+        for j in range(25):
+            client.submit(kv_put(f"k{i}", j))
+    c.run_for(5_000.0)
+    assert all(len(cl.completed) == 25 for cl in clients)
+    leader = c.leader()
+    node = c.node(leader)
+    assert node.commit_index == node.log.last_index
+
+
+# --------------------------------------------------------------------- #
+# ReadIndex fast path
+# --------------------------------------------------------------------- #
+
+
+def test_readindex_serves_without_log_entry():
+    c = make_raft_cluster(5)
+    client = c.add_client("cl")
+    leader = c.run_until_leader()
+    c.run_for(500.0)
+    client.submit(kv_put("x", 41))
+    c.run_for(2_000.0)
+    node = c.node(leader)
+    before = node.log.last_index
+    client.submit(kv_get("x"), read=True)
+    c.run_for(2_000.0)
+    assert len(client.completed) == 2
+    assert client.completed[1].result == 41
+    assert node.log.last_index == before  # no entry appended for the read
+    assert node.metrics.reads_served_readindex >= 1
+    assert node.metrics.read_probes_sent >= 1
+
+
+def test_readindex_redirects_from_follower():
+    c = make_raft_cluster(5)
+    client = c.add_client("cl")
+    leader = c.run_until_leader()
+    c.run_for(500.0)
+    client.submit(kv_put("x", 7))
+    c.run_for(2_000.0)
+    follower = next(n for n in c.names if n != leader)
+    client._contact = follower
+    client.submit(kv_get("x"), read=True)
+    c.run_for(2_000.0)
+    assert client.completed[-1].result == 7
+    assert c.node(follower).metrics.client_redirects >= 1
+
+
+def test_readindex_blocks_in_minority_partition():
+    # A deposed-but-unaware leader must never serve a fast-path read: with
+    # no quorum reachable the probe round cannot confirm, so the read
+    # blocks until the client reaches the real leader — and then reflects
+    # the newer write, not the stale state.
+    c = make_raft_cluster(5, seed=11)
+    reader = c.add_client("cl", retry_timeout_ms=400.0)
+    writer = c.add_client("cl2")
+    old_leader = c.run_until_leader()
+    c.run_for(500.0)
+    writer.submit(kv_put("x", 1))
+    c.run_for(2_000.0)
+    # Island the old leader together with the reading client.
+    c.network.set_partitions([{old_leader, "cl"}])
+    c.run_for(2_000.0)
+    new_leader = c.leader()
+    assert new_leader is not None and new_leader != old_leader
+    writer.submit(kv_put("x", 2))
+    c.run_for(2_000.0)
+    assert c.node(new_leader).state_machine.peek("x") == 2
+    reader._contact = old_leader
+    reader.submit(kv_get("x"), read=True)
+    c.run_for(1_000.0)
+    # Still partitioned: the read must not have produced a (stale) answer.
+    assert reader.completed == []
+    c.network.set_partitions([])
+    c.run_for(5_000.0)
+    assert len(reader.completed) == 1
+    assert reader.completed[0].result == 2  # linearizable: sees the write
+
+
+def test_reads_flushed_on_step_down():
+    # Reads pending in a round (or buffered for the next) fail back to
+    # the client when leadership is torn down, like buffered writes.
+    c = make_raft_cluster(5, seed=11)
+    reader = c.add_client("cl", retry_timeout_ms=400.0)
+    old_leader = c.run_until_leader()
+    c.run_for(500.0)
+    c.network.set_partitions([{old_leader, "cl"}])
+    reader._contact = old_leader
+    reader.submit(kv_get("x"), read=True)
+    c.run_for(4_000.0)  # check-quorum tears the old leader down
+    node = c.node(old_leader)
+    assert node.role.value != "leader"
+    assert node.metrics.reads_failed >= 1
+    assert node._read_round is None and node._read_buf == []
+
+
+# --------------------------------------------------------------------- #
+# leader-lease reads
+# --------------------------------------------------------------------- #
+
+
+def test_lease_reads_skip_probe_round():
+    c = make_raft_cluster(5, raft=RaftConfig(lease_reads=True))
+    client = c.add_client("cl")
+    leader = c.run_until_leader()
+    c.run_for(500.0)
+    client.submit(kv_put("x", 5))
+    c.run_for(2_000.0)
+    client.submit(kv_get("x"), read=True)
+    c.run_for(2_000.0)
+    assert client.completed[-1].result == 5
+    node = c.node(leader)
+    assert node.metrics.reads_served_lease >= 1
+    assert node.metrics.read_probes_sent == 0  # lease made the round moot
+
+
+def test_lease_invalid_when_responses_stale():
+    c = make_raft_cluster(5, raft=RaftConfig(lease_reads=True))
+    leader = c.run_until_leader()
+    c.run_for(500.0)
+    node = c.node(leader)
+    assert node._lease_valid_for_reads()
+    # Age every voter response beyond any plausible lease duration.
+    for p in list(node._last_peer_response):
+        node._last_peer_response[p] -= 10_000.0
+    assert not node._lease_valid_for_reads()
+
+
+def test_lease_requires_check_quorum():
+    # Without check-quorum, voters never refuse rivals, so the lease has
+    # no exclusivity to stand on and must report invalid.
+    c = make_raft_cluster(
+        5, raft=RaftConfig(lease_reads=True, check_quorum=False)
+    )
+    leader = c.run_until_leader()
+    c.run_for(500.0)
+    assert not c.node(leader)._lease_valid_for_reads()
+
+
+def test_lease_fallback_serves_via_readindex():
+    # An oversized drift margin kills the lease; reads must still be
+    # served — through the ReadIndex round — and count the fallback.
+    c = make_raft_cluster(
+        5,
+        raft=RaftConfig(lease_reads=True, lease_drift_margin_ms=1e9),
+    )
+    client = c.add_client("cl")
+    leader = c.run_until_leader()
+    c.run_for(500.0)
+    client.submit(kv_put("x", 9))
+    c.run_for(2_000.0)
+    client.submit(kv_get("x"), read=True)
+    c.run_for(2_000.0)
+    assert client.completed[-1].result == 9
+    node = c.node(leader)
+    assert node.metrics.lease_fallbacks >= 1
+    assert node.metrics.reads_served_readindex >= 1
+    assert len(c.trace.of_kind("lease_fallback")) >= 1
+
+
+def test_static_policy_lease_bound_is_et():
+    assert StaticPolicy(300.0, 50.0).lease_bound_ms() == 300.0
+
+
+def test_dynatune_lease_bound_requires_every_path_tuned():
+    # The first-tune cliff: an untuned follower's *default* Et says
+    # nothing about the (much shorter) Et it may adopt the moment its
+    # measurement window fills, so the bound must stay None until every
+    # path has reported a tuned value — and revert to None on fallback.
+    p = DynatunePolicy(DynatuneConfig())
+    assert p.lease_bound_ms() is None  # fresh leader: no paths yet
+    p.heartbeat_meta("f1", 0.0)
+    p.heartbeat_meta("f2", 0.0)
+    p.on_heartbeat_response("f1", HeartbeatResponseMeta(1, 0.0, None, 120.0), 10.0)
+    assert p.lease_bound_ms() is None  # f2 still on its default
+    p.on_heartbeat_response("f2", HeartbeatResponseMeta(1, 0.0, None, 90.0), 10.0)
+    assert p.lease_bound_ms() == 90.0  # min across tuned paths
+    p.on_heartbeat_response("f1", HeartbeatResponseMeta(2, 5.0, None, None), 20.0)
+    assert p.lease_bound_ms() is None  # f1 fell back to the default
