@@ -1,0 +1,113 @@
+"""Storage benches: the persist-path cost the durability layer added.
+
+Three angles on the same question — what does ack-after-sync cost the
+hot path?  The raw WAL append+fsync storm prices one storage operation;
+the ideal/simdisk cluster pair prices the whole replication pipeline on
+each backend (the two runs are asserted event-identical, so any timing
+gap *is* the bookkeeping overhead); and the recovery bench prices the
+synced-WAL replay a rebooting node performs, with the replayed record
+count in ``extra_info`` alongside the wall clock.
+"""
+
+import numpy as np
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.dynatune.policy import StaticPolicy
+from repro.raft.log import LogEntry
+from repro.raft.state_machine import kv_put
+from repro.raft.types import RaftConfig
+from repro.storage import SimDiskStorage
+
+
+def _cluster(storage: str, *, n: int = 5, seed: int = 3, threshold: int = 150):
+    cluster = build_cluster(
+        ClusterConfig(
+            n_nodes=n,
+            seed=seed,
+            rtt_ms=20.0,
+            raft=RaftConfig(
+                compaction_threshold=threshold, compaction_retain_margin=16
+            ),
+            storage=storage,
+        ),
+        lambda name: StaticPolicy(election_timeout_ms=300.0, heartbeat_interval_ms=50.0),
+    )
+    cluster.start()
+    return cluster
+
+
+def _drive_load(cluster, client, n_ops: int, *, batch: int = 25, settle_ms: float = 400.0):
+    sent = 0
+    while sent < n_ops:
+        for i in range(sent, min(sent + batch, n_ops)):
+            client.submit(kv_put(f"k{i % 64}", i))
+        sent = min(sent + batch, n_ops)
+        cluster.run_for(settle_ms)
+    cluster.run_for(2_000.0)
+
+
+def test_wal_append_sync_storm(benchmark):
+    """Raw SimDiskStorage: checksummed record build + fsync barrier, one
+    entry per sync — the worst-case (unbatched) persist cadence."""
+    cluster = _cluster("simdisk", n=3)
+
+    def run():
+        store = SimDiskStorage(np.random.default_rng(11))
+        store.attach(cluster.node("n1"))  # fault plumbing (all-zero knobs)
+        for i in range(1, 2_001):
+            store.wal_append(LogEntry(term=1, index=i, command=("k", i)))
+            store.sync()
+        return store.durable_view()
+
+    view = benchmark(run)
+    assert max(view.entry_terms) == 2_000
+
+
+def test_replication_pipeline_ideal(benchmark):
+    """400 committed ops on the ideal backend: the no-op persist
+    baseline (bit-identical to the pre-storage engine)."""
+    cluster, events = benchmark.pedantic(
+        lambda: _run_pipeline("ideal"), rounds=1, iterations=1
+    )
+    benchmark.extra_info["trace_events"] = events
+
+
+def test_replication_pipeline_simdisk(benchmark):
+    """The same 400 ops on the fault-free simdisk backend: the gap to the
+    ideal bench is the full WAL bookkeeping + checksum overhead."""
+    cluster, events = benchmark.pedantic(
+        lambda: _run_pipeline("simdisk"), rounds=1, iterations=1
+    )
+    benchmark.extra_info["trace_events"] = events
+    # Fault-free simdisk is pure bookkeeping: the run must be
+    # event-identical to the ideal baseline, so the benches time the same
+    # work on different storage.
+    ideal_cluster, ideal_events = _run_pipeline("ideal")
+    assert events == ideal_events
+    assert (
+        cluster.node("n1").state_machine.snapshot()
+        == ideal_cluster.node("n1").state_machine.snapshot()
+    )
+
+
+def _run_pipeline(storage: str):
+    cluster = _cluster(storage)
+    client = cluster.add_client("cl")
+    cluster.run_until_leader()
+    _drive_load(cluster, client, 400)
+    return cluster, len(cluster.trace.all())
+
+
+def test_recovery_replay(benchmark):
+    """Synced-WAL replay at reboot: parse + checksum-verify every durable
+    record and rebuild hard state, log and snapshot."""
+    cluster = _cluster("simdisk", threshold=0)  # no compaction: long WAL
+    client = cluster.add_client("cl")
+    leader = cluster.run_until_leader()
+    _drive_load(cluster, client, 300)
+    follower = cluster.node(next(n for n in cluster.names if n != leader))
+    follower.crash()
+
+    durable = benchmark(follower.storage.recover)
+    assert durable.replayed >= 300
+    benchmark.extra_info["replayed_entries"] = durable.replayed

@@ -36,6 +36,7 @@ from repro.sim.loop import EventLoop
 from repro.sim.process import ProcessState
 from repro.sim.rng import RngRegistry
 from repro.sim.tracing import TraceLog, TraceRecord
+from repro.storage import DiskFaultConfig, SimDiskStorage, Storage
 
 __all__ = ["ClusterConfig", "Cluster", "build_cluster"]
 
@@ -63,6 +64,12 @@ class ClusterConfig:
         cores_per_node: container CPU allocation (4 in §IV-A, 2 in §IV-C2).
         with_cost_model: enable CPU accounting (small overhead; the
             election-focused experiments leave it off).
+        storage: durable-storage backend — ``"ideal"`` (the always-durable
+            default; bit-identical to the pre-storage behaviour) or
+            ``"simdisk"`` (checksummed WAL with seeded fault injection,
+            one ``disk/<name>`` RNG stream per node).
+        disk_faults: fault knobs for the simdisk backend (ignored for
+            ideal storage).
     """
 
     n_nodes: int = 5
@@ -75,12 +82,18 @@ class ClusterConfig:
     topology: str = "uniform"
     cores_per_node: float = 4.0
     with_cost_model: bool = False
+    storage: str = "ideal"
+    disk_faults: DiskFaultConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes!r}")
         if self.topology not in ("uniform", "aws"):
             raise ValueError(f"topology must be 'uniform' or 'aws', got {self.topology!r}")
+        if self.storage not in ("ideal", "simdisk"):
+            raise ValueError(
+                f"storage must be 'ideal' or 'simdisk', got {self.storage!r}"
+            )
 
 
 class Cluster:
@@ -334,6 +347,7 @@ class Cluster:
             rng=self.rngs.stream(f"raft/{name}"),
             cost_model=self.cost_model,
             initial_config=MembershipConfig(voters=(), learners=(name,)),
+            storage=_node_storage(cfg, self.rngs, name),
         )
         self.network.attach(node)
         self.nodes[name] = node
@@ -342,6 +356,17 @@ class Cluster:
         if self._started:
             node.start()
         return node
+
+
+def _node_storage(
+    config: ClusterConfig, rngs: RngRegistry, name: str
+) -> Storage | None:
+    """Mint one node's storage backend (``None`` → the node's own ideal
+    default).  Simdisk draws from a dedicated ``disk/<name>`` stream so
+    fault draws never perturb the raft/net streams existing seeds pin."""
+    if config.storage == "ideal":
+        return None
+    return SimDiskStorage(rngs.stream(f"disk/{name}"), config.disk_faults)
 
 
 def build_cluster(
@@ -387,6 +412,7 @@ def build_cluster(
             trace=trace,
             rng=rngs.stream(f"raft/{name}"),
             cost_model=cost_model,
+            storage=_node_storage(config, rngs, name),
         )
         network.attach(node)
         nodes[name] = node

@@ -1,0 +1,500 @@
+"""Durability experiment: rolling disk-fault storms with a recovery oracle.
+
+The storage subsystem's end-to-end gate.  Each run boots a cluster on the
+fallible :class:`~repro.storage.simdisk.SimDiskStorage` backend (or the
+ideal backend, as the control), carries closed-loop client load, and
+sweeps a *rolling disk storm* across the members: every node gets one
+fault window, staggered so the windows are disjoint — a disk-level
+rolling-failure drill.  The fault *family* picks what the window does:
+
+* ``ideal`` — control: ideal storage, process-level crash churn.  The
+  storage abstraction must be invisible (no disk events traced) and
+  recovery from always-durable state must stay clean.
+* ``lossy_fsync`` — crash points at persist barriers plus occasional
+  fail-stop IO errors: recovery replays the synced WAL region and loses
+  only the unsynced tail.
+* ``torn_tail`` — every crash-point crash also tears the record being
+  written: recovery must detect the torn tail via checksum, truncate it
+  (traced as ``wal_truncated``) and rejoin cleanly.
+* ``corrupt_tail`` — one designated node's crash flips a bit *below* its
+  synced frontier: recovery must refuse (traced as ``disk_corruption``)
+  and the node must stay down while the remaining quorum keeps serving.
+
+Throughout, the event-hooked :class:`~repro.scenarios.safety.SafetyChecker`
+runs with its crash-recovery durability invariant: synced term/vote/
+entries captured at each crash must be reproduced at ``disk_recover``.
+
+Acceptance gates (:func:`check`): zero safety violations, the family's
+expected repair events actually traced (and *only* those — the control
+must trace none), corruption-refusing nodes stay down, bounded recovery
+replay (compaction keeps the replayed tail short), surviving replicas
+converge to the same applied state, and a client availability floor.
+
+Runs fan out across ``REPRO_JOBS`` via :func:`~repro.experiments.runner.
+run_tasks`; each is an independent simulation keyed by the config, so
+results — and :func:`digest` — are byte-identical for any job count.
+
+CLI::
+
+    python -m repro.experiments.durability             # full grid (~1 min)
+    python -m repro.experiments.durability --smoke     # CI budget
+    python -m repro.experiments.durability --digest    # print the digest
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import sys
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.experiments.common import make_policy_factory
+from repro.experiments.runner import run_tasks
+from repro.fuzz.history import OpHistory
+from repro.fuzz.workload import WorkloadConfig, WorkloadDriver
+from repro.raft.types import RaftConfig
+from repro.scenarios.safety import SafetyChecker
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.steps import Churn, DiskFault, Repeat, Step
+from repro.sim.process import ProcessState
+from repro.storage import DiskFaultConfig
+
+__all__ = [
+    "FAMILIES",
+    "DurabilityConfig",
+    "DurabilityRunResult",
+    "DurabilityResult",
+    "run_one",
+    "run",
+    "check",
+    "digest",
+    "main",
+]
+
+#: The four fault families the grid covers.
+FAMILIES: tuple[str, ...] = ("ideal", "lossy_fsync", "torn_tail", "corrupt_tail")
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class DurabilityConfig:
+    """One durability run (the grid in :func:`run` derives variants)."""
+
+    system: str = "raft"
+    #: One of :data:`FAMILIES`.
+    family: str = "lossy_fsync"
+    n_nodes: int = 5
+    seed: int = 101
+    rtt_ms: float = 50.0
+    #: Rolling storm shape: node ``i``'s fault window opens at
+    #: ``storm_start_ms + i * stagger_ms`` and lasts ``window_ms``.
+    #: ``window_ms < stagger_ms`` keeps the windows disjoint — at most one
+    #: member is storming at a time.
+    storm_start_ms: float = 4_000.0
+    window_ms: float = 4_000.0
+    stagger_ms: float = 4_500.0
+    #: Tail after the last window for auto-recoveries and replication
+    #: repair to land.
+    settle_ms: float = 8_000.0
+    #: Crashed disks reboot this long after the crash (except corruption
+    #: refusals, which are fail-fatal and stay down).
+    auto_recover_ms: float = 1_200.0
+    #: Compaction keeps the recovery replay bounded; the gate below
+    #: asserts it actually did.
+    compaction_threshold: int = 40
+    compaction_margin: int = 8
+    max_recovery_replay: int = 150
+    #: Sustained closed-loop client load.
+    n_clients: int = 3
+    n_keys: int = 4
+    think_min_ms: float = 10.0
+    think_max_ms: float = 60.0
+    op_timeout_ms: float = 1_500.0
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(f"family must be one of {FAMILIES}, got {self.family!r}")
+        if self.n_nodes < 3:
+            raise ValueError(f"n_nodes must be >= 3, got {self.n_nodes!r}")
+        if self.window_ms >= self.stagger_ms:
+            raise ValueError(
+                "window_ms must be < stagger_ms (the storm is rolling: "
+                f"windows must not overlap), got {self.window_ms!r} >= "
+                f"{self.stagger_ms!r}"
+            )
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(f"n{i}" for i in range(1, self.n_nodes + 1))
+
+    @property
+    def corrupt_node(self) -> str:
+        """The one member whose window corrupts below the synced frontier
+        (``corrupt_tail`` family only) — a single node so the refusal can
+        never cost the quorum."""
+        return self.names[0]
+
+    @property
+    def horizon_ms(self) -> float:
+        last_window_end = (
+            self.storm_start_ms
+            + (self.n_nodes - 1) * self.stagger_ms
+            + self.window_ms
+        )
+        return last_window_end + self.settle_ms
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class DurabilityRunResult:
+    """One run reduced to its headline numbers and gate inputs (picklable)."""
+
+    system: str
+    family: str
+    n_nodes: int
+    horizon_ms: float
+    #: Client-visible availability.
+    ops_issued: int
+    ops_completed: int
+    #: Disk-event counts over the whole run (all zero for the control).
+    crash_points: int
+    io_errors: int
+    recoveries: int
+    truncations: int
+    corruptions: int
+    #: Process-level churn evidence (the control's crash/recover cycle).
+    process_crashes: int
+    process_recoveries: int
+    #: Recovery replay cost (entries re-applied past the snapshot floor)
+    #: and the config's bound on it.
+    max_replay: int
+    mean_replay: float
+    replay_bound: int
+    #: Corruption-refusing nodes, and whether every one stayed down.
+    refused: tuple[str, ...]
+    refused_stayed_down: bool
+    #: Applied-state agreement across every running replica at horizon.
+    machines_consistent: bool
+    #: Safety verdict over the whole run (durability invariant included).
+    violations: tuple[str, ...]
+
+    @property
+    def availability(self) -> float:
+        return self.ops_completed / self.ops_issued if self.ops_issued else 0.0
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class DurabilityResult:
+    runs: tuple[DurabilityRunResult, ...]
+
+    def find(self, system: str, family: str) -> DurabilityRunResult:
+        for r in self.runs:
+            if r.system == system and r.family == family:
+                return r
+        raise KeyError(f"no durability run ({system}, {family})")
+
+
+#: Per-family window knobs (crash probabilities are per fsync, so even a
+#: short window sees many draws; 1.0 knobs make the family's signature
+#: repair event certain rather than merely likely).
+_FAMILY_KNOBS: dict[str, dict[str, float]] = {
+    "lossy_fsync": {"p_crash_point": 0.5, "p_io_error": 0.1},
+    "torn_tail": {"p_crash_point": 0.8, "p_torn_tail": 1.0},
+    "corrupt_tail": {"p_crash_point": 0.5},
+}
+
+_CORRUPT_KNOBS: dict[str, float] = {"p_crash_point": 1.0, "p_bitflip": 1.0}
+
+
+def _storm_scenario(cfg: DurabilityConfig) -> Scenario:
+    steps: list[Step] = []
+    if cfg.family == "ideal":
+        # Process-level rolling crash churn: one occurrence per member,
+        # spaced like the disk windows, each down for the same reboot
+        # delay the fallible backends use.
+        steps.append(
+            Churn(
+                at_ms=cfg.storm_start_ms,
+                nodes=cfg.names,
+                down_ms=cfg.auto_recover_ms,
+                fault="crash",
+                repeat=Repeat(every_ms=cfg.stagger_ms, times=cfg.n_nodes),
+            )
+        )
+    else:
+        for i, name in enumerate(cfg.names):
+            if cfg.family == "corrupt_tail" and name == cfg.corrupt_node:
+                knobs = _CORRUPT_KNOBS
+            else:
+                knobs = _FAMILY_KNOBS[cfg.family]
+            steps.append(
+                DiskFault(
+                    at_ms=cfg.storm_start_ms + i * cfg.stagger_ms,
+                    node=name,
+                    duration_ms=cfg.window_ms,
+                    **knobs,
+                )
+            )
+    return Scenario(
+        f"disk-storm-{cfg.family}",
+        steps,
+        description=(
+            f"rolling {cfg.family} storm over {cfg.n_nodes} nodes, "
+            f"{cfg.window_ms:g}ms window every {cfg.stagger_ms:g}ms"
+        ),
+    )
+
+
+def run_one(cfg: DurabilityConfig) -> DurabilityRunResult:
+    """Run one durability variant end to end (module-level: run_tasks
+    worker)."""
+    cluster = build_cluster(
+        ClusterConfig(
+            n_nodes=cfg.n_nodes,
+            seed=cfg.seed,
+            rtt_ms=cfg.rtt_ms,
+            raft=RaftConfig(
+                compaction_threshold=cfg.compaction_threshold,
+                compaction_retain_margin=cfg.compaction_margin,
+            ),
+            storage="ideal" if cfg.family == "ideal" else "simdisk",
+            disk_faults=(
+                None
+                if cfg.family == "ideal"
+                else DiskFaultConfig(auto_recover_ms=cfg.auto_recover_ms)
+            ),
+        ),
+        make_policy_factory(cfg.system),
+    )
+    checker = SafetyChecker(cluster)
+    checker.install(event_hooks=True)
+    _storm_scenario(cfg).install(cluster)
+    history = OpHistory()
+    horizon = cfg.horizon_ms
+    driver = WorkloadDriver(
+        cluster,
+        WorkloadConfig(
+            n_clients=cfg.n_clients,
+            n_keys=cfg.n_keys,
+            op_timeout_ms=cfg.op_timeout_ms,
+            think_min_ms=cfg.think_min_ms,
+            think_max_ms=cfg.think_max_ms,
+            start_ms=400.0,
+            max_ops_per_client=1_000_000,
+        ),
+        history,
+        stop_ms=horizon - 2.0 * cfg.op_timeout_ms,
+    )
+    driver.install()
+
+    cluster.start()
+    cluster.run_until(horizon)
+
+    violations = tuple(checker.verify())
+    trace = cluster.trace
+
+    replays = [r.get("replayed", 0) for r in trace.of_kind("disk_recover")]
+    refused = tuple(
+        sorted({r.node for r in trace.of_kind("disk_corruption")})
+    )
+    refused_stayed_down = all(
+        cluster.nodes[name].state is ProcessState.CRASHED for name in refused
+    )
+    running_states = [
+        json.dumps(node.state_machine.snapshot(), sort_keys=True)
+        for node in (cluster.nodes[n] for n in cluster.names)
+        if node.state is ProcessState.RUNNING
+    ]
+    ops = history.ops()
+    return DurabilityRunResult(
+        system=cfg.system,
+        family=cfg.family,
+        n_nodes=cfg.n_nodes,
+        horizon_ms=horizon,
+        ops_issued=len(ops),
+        ops_completed=sum(1 for o in ops if o.completed),
+        crash_points=len(trace.of_kind("disk_crash_point")),
+        io_errors=len(trace.of_kind("disk_io_error")),
+        recoveries=len(trace.of_kind("disk_recover")),
+        truncations=len(trace.of_kind("wal_truncated")),
+        corruptions=len(trace.of_kind("disk_corruption")),
+        process_crashes=len(trace.of_kind("process_crashed")),
+        process_recoveries=len(trace.of_kind("process_recovered")),
+        max_replay=max(replays) if replays else 0,
+        mean_replay=sum(replays) / len(replays) if replays else 0.0,
+        replay_bound=cfg.max_recovery_replay,
+        refused=refused,
+        refused_stayed_down=refused_stayed_down,
+        machines_consistent=len(set(running_states)) <= 1,
+        violations=violations,
+    )
+
+
+def _grid(
+    base: DurabilityConfig, systems: tuple[str, ...]
+) -> list[DurabilityConfig]:
+    return [
+        dataclasses.replace(base, system=system, family=family)
+        for system in systems
+        for family in FAMILIES
+    ]
+
+
+def run(
+    config: DurabilityConfig | None = None,
+    *,
+    systems: tuple[str, ...] = ("raft", "dynatune"),
+    jobs: int | None = None,
+) -> DurabilityResult:
+    """Run the durability grid (parallel across ``REPRO_JOBS``,
+    bit-stable)."""
+    base = config if config is not None else DurabilityConfig()
+    results = run_tasks(run_one, _grid(base, systems), jobs=jobs)
+    return DurabilityResult(runs=tuple(results))
+
+
+def digest(result: DurabilityResult) -> str:
+    """SHA-256 over the canonical JSON of every run (REPRO_JOBS-invariant)."""
+    payload = [dataclasses.asdict(r) for r in result.runs]
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+#: Client availability floor: a rolling storm takes one member at a time,
+#: so the quorum — and client progress — should survive throughout.
+MIN_AVAILABILITY = 0.5
+
+
+def check(result: DurabilityResult) -> list[str]:
+    """The durability acceptance gates; empty list means all held."""
+    problems: list[str] = []
+    for r in result.runs:
+        tag = f"{r.system}/{r.family}"
+        if r.violations:
+            problems.append(f"{tag}: safety violations: {r.violations[:3]}")
+        if r.family == "ideal":
+            disk_events = (
+                r.crash_points + r.io_errors + r.recoveries
+                + r.truncations + r.corruptions
+            )
+            if disk_events:
+                problems.append(
+                    f"{tag}: control run traced {disk_events} disk event(s) "
+                    f"on ideal storage"
+                )
+            if r.process_crashes < 1 or r.process_recoveries < 1:
+                problems.append(f"{tag}: the crash churn never fired")
+        else:
+            if r.crash_points + r.io_errors < 1:
+                problems.append(f"{tag}: the disk storm never crashed a node")
+            if r.recoveries < 1:
+                problems.append(f"{tag}: no node came back through disk recovery")
+        if r.family == "torn_tail" and r.truncations < 1:
+            problems.append(f"{tag}: no torn tail was ever truncated")
+        if r.family == "corrupt_tail":
+            if r.corruptions < 1:
+                problems.append(f"{tag}: the corruption window never fired")
+            if not r.refused_stayed_down:
+                problems.append(
+                    f"{tag}: a corruption-refusing node rejoined "
+                    f"(refused={list(r.refused)})"
+                )
+        elif r.corruptions:
+            problems.append(
+                f"{tag}: {r.corruptions} corruption refusal(s) outside the "
+                f"corrupt_tail family"
+            )
+        if r.family != "corrupt_tail" and r.truncations and r.family != "torn_tail":
+            problems.append(
+                f"{tag}: {r.truncations} torn-tail truncation(s) without a "
+                f"torn window"
+            )
+        if r.max_replay > r.replay_bound:
+            problems.append(
+                f"{tag}: recovery replayed {r.max_replay} entries "
+                f"(bound {r.replay_bound}) — compaction is not bounding "
+                f"the replay"
+            )
+        if not r.machines_consistent:
+            problems.append(f"{tag}: surviving replicas diverged at horizon")
+        if r.ops_issued == 0 or r.availability < MIN_AVAILABILITY:
+            problems.append(
+                f"{tag}: availability {r.availability:.2f} below "
+                f"{MIN_AVAILABILITY:g} ({r.ops_completed}/{r.ops_issued} ops)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=101)
+    parser.add_argument(
+        "--system", action="append", default=None, help="restrict systems (repeatable)"
+    )
+    parser.add_argument(
+        "--family", action="append", default=None, help="restrict families (repeatable)"
+    )
+    parser.add_argument(
+        "--digest", action="store_true", help="print the result digest"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "CI budget: 3 nodes, short windows — still asserts every "
+            "durability gate"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    base = DurabilityConfig(
+        seed=args.seed,
+        n_nodes=3 if args.smoke else 5,
+        storm_start_ms=3_000.0 if args.smoke else 4_000.0,
+        window_ms=2_500.0 if args.smoke else 4_000.0,
+        stagger_ms=3_000.0 if args.smoke else 4_500.0,
+        settle_ms=6_000.0 if args.smoke else 8_000.0,
+    )
+    systems = tuple(args.system) if args.system else ("raft", "dynatune")
+    result = run(base, systems=systems)
+    if args.family:
+        result = DurabilityResult(
+            runs=tuple(r for r in result.runs if r.family in set(args.family))
+        )
+
+    print(
+        f"# durability — {base.n_nodes} nodes, {base.window_ms / 1000.0:g}s "
+        f"windows every {base.stagger_ms / 1000.0:g}s, seed {base.seed}"
+    )
+    header = (
+        f"{'run':<24} {'avail':>6} {'crash':>6} {'recov':>6} {'torn':>5} "
+        f"{'corrupt':>8} {'replay':>7} {'consistent':>11}"
+    )
+    print(header)
+    for r in result.runs:
+        print(
+            f"{r.system + '/' + r.family:<24} {r.availability:>6.2f} "
+            f"{r.crash_points + r.io_errors + r.process_crashes:>6} "
+            f"{r.recoveries + r.process_recoveries:>6} {r.truncations:>5} "
+            f"{r.corruptions:>8} {r.max_replay:>7} "
+            f"{str(r.machines_consistent):>11}"
+        )
+    if args.digest:
+        print(f"digest: {digest(result)}")
+
+    problems = check(result)
+    if problems:
+        print(f"\n{len(problems)} durability gate(s) failed:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(
+        "\nall durability gates held (safety clean, repair events traced, "
+        "refusals stayed down, replay bounded, replicas converged)."
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -91,6 +91,10 @@ class TrialRecord:
     batches_flushed: int = 0
     reads_readindex: int = 0
     reads_lease: int = 0
+    disk_crash_points: int = 0
+    disk_recoveries: int = 0
+    wal_truncations: int = 0
+    disk_corruptions: int = 0
 
     @property
     def ok(self) -> bool:
@@ -154,6 +158,10 @@ def _run_one(task: tuple[FuzzCampaignConfig, int]) -> TrialRecord:
         batches_flushed=result.batches_flushed,
         reads_readindex=result.reads_readindex,
         reads_lease=result.reads_lease,
+        disk_crash_points=result.disk_crash_points,
+        disk_recoveries=result.disk_recoveries,
+        wal_truncations=result.wal_truncations,
+        disk_corruptions=result.disk_corruptions,
     )
 
 
@@ -272,6 +280,22 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--disk",
+        nargs="?",
+        type=float,
+        const=0.7,
+        default=None,
+        metavar="PROB",
+        help=(
+            "give each generated scenario this probability of carrying "
+            "disk-fault windows (default 0.7 when the flag is bare) and "
+            "run every node on the fallible simdisk backend, so crash "
+            "points at persist barriers, torn WAL tails and corruption "
+            "recovery run under the full safety + durability + "
+            "linearizability oracle"
+        ),
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help=(
@@ -313,6 +337,11 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--membership probability must be in (0, 1]")
         gen_overrides["p_membership"] = args.membership
         trial = dataclasses.replace(trial, membership=True)
+    if args.disk is not None:
+        if not 0.0 < args.disk <= 1.0:
+            parser.error("--disk probability must be in (0, 1]")
+        gen_overrides["p_disk_fault"] = args.disk
+        trial = dataclasses.replace(trial, disk=True)
     if args.serving:
         trial = dataclasses.replace(
             trial,
@@ -360,6 +389,15 @@ def main(argv: list[str] | None = None) -> int:
             f"{sum(t.reads_readindex for t in result.trials)} ReadIndex reads, "
             f"{sum(t.reads_lease for t in result.trials)} lease reads "
             "across the campaign"
+        )
+    if cfg.trial.disk:
+        print(
+            f"disk coverage: "
+            f"{sum(t.disk_crash_points for t in result.trials)} crash/IO-error "
+            f"points, {sum(t.disk_recoveries for t in result.trials)} recoveries, "
+            f"{sum(t.wal_truncations for t in result.trials)} torn-tail "
+            f"truncations, {sum(t.disk_corruptions for t in result.trials)} "
+            "corruption refusals across the campaign"
         )
     if args.digest:
         print(f"digest: {digest(result)}")

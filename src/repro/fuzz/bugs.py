@@ -15,6 +15,19 @@ checking, shrinking — actually fires end to end:
   N-th put while acknowledging it (replicas stay identical, so no safety
   property trips).  Only the *client-facing* oracle sees it: a later get
   returns the overwritten value and the history stops being linearizable.
+* ``ack_before_sync`` — every node's persist barrier (``RaftNode._sync``)
+  starts lying: it reports success without ever reaching the disk, so
+  vote grants, append acks and commit decisions all externalize state
+  that only exists in the volatile WAL tail.  Two seconds later a
+  cluster-wide power loss fires (every node crashes at once) and the lie
+  comes due: entries whose acknowledgements were counted into quorums
+  vanish from every replica — the §5.2 bug class the durable-storage
+  engine's ack-after-sync discipline exists to prevent, in its classic
+  real-world shape (lying-fsync firmware + fleet power event).  The
+  linearizability oracle catches the acked-then-lost writes, and the
+  :class:`~repro.scenarios.safety.SafetyChecker`'s no-committed-entry-loss
+  property the overwritten slots; on ideal storage it is vacuous (the
+  trial must run ``disk=True``).
 * ``greedy_remove`` — whenever a leader appends a ``remove`` config
   change, the resulting configuration silently sheds one *extra* voter,
   turning a one-at-a-time change into a two-at-a-time change whose old
@@ -41,7 +54,12 @@ from repro.sim.process import ProcessState
 
 __all__ = ["BUG_KINDS", "install_bug"]
 
-BUG_KINDS: tuple[str, ...] = ("commit_rewrite", "stale_apply", "greedy_remove")
+BUG_KINDS: tuple[str, ...] = (
+    "commit_rewrite",
+    "stale_apply",
+    "greedy_remove",
+    "ack_before_sync",
+)
 
 
 def _commit_rewrite(cluster: Cluster) -> None:
@@ -113,6 +131,47 @@ class _LossyKV(KVStore):
         self._puts_seen = 0
 
 
+def _ack_before_sync(cluster: Cluster, crash_after_ms: float = 2_000.0) -> None:
+    """Make every persist barrier lie, then collect with a power loss.
+
+    The wrapped ``_sync`` returns ``True`` without calling
+    ``storage.sync()``, so every vote grant, append ack and commit
+    decision from here on externalizes state that lives only in the
+    unsynced WAL tail.  ``crash_after_ms`` later the whole cluster loses
+    power at once — every replica's volatile tail evaporates, taking
+    acked (and typically committed) client writes with it.  Nodes come
+    back via the simdisk auto-recovery the disk trials configure, and the
+    post-recovery cluster serves reads that contradict the pre-crash
+    acks.  Vacuous on ideal storage (there is nothing volatile to lose);
+    the trial must run ``disk=True``.
+    """
+    victims = []
+    for name in sorted(cluster.nodes):
+        node = cluster.nodes[name]
+        if node.storage.kind == "ideal":
+            continue
+
+        def broken_sync() -> bool:
+            return True
+
+        node._sync = broken_sync  # type: ignore[method-assign]
+        victims.append(node)
+        cluster.trace.record(
+            cluster.loop.now, name, "bug_ack_before_sync", crash_after_ms=crash_after_ms
+        )
+    if not victims:
+        return  # ideal storage everywhere: the lie has nothing to lose
+
+    def power_loss() -> None:
+        for node in victims:
+            if node.state is ProcessState.RUNNING:
+                node.crash()
+
+    cluster.loop.schedule_at(
+        cluster.loop.now + crash_after_ms, power_loss, priority=PRIORITY_CONTROL
+    )
+
+
 def _greedy_remove(cluster: Cluster) -> None:
     """Make every leader's ``remove`` proposal shed one extra voter.
 
@@ -182,5 +241,10 @@ def install_bug(cluster: Cluster, kind: str, at_ms: float) -> None:
         # Armed immediately; ``at_ms`` selects nothing — the trigger is
         # the scenario's own remove proposal.
         _greedy_remove(cluster)
+        return
+    if kind == "ack_before_sync":
+        cluster.loop.schedule_at(
+            at_ms, lambda: _ack_before_sync(cluster), priority=PRIORITY_CONTROL
+        )
         return
     raise ValueError(f"unknown bug kind {kind!r}; expected one of {BUG_KINDS}")

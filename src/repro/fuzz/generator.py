@@ -36,6 +36,7 @@ from repro.scenarios.steps import (
     AddNode,
     Churn,
     Crash,
+    DiskFault,
     Flap,
     Heal,
     Partition,
@@ -98,6 +99,13 @@ class GenConfig:
         membership_gap_range_ms: add→remove gap of the membership pair
             (long enough for the join to commit before the removal races
             the rest of the timeline).
+        p_disk_fault: probability a scenario additionally carries a
+            *disk-fault* pattern — one or two :class:`~repro.scenarios.
+            steps.DiskFault` windows turning on crash-point / torn-tail /
+            bit-flip / IO-error / stall injection for a stretch of the
+            run (trials on ideal storage skip them).  Same zero-draw
+            guarantee as the other optional patterns: ``0.0`` (the
+            default) consumes nothing from the stream.
     """
 
     n_nodes: int = 5
@@ -116,6 +124,7 @@ class GenConfig:
     lag_range_ms: tuple[float, float] = (6_000.0, 15_000.0)
     p_membership: float = 0.0
     membership_gap_range_ms: tuple[float, float] = (4_000.0, 12_000.0)
+    p_disk_fault: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_nodes < 3:
@@ -130,6 +139,8 @@ class GenConfig:
             raise ValueError("p_compaction_lag must be in [0, 1]")
         if not (0.0 <= self.p_membership <= 1.0):
             raise ValueError("p_membership must be in [0, 1]")
+        if not (0.0 <= self.p_disk_fault <= 1.0):
+            raise ValueError("p_disk_fault must be in [0, 1]")
         lo, hi = self.membership_gap_range_ms
         if not (0.0 < lo <= hi):
             raise ValueError(
@@ -372,6 +383,31 @@ class ScenarioGen:
             )
             steps.append(RemoveNode(at_ms=rem_at, node=victim))
 
+    def _gen_disk_fault(self, rng: np.random.Generator, steps: list[Step]) -> None:
+        """Disk-fault windows: one or two nodes get fallible disks for a
+        stretch of the run.  Crash-point probability dominates (it is the
+        durability oracle's bread and butter); torn tails and bit flips
+        ride along at lower rates, and an occasional stall/IO-error mixes
+        fail-stop and freeze semantics into the same window."""
+        cfg = self.config
+        n_windows = int(rng.integers(1, 3))
+        for _ in range(n_windows):
+            node = cfg.node_names[int(rng.integers(cfg.n_nodes))]
+            at = _grid(float(rng.uniform(0.0, cfg.horizon_ms * 0.7)))
+            duration = _grid(float(rng.uniform(2_000.0, cfg.horizon_ms * 0.6)))
+            steps.append(
+                DiskFault(
+                    at_ms=at,
+                    node=node,
+                    p_crash_point=float(round(float(rng.uniform(0.02, 0.25)), 3)),
+                    p_io_error=float(round(float(rng.uniform(0.0, 0.03)), 3)),
+                    p_stall=float(round(float(rng.uniform(0.0, 0.08)), 3)),
+                    p_torn_tail=float(round(float(rng.uniform(0.0, 0.5)), 3)),
+                    p_bitflip=float(round(float(rng.uniform(0.0, 0.05)), 3)),
+                    duration_ms=duration,
+                )
+            )
+
     def generate(self, seed: int) -> Scenario:
         """Generate the scenario for ``seed`` (pure: same seed, same bytes)."""
         cfg = self.config
@@ -389,6 +425,8 @@ class ScenarioGen:
             self._gen_compaction_lag(rng, steps)
         if cfg.p_membership > 0.0 and float(rng.random()) < cfg.p_membership:
             self._gen_membership(rng, steps)
+        if cfg.p_disk_fault > 0.0 and float(rng.random()) < cfg.p_disk_fault:
+            self._gen_disk_fault(rng, steps)
         scenario = Scenario(
             f"fuzz-{seed}",
             steps,

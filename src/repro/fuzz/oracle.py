@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.storage import DiskFaultConfig
 from repro.experiments.common import make_policy_factory
 from repro.fuzz.bugs import install_bug
 from repro.fuzz.history import OpHistory
@@ -84,6 +85,14 @@ class FuzzTrialConfig:
     batching: bool = False
     pipelining: bool = False
     lease_reads: bool = False
+    #: Durable storage under the oracle.  ``True`` runs every node on the
+    #: simdisk backend (checksummed WAL, auto-recovery 1.5 s) so the
+    #: scenario's DiskFault windows actually inject, and the durability
+    #: invariant (synced committed state survives recovery) joins the
+    #: oracle.  ``False`` (the default, and what every existing
+    #: reproducer file implies) keeps ideal storage — pre-storage
+    #: timelines replay bit-identically.
+    disk: bool = False
 
     def __post_init__(self) -> None:
         if self.settle_ms < 0.0 or self.min_run_ms < 0.0:
@@ -132,6 +141,11 @@ class TrialResult:
     batches_flushed: int = 0
     reads_readindex: int = 0
     reads_lease: int = 0
+    #: Disk-fault coverage (all 0 with the disk knob off).
+    disk_crash_points: int = 0
+    disk_recoveries: int = 0
+    wal_truncations: int = 0
+    disk_corruptions: int = 0
 
     @property
     def ok(self) -> bool:
@@ -153,6 +167,14 @@ def run_trial(config: FuzzTrialConfig, scenario: Scenario) -> TrialResult:
                 client_batch_window_ms=2.0 if config.batching else 0.0,
                 replication_pipelining=config.pipelining,
                 lease_reads=config.lease_reads,
+            ),
+            storage="simdisk" if config.disk else "ideal",
+            disk_faults=(
+                # Fault probabilities stay 0 until a DiskFault step turns
+                # them on; auto-recovery keeps crash-point kills from
+                # becoming permanent node loss (the oracle wants the
+                # recovery path exercised, not an ever-shrinking cluster).
+                DiskFaultConfig(auto_recover_ms=1_500.0) if config.disk else None
             ),
         ),
         make_policy_factory(config.system),
@@ -222,4 +244,9 @@ def run_trial(config: FuzzTrialConfig, scenario: Scenario) -> TrialResult:
         reads_lease=sum(
             cluster.node(n).metrics.reads_served_lease for n in cluster.names
         ),
+        disk_crash_points=len(cluster.trace.of_kind("disk_crash_point"))
+        + len(cluster.trace.of_kind("disk_io_error")),
+        disk_recoveries=len(cluster.trace.of_kind("disk_recover")),
+        wal_truncations=len(cluster.trace.of_kind("wal_truncated")),
+        disk_corruptions=len(cluster.trace.of_kind("disk_corruption")),
     )

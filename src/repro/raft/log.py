@@ -30,9 +30,9 @@ state — so the frontier can stand in for them in every consistency check.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Iterable
+from typing import Any, Iterable, Protocol
 
-__all__ = ["LogEntry", "RaftLog", "Snapshot"]
+__all__ = ["LogEntry", "RaftLog", "Snapshot", "WalJournal"]
 
 
 @dataclasses.dataclass(slots=True, frozen=True)
@@ -74,6 +74,24 @@ class Snapshot:
     config: Any = None
 
 
+class WalJournal(Protocol):
+    """Write-ahead mirror of log mutations (see :mod:`repro.storage`).
+
+    A log with an attached journal reports every mutation *in the order
+    it applies it*, so the journal's record stream replayed from empty
+    reproduces the log exactly.  ``None`` (the default) disables
+    mirroring at the cost of one attribute check per mutation.
+    """
+
+    def wal_append(self, entry: "LogEntry") -> None: ...
+
+    def wal_truncate(self, from_index: int) -> None: ...
+
+    def wal_compact(self, upto: int, term: int) -> None: ...
+
+    def wal_reset(self, last_index: int, last_term: int) -> None: ...
+
+
 class RaftLog:
     """Offset-indexed replicated log with 1-based logical indexing.
 
@@ -86,13 +104,35 @@ class RaftLog:
     :meth:`install_snapshot`; treat all three as read-only from outside.
     """
 
-    __slots__ = ("_entries", "last_index", "last_included_index", "last_included_term")
+    __slots__ = (
+        "_entries",
+        "last_index",
+        "last_included_index",
+        "last_included_term",
+        "journal",
+    )
 
     def __init__(self) -> None:
         self._entries: list[LogEntry] = []
         self.last_index: int = 0
         self.last_included_index: int = 0
         self.last_included_term: int = 0
+        #: Optional write-ahead mirror of every mutation (durability layer).
+        self.journal: WalJournal | None = None
+
+    @classmethod
+    def from_frontier(
+        cls, base_index: int, base_term: int, entries: Iterable[LogEntry]
+    ) -> "RaftLog":
+        """Rebuild a log from a compaction frontier plus retained entries
+        (the storage recovery path; ``entries`` must be contiguous from
+        ``base_index + 1``)."""
+        log = cls()
+        log.last_included_index = base_index
+        log.last_included_term = base_term
+        log._entries = list(entries)
+        log.last_index = base_index + len(log._entries)
+        return log
 
     # -- inspection --------------------------------------------------------- #
 
@@ -183,6 +223,9 @@ class RaftLog:
         entry = LogEntry(term=term, index=self.last_index + 1, command=command)
         self._entries.append(entry)
         self.last_index = entry.index
+        j = self.journal
+        if j is not None:
+            j.wal_append(entry)
         return entry
 
     def try_append(
@@ -222,6 +265,7 @@ class RaftLog:
         # Walk the new entries; truncate at the first term conflict.
         new_entries = list(entries)
         match = prev_log_index if prev_log_index > base else base
+        j = self.journal
         for entry in new_entries:
             idx = entry.index
             if idx <= base:
@@ -237,9 +281,13 @@ class RaftLog:
                     continue  # already have it
                 del self._entries[idx - base - 1 :]  # conflict: drop our suffix
                 self.last_index = idx - 1
+                if j is not None:
+                    j.wal_truncate(idx)
             self._entries.append(entry)
             self.last_index = idx
             match = idx
+            if j is not None:
+                j.wal_append(entry)
         return True, match, None
 
     # -- compaction ----------------------------------------------------------- #
@@ -267,6 +315,9 @@ class RaftLog:
         del self._entries[:drop]
         self.last_included_index = upto
         self.last_included_term = term
+        j = self.journal
+        if j is not None:
+            j.wal_compact(upto, term)
         return drop
 
     def install_snapshot(self, last_index: int, last_term: int) -> bool:
@@ -290,6 +341,9 @@ class RaftLog:
         self.last_index = last_index
         self.last_included_index = last_index
         self.last_included_term = last_term
+        j = self.journal
+        if j is not None:
+            j.wal_reset(last_index, last_term)
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

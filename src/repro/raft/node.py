@@ -82,6 +82,8 @@ from repro.raft.types import RaftConfig, Role
 from repro.sim.loop import EventLoop
 from repro.sim.process import Process, ProcessState
 from repro.sim.tracing import TraceLog
+from repro.storage.base import DiskCorruptionError, RecoveredState, Storage
+from repro.storage.ideal import IdealStorage
 
 __all__ = ["RaftNode"]
 
@@ -134,6 +136,10 @@ class RaftNode(Process):
             voter" (the static-cluster behaviour).  A node spawned into a
             running cluster passes a learner-only config — it learns the
             real membership from the leader's snapshot/append stream.
+        storage: durable-storage backend every hard-state mutation flows
+            through.  Defaults to :class:`~repro.storage.ideal.
+            IdealStorage` — the idealized always-durable disk, bit-identical
+            to the pre-storage behaviour.
     """
 
     def __init__(
@@ -149,6 +155,7 @@ class RaftNode(Process):
         rng: np.random.Generator,
         cost_model: Any = None,
         initial_config: ClusterConfig | None = None,
+        storage: Storage | None = None,
     ) -> None:
         super().__init__(loop, name, trace)
         if name not in peers:
@@ -190,6 +197,12 @@ class RaftNode(Process):
         #: compaction (or installed snapshot); always at or ahead of the
         #: log's compaction frontier.
         self.snapshot: Snapshot | None = None
+        #: Storage backend (§5.2): every write to the persistent state
+        #: above is mirrored here, and every externalizing reply is
+        #: preceded by a ``_sync()`` barrier.
+        self.storage: Storage = storage if storage is not None else IdealStorage()
+        self.storage.attach(self)
+        self.log.journal = self.storage.wal
 
         # Volatile state.
         self.role = Role.FOLLOWER
@@ -293,7 +306,10 @@ class RaftNode(Process):
 
     def on_recover(self) -> None:
         """Crash-recovery: volatile state resets; persistent state — the
-        term/vote pair, the log, and the durable snapshot — survives.
+        term/vote pair, the log, and the durable snapshot — is rebuilt
+        from :attr:`storage` (for the ideal backend that hands the live
+        objects straight back; for the simulated disk it replays the
+        synced WAL region, possibly minus a torn tail).
 
         Without a snapshot the state machine restarts empty and the whole
         log replays as the commit index re-advances (the pre-compaction
@@ -302,6 +318,24 @@ class RaftNode(Process):
         beyond it replays — entries below the log's first index no longer
         exist, so this path is what makes compaction crash-safe.
         """
+        was_leader = self.role is Role.LEADER
+        try:
+            durable = self.storage.recover()
+        except DiskCorruptionError as exc:
+            # Acked state the disk can no longer reproduce: refuse to
+            # rejoin and stay down (etcd's strict WAL policy) — silently
+            # truncating here could un-commit acknowledged entries.
+            self.trace.record(
+                self.loop.now, self.name, "disk_corruption", error=str(exc)
+            )
+            self.crash()
+            return
+        self._restore_durable(durable)
+        if was_leader:
+            # The crash skipped _teardown_leadership: flush the leader
+            # half of the policy state (lease/report bookkeeping) so no
+            # pre-crash leadership leaks into the new incarnation.
+            self.policy.on_step_down(self.loop.now)
         self.role = Role.FOLLOWER
         self.leader_id = None
         self.last_leader_contact = _NEG_INF
@@ -316,6 +350,9 @@ class RaftNode(Process):
         self._snapshot_inflight = {}
         self._hb_cache = {}
         self._hb_resp_cache = None
+        # Drop cached heartbeat-timer handles: they belong to the dead
+        # incarnation (crash cancelled them) and must not be re-armed.
+        self._hb_timers = {}
         self._batch_buf = []
         self._read_buf = []
         self._read_round = None
@@ -353,6 +390,70 @@ class RaftNode(Process):
         self._commit = CommitTracker(self._acks_needed())
         self.policy.on_leader_change(None, self.loop.now)
         self._arm_election_timer()
+        if self.storage.kind != "ideal":
+            # Traced only for fallible backends so the ideal default stays
+            # byte-identical to the pre-storage goldens.
+            if durable.wal_truncated:
+                self.trace.record(
+                    self.loop.now,
+                    self.name,
+                    "wal_truncated",
+                    records=durable.wal_truncated,
+                )
+            self.trace.record(
+                self.loop.now,
+                self.name,
+                "disk_recover",
+                term=self.current_term,
+                last_index=self.log.last_index,
+                snapshot_index=(
+                    snap.last_included_index if snap is not None else 0
+                ),
+                truncated=durable.wal_truncated,
+                replayed=durable.replayed,
+            )
+
+    def _restore_durable(self, durable: RecoveredState) -> None:
+        """Adopt what the disk actually holds (the designated recovery
+        mutator for the persistent fields — see repolint's
+        ``durable-write-hygiene``).
+
+        For the ideal backend ``durable`` aliases the live objects, so
+        every assignment is a no-op.  For a fallible disk the log/snapshot
+        pair may be *older* than the pre-crash live state (unsynced tail
+        lost) — and the snapshot may run ahead of the log frontier when a
+        crash ate the log reset that followed an InstallSnapshot; the
+        image covers everything the lost reset would have dropped, so
+        recovery adopts its frontier.
+        """
+        self.current_term = durable.term
+        self.voted_for = durable.voted_for
+        self.log = durable.log
+        self.snapshot = durable.snapshot
+        snap = durable.snapshot
+        if snap is not None and self.log.last_index < snap.last_included_index:
+            self.log.install_snapshot(
+                snap.last_included_index, snap.last_included_term
+            )
+
+    def crash(self) -> None:
+        """Crash override: after the process dies, tell storage — the
+        unsynced WAL tail is lost there (and disk faults may additionally
+        tear the tail record or flip a durable bit)."""
+        if self._state in (ProcessState.CRASHED, ProcessState.STOPPED):
+            return  # mirror Process.crash's no-op states exactly
+        super().crash()
+        self.storage.on_crash()
+
+    def _sync(self) -> bool:
+        """The ack-after-sync barrier (§5.2): flush pending durable writes
+        before anything externalizes them.
+
+        ``False`` means the node crashed (or fail-stopped) at the persist
+        point — the caller must return immediately without sending the
+        response/grant/ack the barrier was protecting.
+        """
+        return self.storage.sync()
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -496,6 +597,8 @@ class RaftNode(Process):
             learners=list(new_cfg.learners),
             prev_voters=list(old_cfg.voters),
         )
+        if not self._sync():
+            return False  # crashed persisting the config entry
         self._apply_membership_change(old_cfg, new_cfg)
         if self.role is Role.LEADER:  # may have stepped down committing a self-remove
             for peer in self.peers:
@@ -760,12 +863,15 @@ class RaftNode(Process):
         transitions below; ``tools/repolint`` enforces the set).
         """
         self.voted_for = candidate
+        self.storage.save_hard_state(self.current_term, candidate)
 
     def _become_follower(self, term: int, leader: str | None) -> None:
         was_leader = self.role is Role.LEADER
         if term > self.current_term:
             self.current_term = term
             self.voted_for = None
+            # Lazy write: the next externalizing reply's barrier syncs it.
+            self.storage.save_hard_state(term, None)
         self.role = Role.FOLLOWER
         self._prevotes = set()
         self._votes = set()
@@ -876,12 +982,15 @@ class RaftNode(Process):
         self.role = Role.CANDIDATE
         self.current_term += 1
         self.voted_for = self.name
+        self.storage.save_hard_state(self.current_term, self.name)
         self._votes = {self.name}
         self._prevotes = set()
         self.metrics.elections_started += 1
         self.trace.record(
             self.loop.now, self.name, "election_start", term=self.current_term
         )
+        if not self._sync():
+            return  # crashed persisting our own vote: never campaign on it
         if len(self._votes) >= self.quorum:
             self._become_leader()
             return
@@ -918,6 +1027,8 @@ class RaftNode(Process):
         noop = self.log.append_new(self.current_term, None)
         self._term_start_index = noop.index
         self._append_probe = set()
+        if not self._sync():
+            return  # crashed persisting the no-op: nothing was sent yet
         for peer in self.peers:
             self._send_append(peer)
             self._schedule_heartbeat(peer, first=True)
@@ -993,6 +1104,8 @@ class RaftNode(Process):
             return
         if self._batch_buf:
             self._flush_batch()  # beat-bounded latency for buffered writes
+            if self._state is not _RUNNING:
+                return  # crashed at the batch's persist point
         policy = self.policy
         meta = policy.heartbeat_meta(peer, self.loop.now)
         term = self.current_term
@@ -1036,6 +1149,8 @@ class RaftNode(Process):
             return
         if self._batch_buf:
             self._flush_batch()  # beat-bounded latency for buffered writes
+            if self._state is not _RUNNING:
+                return  # crashed at the batch's persist point
         for peer in self.peers:
             self._send_heartbeat_to(peer)
         if self.peers:
@@ -1157,6 +1272,7 @@ class RaftNode(Process):
                 self.state_machine.snapshot(),
                 self._config_at(applied),
             )
+            self.storage.save_snapshot(snap)
             self.metrics.snapshots_taken += 1
         self._snapshot_inflight[peer] = self.loop.now
         req = InstallSnapshotRequest(
@@ -1286,6 +1402,11 @@ class RaftNode(Process):
             self.state_machine.snapshot(),
             self._config_at(applied),
         )
+        # WAL order makes snapshot-then-compact atomic across a crash: the
+        # snapshot record precedes the compact record in the same pending
+        # tail, so recovery sees both, the snapshot alone, or neither —
+        # never a moved log frontier without its covering image.
+        self.storage.save_snapshot(self.snapshot)
         dropped = log.compact(upto)
         self._rebase_config(upto, None)
         self.metrics.snapshots_taken += 1
@@ -1499,6 +1620,10 @@ class RaftNode(Process):
         if ok and m.leader_commit > self.commit_index:
             self.commit_index = max(self.commit_index, min(m.leader_commit, match))
             self._apply_committed()
+        # Ack-after-sync (§5.2): the appended entries — and any lazily
+        # pending term bump — must be durable before the response leaves.
+        if not self._sync():
+            return  # crashed at the persist point
         self._arm_election_timer()
         self._rpc(
             m.leader,
@@ -1576,11 +1701,16 @@ class RaftNode(Process):
         self._observe_leader_message(m.term, m.leader)
         s_index = m.last_included_index
         if s_index > self.commit_index:
+            # The received image becomes this node's own durable snapshot:
+            # a crash right after installation must not lose it.  WAL
+            # order matters — the snapshot record goes down *before* the
+            # log reset, so a crash that eats the reset still leaves the
+            # covering image (recovery adopts its frontier).
+            snap = Snapshot(s_index, m.last_included_term, m.data, m.config)
+            self.storage.save_snapshot(snap)
             self.log.install_snapshot(s_index, m.last_included_term)
             self.state_machine.restore(m.data)
-            # The received image becomes this node's own durable snapshot:
-            # a crash right after installation must not lose it.
-            self.snapshot = Snapshot(s_index, m.last_included_term, m.data, m.config)
+            self.snapshot = snap
             self.commit_index = s_index
             self.last_applied = s_index
             if m.config is not None or self._config_log:
@@ -1605,6 +1735,8 @@ class RaftNode(Process):
         # else: stale transfer — our commit already covers it; still ack
         # with its index so the leader resumes appends past the transfer
         # (entries at or below our commit index match the leader's).
+        if not self._sync():
+            return  # crashed persisting the snapshot: the ack must not leave
         self._arm_election_timer()
         self._rpc(
             m.leader,
@@ -1702,9 +1834,14 @@ class RaftNode(Process):
         if granted:
             self._grant_vote(m.candidate)
             self.metrics.votes_granted += 1
-            self._arm_election_timer()  # granting defers our own candidacy
         else:
             self.metrics.votes_rejected += 1
+        # Ack-after-sync (§5.2): the grant — or just the adopted term —
+        # must be durable before the response leaves the node.
+        if not self._sync():
+            return  # crashed at the persist point
+        if granted:
+            self._arm_election_timer()  # granting defers our own candidacy
         self._rpc(
             m.candidate,
             VoteResponse(term=self.current_term, voter=self.name, granted=granted),
@@ -1751,6 +1888,10 @@ class RaftNode(Process):
             return
         entry = self.log.append_new(self.current_term, m.command)
         self._pending_client[entry.index] = (sender, m.request_id)
+        # The leader's own log counts toward the quorum, so its append
+        # must be durable before replication fans out (§5.2).
+        if not self._sync():
+            return  # crashed persisting the append
         if self._commit.acks_needed == 0:
             # Sole-voter fast path: the leader's own log is the quorum.
             # Learners (if any) still get the entry via the loop below.
@@ -1775,6 +1916,8 @@ class RaftNode(Process):
             pending[entry.index] = (client, req_id)
         self.metrics.batches_flushed += 1
         self.metrics.batched_commands += len(buf)
+        if not self._sync():
+            return  # crashed persisting the batch
         if self._commit.acks_needed == 0:
             # Sole-voter fast path (mirrors _on_client_request).
             self.commit_index = log.last_index

@@ -34,12 +34,22 @@ cluster trace and re-checking the instantaneous "at most one live leader
 per term" invariant (plus taking a full sample) at every term/role/fault
 transition, so any double-leader window that coincides with *any* traced
 cluster event is caught at the instant it exists.
+
+With fallible storage the hooks additionally enforce **crash-recovery
+durability** (the other half of §5.2's ack-after-sync contract): at every
+``process_crashed`` the checker captures the node's *synced* durable view,
+and at the matching ``disk_recover`` verifies the recovered node against
+it — term and (same-term) vote never regress below their synced values, a
+synced entry observed committed survives in the recovered log or under
+its snapshot frontier, and a compacted log never recovers without a
+covering snapshot image.
 """
 
 from __future__ import annotations
 
 from repro.cluster.builder import Cluster
 from repro.raft.membership import quorums_overlap
+from repro.storage.base import DurableView
 from repro.raft.types import Role
 from repro.sim.events import PRIORITY_CONTROL
 from repro.sim.process import ProcessState
@@ -69,6 +79,10 @@ HOOK_KINDS: frozenset[str] = frozenset(
         # removed node is decommissioned — worth a full sample each.
         "config_commit",
         "process_stopped",
+        # Emitted at the *end* of a fallible-storage recovery (volatile
+        # state already reset — unlike process_recovered, see above), so a
+        # full sample here is sound and the durability check runs on it.
+        "disk_recover",
     }
 )
 
@@ -89,6 +103,8 @@ class SafetyChecker:
         self._last: dict[str, tuple[int, int]] = {}
         #: (term, frozenset of leaders) overlaps already reported.
         self._overlaps_seen: set[tuple[int, frozenset[str]]] = set()
+        #: node → synced durable view captured at its latest crash.
+        self._durable_at_crash: dict[str, DurableView] = {}
         self._installed = False
         self._hooked = False
 
@@ -130,8 +146,65 @@ class SafetyChecker:
         )
 
     def _on_trace_record(self, rec: TraceRecord) -> None:
-        if rec.kind in HOOK_KINDS:
+        kind = rec.kind
+        if kind == "process_crashed":
+            # The record is emitted before storage.on_crash() runs, so the
+            # captured view is exactly the synced region — the pending tail
+            # (legitimately lost) was never part of it.
+            node = self.cluster.nodes.get(rec.node)
+            if node is not None:
+                self._durable_at_crash[rec.node] = node.storage.durable_view()
+        elif kind == "disk_recover":
+            self._check_durability(rec.node)
+        if kind in HOOK_KINDS:
             self.check_now()
+
+    def _check_durability(self, name: str) -> None:
+        """Crash-recovery durability: what storage had synced when the node
+        crashed must be reproduced by the recovery that follows —
+        ack-after-sync is only sound if synced state is actually stable
+        across the crash."""
+        view = self._durable_at_crash.get(name)
+        node = self.cluster.nodes.get(name)
+        if view is None or node is None:
+            return
+        now = self.cluster.loop.now
+        if node.current_term < view.term:
+            self.violations.append(
+                f"t={now:g}: {name} recovered into term {node.current_term} "
+                f"below its synced term {view.term}"
+            )
+        elif (
+            node.current_term == view.term
+            and view.voted_for is not None
+            and node.voted_for != view.voted_for
+        ):
+            self.violations.append(
+                f"t={now:g}: {name} recovered with vote {node.voted_for!r} in "
+                f"term {view.term} but had synced a vote for {view.voted_for!r}"
+            )
+        log = node.log
+        snap_index = (
+            node.snapshot.last_included_index if node.snapshot is not None else 0
+        )
+        if log.last_included_index > 0 and snap_index < log.last_included_index:
+            self.violations.append(
+                f"t={now:g}: {name} recovered a compacted log (frontier "
+                f"{log.last_included_index}) without a covering snapshot "
+                f"(snapshot index {snap_index})"
+            )
+        for index in sorted(view.entry_terms):
+            term = view.entry_terms[index]
+            if self._committed.get(index) != term:
+                continue  # never observed committed: losing it is legal
+            if index <= log.last_included_index:
+                continue  # retained via snapshot frontier
+            if index <= log.last_index and log.term_at(index) == term:
+                continue
+            self.violations.append(
+                f"t={now:g}: {name} lost synced committed entry "
+                f"(index {index}, term {term}) across recovery"
+            )
 
     def check_now(self) -> None:
         """Event-driven check: instantaneous leader overlap + a full sample."""

@@ -51,6 +51,7 @@ __all__ = [
     "Recover",
     "Flap",
     "Churn",
+    "DiskFault",
     "AddNode",
     "RemoveNode",
     "ReplaceNode",
@@ -525,6 +526,87 @@ class Churn(Step):
         return {"target": proc.name, "fault": "crash", "down_ms": self.down_ms}
 
 
+@dataclasses.dataclass(slots=True, frozen=True)
+class DiskFault(Step):
+    """Retarget ``node``'s disk-fault probabilities (simdisk storage only).
+
+    One occurrence swaps the node's fault knobs for ``duration_ms``
+    (0 = the rest of the run), then restores the previous knobs —
+    identity-guarded, so an overlapping later occurrence wins and the
+    stale revert no-ops.  Knobs not listed here (``stall_ms``,
+    ``auto_recover_ms``) are preserved from the backend's configuration.
+
+    On a cluster built with ideal storage the step is a traced skip: a
+    fault timeline must degrade, not fail, when the storage layer under
+    it cannot fault.
+    """
+
+    kind: ClassVar[str] = "disk_fault"
+
+    at_ms: float
+    node: str
+    p_crash_point: float = 0.0
+    p_io_error: float = 0.0
+    p_stall: float = 0.0
+    p_torn_tail: float = 0.0
+    p_bitflip: float = 0.0
+    duration_ms: float = 0.0
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        _check_selector(self.node, "node")
+        for field in (
+            "p_crash_point",
+            "p_io_error",
+            "p_stall",
+            "p_torn_tail",
+            "p_bitflip",
+        ):
+            p = getattr(self, field)
+            if not (0.0 <= p <= 1.0):
+                raise ValueError(f"{field} must be in [0, 1], got {p!r}")
+        if self.duration_ms < 0.0:
+            raise ValueError(f"duration_ms must be >= 0, got {self.duration_ms!r}")
+
+    def effect_duration_ms(self) -> float:
+        return self.duration_ms
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        proc = rt.process(self.node)
+        if proc is None:
+            return {"skipped": True, "reason": "node unresolved"}
+        store = getattr(proc, "storage", None)
+        if store is None or store.kind != "simdisk":
+            return {"skipped": True, "reason": "ideal storage"}
+        prev = store.faults
+        new = dataclasses.replace(
+            prev,
+            p_crash_point=self.p_crash_point,
+            p_io_error=self.p_io_error,
+            p_stall=self.p_stall,
+            p_torn_tail=self.p_torn_tail,
+            p_bitflip=self.p_bitflip,
+        )
+        store.faults = new
+        if self.duration_ms > 0.0:
+
+            def _revert(s: Any = store, prev: Any = prev, new: Any = new) -> None:
+                if s.faults is new:  # stale if a later occurrence replaced it
+                    s.faults = prev
+
+            rt.loop.schedule(self.duration_ms, _revert, priority=PRIORITY_CONTROL)
+        return {
+            "target": proc.name,
+            "duration_ms": self.duration_ms,
+            "p_crash_point": self.p_crash_point,
+            "p_io_error": self.p_io_error,
+            "p_stall": self.p_stall,
+            "p_torn_tail": self.p_torn_tail,
+            "p_bitflip": self.p_bitflip,
+        }
+
+
 # --------------------------------------------------------------------- #
 # dynamic membership
 # --------------------------------------------------------------------- #
@@ -744,6 +826,7 @@ STEP_TYPES: dict[str, type[Step]] = {
         Recover,
         Flap,
         Churn,
+        DiskFault,
         AddNode,
         RemoveNode,
         ReplaceNode,

@@ -19,6 +19,7 @@ __all__ = ["TRACE_KINDS"]
 TRACE_KINDS: frozenset[str] = frozenset(
     (
         "become_leader",
+        "bug_ack_before_sync",
         "bug_commit_rewrite",
         "bug_greedy_remove",
         "client_abandon",
@@ -26,6 +27,11 @@ TRACE_KINDS: frozenset[str] = frozenset(
         "config_append",
         "config_commit",
         "config_rejected",
+        "disk_corruption",
+        "disk_crash_point",
+        "disk_io_error",
+        "disk_recover",
+        "disk_stall",
         "election_start",
         "election_timeout",
         "fault_crash",
@@ -54,5 +60,6 @@ TRACE_KINDS: frozenset[str] = frozenset(
         "stall",
         "stall_pause",
         "step_down",
+        "wal_truncated",
     )
 )

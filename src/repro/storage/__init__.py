@@ -1,0 +1,28 @@
+"""Durable storage backends for the Raft node.
+
+The package provides the :class:`~repro.storage.base.Storage` contract
+plus two implementations:
+
+* :class:`~repro.storage.ideal.IdealStorage` — the idealized disk every
+  pre-storage version of this repo assumed: writes are free, ``sync()``
+  never fails, and recovery hands back the node's live objects.  Default
+  everywhere; bit-identical to the pre-storage behaviour.
+* :class:`~repro.storage.simdisk.SimDiskStorage` — a simulated WAL-style
+  disk with checksummed records, a synced/unsynced frontier, and seeded
+  fault injection (lost unsynced suffix, torn tail, bit-flip corruption,
+  IO errors, fsync stalls).
+"""
+
+from repro.storage.base import DiskCorruptionError, DurableView, RecoveredState, Storage
+from repro.storage.ideal import IdealStorage
+from repro.storage.simdisk import DiskFaultConfig, SimDiskStorage
+
+__all__ = [
+    "DiskCorruptionError",
+    "DiskFaultConfig",
+    "DurableView",
+    "IdealStorage",
+    "RecoveredState",
+    "SimDiskStorage",
+    "Storage",
+]

@@ -1,0 +1,151 @@
+"""The storage contract the Raft node writes its hard state through.
+
+§5.2 of the Raft paper requires ``currentTerm``, ``votedFor`` and the log
+to be durable before a node *externalizes* them — before an AppendEntries
+response, a vote grant, or an InstallSnapshot ack leaves the node.  The
+node therefore never touches its persistent fields directly: every
+mutation is mirrored into a :class:`Storage` backend, and every
+externalizing reply is preceded by an explicit :meth:`Storage.sync`
+barrier (the fsync).  ``sync()`` returning ``False`` means the write
+failed or the node crashed at the persist point — the caller must abort
+without acking.
+
+Writes between barriers are *pending* (the unsynced WAL tail): a crash
+loses them, which is exactly the window the fuzzer's disk faults probe.
+
+The log side of the contract is the :class:`~repro.raft.log.WalJournal`
+protocol — :class:`~repro.raft.log.RaftLog` mirrors each of its own
+mutations into the attached journal, so storage sees appends, conflict
+truncations, compactions and wholesale snapshot resets in exactly the
+order the in-memory log applied them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Mapping, Protocol
+
+from repro.raft.log import RaftLog, Snapshot, WalJournal
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.raft.node import RaftNode
+
+__all__ = ["DiskCorruptionError", "DurableView", "RecoveredState", "Storage"]
+
+
+class DiskCorruptionError(Exception):
+    """Recovery found a checksum mismatch in the *synced* region.
+
+    A torn (partial) final record is repairable — it was never covered by
+    an acknowledged ``sync()``, so truncating it is safe.  Corruption at
+    or below the synced frontier is not: the node may already have acked
+    state it can no longer reproduce, so recovery must refuse and alarm
+    rather than silently truncate (etcd's strict WAL policy).
+    """
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class RecoveredState:
+    """What the disk actually holds, rebuilt at recovery time.
+
+    Attributes:
+        term / voted_for: the durable hard-state pair.
+        snapshot: the durable state-machine image, if any.
+        log: the rebuilt log (for :class:`~repro.storage.ideal.
+            IdealStorage` this is the node's live log object, unchanged).
+        wal_truncated: WAL records discarded as a torn/unsynced tail.
+        replayed: log records replayed into ``log``.
+    """
+
+    term: int
+    voted_for: str | None
+    snapshot: Snapshot | None
+    log: RaftLog
+    wal_truncated: int = 0
+    replayed: int = 0
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class DurableView:
+    """A point-in-time view of the *synced* region, for the safety oracle.
+
+    Captured by the :class:`~repro.scenarios.safety.SafetyChecker` at
+    crash time and compared against the node's recovered state: a synced
+    committed entry must survive every recovery, and term/vote must never
+    regress below their synced values.
+    """
+
+    term: int
+    voted_for: str | None
+    snapshot_index: int
+    base_index: int
+    base_term: int
+    entry_terms: Mapping[int, int]
+
+
+class Storage(Protocol):
+    """Durable-state backend contract (structural; see module docstring)."""
+
+    #: Backend tag ("ideal" / "simdisk") — recovery tracing keys on it.
+    kind: str
+    #: The journal the node attaches to its log (``None`` = no mirroring).
+    wal: WalJournal | None
+
+    def attach(self, node: "RaftNode") -> None:
+        """Bind the backend to its node (once, at construction)."""
+        ...
+
+    def save_hard_state(self, term: int, voted_for: str | None) -> None:
+        """Record a ``(currentTerm, votedFor)`` write (pending until sync)."""
+        ...
+
+    def save_snapshot(self, snapshot: Snapshot) -> None:
+        """Record a durable snapshot write (pending until sync)."""
+        ...
+
+    def sync(self) -> bool:
+        """Flush all pending records in order; the ack-after-sync barrier.
+
+        Returns ``False`` iff the write failed or the node crashed at the
+        persist point — the caller must stop without externalizing.
+        """
+        ...
+
+    def on_crash(self) -> None:
+        """Crash notification: the unsynced tail is lost (faults may
+        additionally tear the tail record or flip a durable bit)."""
+        ...
+
+    def recover(self) -> RecoveredState:
+        """Rebuild node state from the durable region.
+
+        Raises:
+            DiskCorruptionError: checksum mismatch below the synced
+                frontier — the node must refuse to rejoin.
+        """
+        ...
+
+    def durable_view(self) -> DurableView:
+        """Snapshot of the synced region (safety-oracle introspection)."""
+        ...
+
+
+def live_view(
+    term: int,
+    voted_for: str | None,
+    snapshot: Snapshot | None,
+    log: RaftLog,
+) -> DurableView:
+    """A :class:`DurableView` of live node state (everything durable).
+
+    Shared by :class:`~repro.storage.ideal.IdealStorage` (whose disk *is*
+    the live state) and tests.
+    """
+    return DurableView(
+        term=term,
+        voted_for=voted_for,
+        snapshot_index=snapshot.last_included_index if snapshot is not None else 0,
+        base_index=log.last_included_index,
+        base_term=log.last_included_term,
+        entry_terms={e.index: e.term for e in log.entries()},
+    )

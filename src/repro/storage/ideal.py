@@ -1,0 +1,68 @@
+"""The idealized disk: free writes, infallible fsync, perfect recovery.
+
+This backend reproduces the exact semantics the repo had before the
+storage abstraction existed — ``current_term``, ``voted_for``, the log
+and the snapshot simply survive a crash in memory.  Every mutation hook
+is a no-op, ``sync()`` always succeeds, and ``recover()`` hands the
+node's live objects straight back, so wiring it in changes no behaviour
+and no trace byte (the golden-seed digests pin this).
+
+It is also the hot-path-neutral default: the node's log keeps a ``None``
+journal (no per-append mirroring), and each sync barrier costs one
+method call returning a constant.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.raft.log import Snapshot, WalJournal
+from repro.storage.base import DurableView, RecoveredState, live_view
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.raft.node import RaftNode
+
+__all__ = ["IdealStorage"]
+
+
+class IdealStorage:
+    """Perfectly durable storage (see module docstring)."""
+
+    __slots__ = ("_node",)
+
+    kind: str = "ideal"
+    #: No journal: the live :class:`~repro.raft.log.RaftLog` *is* durable.
+    wal: WalJournal | None = None
+
+    def __init__(self) -> None:
+        self._node: "RaftNode | None" = None
+
+    def attach(self, node: "RaftNode") -> None:
+        self._node = node
+
+    def save_hard_state(self, term: int, voted_for: str | None) -> None:
+        pass
+
+    def save_snapshot(self, snapshot: Snapshot) -> None:
+        pass
+
+    def sync(self) -> bool:
+        return True
+
+    def on_crash(self) -> None:
+        pass
+
+    def recover(self) -> RecoveredState:
+        node = self._node
+        assert node is not None, "IdealStorage.recover() before attach()"
+        return RecoveredState(
+            term=node.current_term,
+            voted_for=node.voted_for,
+            snapshot=node.snapshot,
+            log=node.log,
+        )
+
+    def durable_view(self) -> DurableView:
+        node = self._node
+        assert node is not None, "IdealStorage.durable_view() before attach()"
+        return live_view(node.current_term, node.voted_for, node.snapshot, node.log)

@@ -60,6 +60,36 @@ def test_injected_bug_is_caught_and_shrinks_small(tmp_path):
     assert run_trial(loaded_cfg, scenario).violations == ()
 
 
+def test_ack_before_sync_bug_is_caught_and_shrinks_small(tmp_path):
+    """Durability acceptance gate: a lying persist barrier (acks leave
+    before the disk write lands) is caught once the power loss collects,
+    and the shrunk reproducer is small and clean without the bug."""
+    cfg = FuzzCampaignConfig(
+        n_trials=3,
+        seed=11,
+        inject="ack_before_sync",
+        inject_at_ms=9_000.0,
+        trial=FuzzTrialConfig(disk=True),
+    )
+    result = run(cfg)
+    assert result.failures, "oracle failed to catch the lying persist barrier"
+    assert any(
+        "committed" in v or "linearizability" in v
+        for rec in result.failures
+        for v in rec.violations
+    )
+    record = result.failures[0]
+    path, final_steps = shrink_failure(result, record, out_dir=str(tmp_path))
+    assert final_steps <= 5
+    loaded_cfg, scenario, payload = load_reproducer(path)
+    assert loaded_cfg.inject is None  # reproducers never carry the injection
+    assert loaded_cfg.disk  # ...but they do carry the storage backend
+    assert payload["meta"]["found_with_injected_bug"] == "ack_before_sync"
+    # With the "bug" absent, the minimized trial is clean: ack-after-sync
+    # really is what stood between the cluster and the violation.
+    assert run_trial(loaded_cfg, scenario).violations == ()
+
+
 def test_campaign_digest_depends_on_seed():
     a = run(FuzzCampaignConfig(n_trials=3, seed=1))
     b = run(FuzzCampaignConfig(n_trials=3, seed=2))

@@ -6,6 +6,7 @@ from repro.scenarios.steps import (
     STEP_TYPES,
     Churn,
     Crash,
+    DiskFault,
     Flap,
     Heal,
     Partition,
@@ -76,6 +77,15 @@ def test_churn_validation():
 # -- repeat expansion and extents ------------------------------------------ #
 
 
+def test_disk_fault_validation():
+    with pytest.raises(ValueError):
+        DiskFault(at_ms=0.0, node="a", p_crash_point=1.5)
+    with pytest.raises(ValueError):
+        DiskFault(at_ms=0.0, node="a", p_bitflip=-0.1)
+    with pytest.raises(ValueError):
+        DiskFault(at_ms=0.0, node="a", duration_ms=-1.0)
+
+
 def test_occurrence_times_without_repeat():
     assert SetRtt(at_ms=100.0, rtt_ms=50.0).occurrence_times() == [100.0]
 
@@ -107,6 +117,13 @@ ALL_STEPS = [
     Recover(at_ms=70.0, node="a"),
     Flap(at_ms=80.0, a="a", b="b", down_ms=100.0, repeat=Repeat(400.0, 5)),
     Churn(at_ms=90.0, nodes=("a", "b", "c"), down_ms=250.0, fault="pause"),
+    DiskFault(
+        at_ms=100.0,
+        node="a",
+        p_crash_point=0.2,
+        p_torn_tail=0.5,
+        duration_ms=4000.0,
+    ),
 ]
 
 
@@ -156,6 +173,7 @@ def test_registry_covers_the_vocabulary():
         "add_node",
         "remove_node",
         "replace_node",
+        "disk_fault",
     }
 
 

@@ -134,6 +134,7 @@ class RepolintConfig:
                     "RaftNode.__init__",
                     "RaftNode._become_follower",
                     "RaftNode._become_candidate",
+                    "RaftNode._restore_durable",
                 }
             ),
             "voted_for": frozenset(
@@ -142,6 +143,7 @@ class RepolintConfig:
                     "RaftNode._become_follower",
                     "RaftNode._become_candidate",
                     "RaftNode._grant_vote",
+                    "RaftNode._restore_durable",
                 }
             ),
             "_base_config": frozenset(
@@ -154,6 +156,43 @@ class RepolintConfig:
             "_config_log": frozenset(
                 {"RaftNode.__init__", "RaftNode.on_recover"}
             ),
+        }
+    )
+
+    # -- durable-write hygiene (rule family 6) ------------------------- #
+    #: Restricted log mutator -> qualified methods allowed to call it
+    #: (as ``<x>.log.<mutator>(...)`` or via a ``log`` alias).  These are
+    #: the storage-backed mutators whose persist barriers cover the
+    #: write; a call anywhere else mutates state the WAL never journals.
+    durable_log_mutators: dict[str, frozenset[str]] = dataclasses.field(
+        default_factory=lambda: {
+            "append_new": frozenset(
+                {
+                    "RaftNode._become_leader",
+                    "RaftNode._on_client_request",
+                    "RaftNode._flush_batch",
+                    "RaftNode.propose_config_change",
+                }
+            ),
+            "try_append": frozenset({"RaftNode._on_append_entries"}),
+            "compact": frozenset({"RaftNode._maybe_compact"}),
+            "install_snapshot": frozenset(
+                {
+                    "RaftNode._on_install_snapshot",
+                    "RaftNode._restore_durable",
+                }
+            ),
+        }
+    )
+    #: Qualified methods allowed to assign ``.snapshot`` (each pairs the
+    #: assignment with a covering ``storage.save_snapshot``).
+    durable_snapshot_writers: frozenset[str] = frozenset(
+        {
+            "RaftNode.__init__",
+            "RaftNode._restore_durable",
+            "RaftNode._send_snapshot",
+            "RaftNode._maybe_compact",
+            "RaftNode._on_install_snapshot",
         }
     )
 

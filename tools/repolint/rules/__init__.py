@@ -8,6 +8,7 @@ from tools.repolint.rules.determinism import (
     ForbiddenNondeterminismRule,
     UnorderedIterationRule,
 )
+from tools.repolint.rules.durability import DurableWriteRule
 from tools.repolint.rules.dispatch import (
     MessageDispatchRule,
     StepRegistryRule,
@@ -29,6 +30,7 @@ def rule_classes() -> list[type[Rule]]:
         MessageDispatchRule,
         StepRegistryRule,
         ProtectedStateRule,
+        DurableWriteRule,
     ]
 
 
