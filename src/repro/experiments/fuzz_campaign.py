@@ -95,6 +95,8 @@ class TrialRecord:
     disk_recoveries: int = 0
     wal_truncations: int = 0
     disk_corruptions: int = 0
+    gray_faults: int = 0
+    clock_skews: int = 0
 
     @property
     def ok(self) -> bool:
@@ -162,6 +164,8 @@ def _run_one(task: tuple[FuzzCampaignConfig, int]) -> TrialRecord:
         disk_recoveries=result.disk_recoveries,
         wal_truncations=result.wal_truncations,
         disk_corruptions=result.disk_corruptions,
+        gray_faults=result.gray_faults,
+        clock_skews=result.clock_skews,
     )
 
 
@@ -296,6 +300,22 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--gray",
+        nargs="?",
+        type=float,
+        const=0.6,
+        default=None,
+        metavar="PROB",
+        help=(
+            "give each generated scenario this probability of carrying a "
+            "gray fault (a one-way link block or an asymmetric loss/delay "
+            "degradation) and, independently, of carrying per-node clock "
+            "skew/drift windows (default 0.6 when the flag is bare); also "
+            "turns on lease reads + fast-path gets, since skewed clocks "
+            "stress exactly the lease-validity arithmetic"
+        ),
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help=(
@@ -342,6 +362,27 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--disk probability must be in (0, 1]")
         gen_overrides["p_disk_fault"] = args.disk
         trial = dataclasses.replace(trial, disk=True)
+    if args.gray is not None:
+        if not 0.0 < args.gray <= 1.0:
+            parser.error("--gray probability must be in (0, 1]")
+        gen_overrides["p_gray"] = args.gray
+        gen_overrides["p_clock_skew"] = args.gray
+        # Gray campaigns stress the read fast path: lease serving on, and
+        # one read-only observer client that stays parked on whichever
+        # node keeps answering — the client that notices a fenced-off
+        # leader serving stale lease reads.  The larger op budget keeps
+        # the observer issuing through late fault windows.
+        trial = dataclasses.replace(
+            trial,
+            lease_reads=True,
+            workload=dataclasses.replace(
+                trial.workload,
+                read_fastpath=True,
+                n_clients=4,
+                read_only_clients=1,
+                max_ops_per_client=120,
+            ),
+        )
     if args.serving:
         trial = dataclasses.replace(
             trial,
@@ -398,6 +439,15 @@ def main(argv: list[str] | None = None) -> int:
             f"{sum(t.wal_truncations for t in result.trials)} torn-tail "
             f"truncations, {sum(t.disk_corruptions for t in result.trials)} "
             "corruption refusals across the campaign"
+        )
+    if cfg.gen.p_gray > 0.0 or cfg.gen.p_clock_skew > 0.0:
+        print(
+            f"gray coverage: "
+            f"{sum(t.gray_faults for t in result.trials)} asymmetric link "
+            f"faults, {sum(t.clock_skews for t in result.trials)} clock "
+            f"set/skew windows, "
+            f"{sum(t.reads_lease for t in result.trials)} lease reads "
+            "across the campaign"
         )
     if args.digest:
         print(f"digest: {digest(result)}")

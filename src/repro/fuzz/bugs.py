@@ -28,6 +28,20 @@ checking, shrinking — actually fires end to end:
   :class:`~repro.scenarios.safety.SafetyChecker`'s no-committed-entry-loss
   property the overwritten slots; on ideal storage it is vacuous (the
   trial must run ``disk=True``).
+* ``stale_lease_under_skew`` — every leader's quorum-freshness
+  bookkeeping starts anchoring at its single *freshest* peer response
+  instead of the ``acks_needed``-th freshest; both consumers inherit the
+  bug (check-quorum never steps the leader down, and the lease check —
+  which additionally drops its drift margin — never lapses).  One chatty
+  peer is not a quorum: fence the leader off from everyone *but* that
+  peer (the gray-failure split) and the leader keeps serving lease reads
+  indefinitely while the majority elects a rival and commits new
+  writes — every lease read in that window returns stale data.  Clock
+  skew widens the exposure (a skewed anchor ages at the wrong rate),
+  which is what the dropped margin existed to absorb.  No safety
+  property trips — replicas never diverge; only the client-facing
+  linearizability oracle sees the stale read.  Vacuous unless the trial
+  runs ``lease_reads=True``.
 * ``greedy_remove`` — whenever a leader appends a ``remove`` config
   change, the resulting configuration silently sheds one *extra* voter,
   turning a one-at-a-time change into a two-at-a-time change whose old
@@ -49,6 +63,7 @@ from typing import Any
 from repro.cluster.builder import Cluster
 from repro.raft.log import LogEntry
 from repro.raft.state_machine import KVCommand, KVStore
+from repro.raft.types import Role
 from repro.sim.events import PRIORITY_CONTROL
 from repro.sim.process import ProcessState
 
@@ -59,7 +74,10 @@ BUG_KINDS: tuple[str, ...] = (
     "stale_apply",
     "greedy_remove",
     "ack_before_sync",
+    "stale_lease_under_skew",
 )
+
+_NEG_INF = float("-inf")
 
 
 def _commit_rewrite(cluster: Cluster) -> None:
@@ -172,6 +190,65 @@ def _ack_before_sync(cluster: Cluster, crash_after_ms: float = 2_000.0) -> None:
     )
 
 
+def _stale_lease_under_skew(cluster: Cluster) -> None:
+    """Break every node's quorum-freshness judgment at its root.
+
+    The (conceptual) bug is one line of bookkeeping: the leader judges
+    "am I still in contact with a quorum?" by its single *freshest*
+    voter-peer response instead of the ``acks_needed``-th freshest.  Both
+    consumers of that judgment inherit it — the check-quorum step-down
+    never fires while one chatty peer keeps acking heartbeats, and the
+    read lease (which additionally drops its drift margin) never lapses.
+    A leader fenced off from everyone but one peer therefore keeps
+    serving lease reads indefinitely while the shielded majority elects
+    a rival and commits past it; under clock skew even the honest
+    anchor ages at the wrong rate, which is what the dropped margin
+    existed to absorb.  No safety property trips — replicas never
+    diverge; only the client-facing linearizability oracle sees the
+    stale reads.  Vacuous unless the trial runs ``lease_reads=True``.
+    """
+    for name in sorted(cluster.nodes):
+        node = cluster.nodes[name]
+
+        def _freshest_ms(_node=node) -> float:
+            last = _node._last_peer_response
+            return max(
+                (last.get(p, _NEG_INF) for p in _node._voter_peers),
+                default=_NEG_INF,
+            )
+
+        def buggy_lease(_node=node, _freshest=_freshest_ms) -> bool:
+            if not _node.config.check_quorum:
+                return False
+            if _node.commit_index < _node._term_start_index:
+                return False
+            bound = _node.policy.lease_bound_ms()
+            if bound is None:
+                return False
+            if _node._acks_needed() == 0:
+                return True
+            # BUG: one fresh peer is not a quorum, and skipping the
+            # margin stops absorbing response flight time and skew.
+            return _node._now() - _freshest() < bound
+
+        def buggy_quorum_tick(
+            _node=node, _orig=node._quorum_tick, _freshest=_freshest_ms
+        ) -> None:
+            if _node.role is not Role.LEADER:
+                return
+            # BUG: the same freshest-anchor bookkeeping keeps check-quorum
+            # convinced the quorum is intact as long as anyone answers.
+            et = _node.policy.election_timeout_ms(None)
+            if _node._acks_needed() > 0 and _node._now() - _freshest() <= et:
+                _node._schedule_quorum_check()
+                return
+            _orig()
+
+        node._lease_valid_for_reads = buggy_lease  # type: ignore[method-assign]
+        node._quorum_tick = buggy_quorum_tick  # type: ignore[method-assign]
+        cluster.trace.record(cluster.loop.now, name, "bug_stale_lease_under_skew")
+
+
 def _greedy_remove(cluster: Cluster) -> None:
     """Make every leader's ``remove`` proposal shed one extra voter.
 
@@ -246,5 +323,10 @@ def install_bug(cluster: Cluster, kind: str, at_ms: float) -> None:
         cluster.loop.schedule_at(
             at_ms, lambda: _ack_before_sync(cluster), priority=PRIORITY_CONTROL
         )
+        return
+    if kind == "stale_lease_under_skew":
+        # Armed immediately; ``at_ms`` selects nothing — the trigger is a
+        # lease read served while gray-isolated from the quorum.
+        _stale_lease_under_skew(cluster)
         return
     raise ValueError(f"unknown bug kind {kind!r}; expected one of {BUG_KINDS}")

@@ -34,16 +34,19 @@ from repro.scenarios.scenario import Scenario
 from repro.scenarios.steps import (
     LEADER_SELECTOR,
     AddNode,
+    BlockLink,
     Churn,
     Crash,
     DiskFault,
     Flap,
+    GrayLink,
     Heal,
     Partition,
     Pause,
     Recover,
     RemoveNode,
     Repeat,
+    SetClock,
     SetLoss,
     SetRtt,
     Step,
@@ -106,6 +109,24 @@ class GenConfig:
             run (trials on ideal storage skip them).  Same zero-draw
             guarantee as the other optional patterns: ``0.0`` (the
             default) consumes nothing from the stream.
+        p_gray: probability a scenario additionally carries a *gray
+            fault* — an asymmetric link impairment (a one-direction
+            :class:`~repro.scenarios.steps.BlockLink`, or a
+            :class:`~repro.scenarios.steps.GrayLink` with heavy loss and
+            delay) over a finite window.  Same zero-draw guarantee:
+            ``0.0`` (the default) consumes nothing from the stream.
+        gray_loss_range: loss-rate range of a generated gray degradation.
+        gray_window_range_ms: duration range of a gray/one-way window.
+        p_clock_skew: probability a scenario additionally carries a
+            *clock-skew* pattern — :class:`~repro.scenarios.steps.
+            SetClock` steps giving one or two nodes an offset and drift,
+            usually snapped back to true later.  Offsets/drifts are kept
+            small enough (see ``clock_offset_range_ms`` /
+            ``clock_drift_max``) that un-injected campaigns stay inside
+            the lease drift margin — skew shifts timings without making
+            correct protocols fail.  Same zero-draw guarantee.
+        clock_offset_range_ms: absolute clock-step range (sign is drawn).
+        clock_drift_max: absolute drift-rate bound (sign is drawn).
     """
 
     n_nodes: int = 5
@@ -125,6 +146,12 @@ class GenConfig:
     p_membership: float = 0.0
     membership_gap_range_ms: tuple[float, float] = (4_000.0, 12_000.0)
     p_disk_fault: float = 0.0
+    p_gray: float = 0.0
+    gray_loss_range: tuple[float, float] = (0.6, 0.98)
+    gray_window_range_ms: tuple[float, float] = (2_000.0, 12_000.0)
+    p_clock_skew: float = 0.0
+    clock_offset_range_ms: tuple[float, float] = (10.0, 100.0)
+    clock_drift_max: float = 0.02
 
     def __post_init__(self) -> None:
         if self.n_nodes < 3:
@@ -141,6 +168,20 @@ class GenConfig:
             raise ValueError("p_membership must be in [0, 1]")
         if not (0.0 <= self.p_disk_fault <= 1.0):
             raise ValueError("p_disk_fault must be in [0, 1]")
+        if not (0.0 <= self.p_gray <= 1.0):
+            raise ValueError("p_gray must be in [0, 1]")
+        if not (0.0 <= self.p_clock_skew <= 1.0):
+            raise ValueError("p_clock_skew must be in [0, 1]")
+        g_lo, g_hi = self.gray_loss_range
+        if not (0.0 <= g_lo <= g_hi <= 1.0):
+            raise ValueError(
+                f"gray_loss_range must be an ascending range inside [0, 1], "
+                f"got {self.gray_loss_range!r}"
+            )
+        if not (0.0 <= self.clock_drift_max < 1.0):
+            raise ValueError(
+                f"clock_drift_max must be in [0, 1), got {self.clock_drift_max!r}"
+            )
         lo, hi = self.membership_gap_range_ms
         if not (0.0 < lo <= hi):
             raise ValueError(
@@ -159,6 +200,9 @@ class GenConfig:
         "flap_down_range_ms",
         "lag_range_ms",
         "membership_gap_range_ms",
+        "gray_loss_range",
+        "gray_window_range_ms",
+        "clock_offset_range_ms",
     )
 
     def to_dict(self) -> dict:
@@ -408,6 +452,96 @@ class ScenarioGen:
                 )
             )
 
+    def _gen_gray_split(
+        self, rng: np.random.Generator, at: float, duration: float, steps: list[Step]
+    ) -> None:
+        """Gray split: two concrete nodes lose every server↔server link to
+        the rest of the cluster (both directions) while all client links
+        stay perfect — the fenced pair cannot tell it has been cut off.
+        When the fire-time leader lands inside the pair this is the
+        stale-leader shape: the fenced leader keeps hearing one fresh
+        follower while the shielded majority elects a rival and commits,
+        which is exactly the window a broken lease check serves stale
+        reads into."""
+        cfg = self.config
+        names = cfg.node_names
+        i, j = rng.choice(cfg.n_nodes, size=2, replace=False)
+        fenced = {names[int(i)], names[int(j)]}
+        for inner in sorted(fenced):
+            for outer in names:
+                if outer in fenced:
+                    continue
+                steps.append(
+                    BlockLink(
+                        at_ms=at,
+                        a=inner,
+                        b=outer,
+                        direction="both",
+                        duration_ms=duration,
+                    )
+                )
+
+    def _gen_gray_fault(self, rng: np.random.Generator, steps: list[Step]) -> None:
+        """Asymmetric link faults: a one-direction block (can send, cannot
+        hear) or a gray degradation (heavy loss + delay, still trickling)
+        on one ordered pair, over a finite window — or, sometimes, a full
+        gray split (see :meth:`_gen_gray_split`)."""
+        cfg = self.config
+        lo, hi = cfg.gray_window_range_ms
+        at = _grid(float(rng.uniform(0.0, cfg.horizon_ms * 0.7)))
+        duration = _grid(float(rng.uniform(lo, hi)))
+        if float(rng.random()) < 0.35:
+            self._gen_gray_split(rng, at, duration, steps)
+            return
+        a, b = self._draw_pair(rng)
+        direction = ("a_to_b", "b_to_a")[int(rng.integers(2))]
+        if float(rng.random()) < 0.5:
+            steps.append(
+                BlockLink(
+                    at_ms=at,
+                    a=a,
+                    b=b,
+                    direction=direction,
+                    duration_ms=duration,
+                )
+            )
+        else:
+            g_lo, g_hi = cfg.gray_loss_range
+            steps.append(
+                GrayLink(
+                    at_ms=at,
+                    a=a,
+                    b=b,
+                    direction=direction,
+                    loss=float(round(float(rng.uniform(g_lo, g_hi)), 3)),
+                    one_way_ms=_grid(float(rng.uniform(20.0, 250.0))),
+                    duration_ms=duration,
+                )
+            )
+
+    def _gen_clock_skew(self, rng: np.random.Generator, steps: list[Step]) -> None:
+        """Clock skew: one or two concrete nodes get an offset + drift,
+        each usually snapped back to true before the horizon.  Magnitudes
+        stay under the lease drift margin so skew alone never makes a
+        correct protocol fail — it only moves the timings that planted
+        clock bugs hide behind."""
+        cfg = self.config
+        n_victims = int(rng.integers(1, 3))
+        picks = rng.choice(cfg.n_nodes, size=n_victims, replace=False)
+        for i in picks:
+            node = cfg.node_names[int(i)]
+            at = _grid(float(rng.uniform(0.0, cfg.horizon_ms * 0.5)))
+            o_lo, o_hi = cfg.clock_offset_range_ms
+            sign = 1.0 if float(rng.random()) < 0.5 else -1.0
+            offset = _grid(sign * float(rng.uniform(o_lo, o_hi)))
+            drift = float(
+                round(float(rng.uniform(-cfg.clock_drift_max, cfg.clock_drift_max)), 4)
+            )
+            steps.append(SetClock(at_ms=at, node=node, offset_ms=offset, drift=drift))
+            if float(rng.random()) < cfg.p_repair:
+                back_at = _grid(at + float(rng.uniform(2_000.0, 10_000.0)))
+                steps.append(SetClock(at_ms=back_at, node=node))
+
     def generate(self, seed: int) -> Scenario:
         """Generate the scenario for ``seed`` (pure: same seed, same bytes)."""
         cfg = self.config
@@ -427,6 +561,10 @@ class ScenarioGen:
             self._gen_membership(rng, steps)
         if cfg.p_disk_fault > 0.0 and float(rng.random()) < cfg.p_disk_fault:
             self._gen_disk_fault(rng, steps)
+        if cfg.p_gray > 0.0 and float(rng.random()) < cfg.p_gray:
+            self._gen_gray_fault(rng, steps)
+        if cfg.p_clock_skew > 0.0 and float(rng.random()) < cfg.p_clock_skew:
+            self._gen_clock_skew(rng, steps)
         scenario = Scenario(
             f"fuzz-{seed}",
             steps,

@@ -146,6 +146,10 @@ class TrialResult:
     disk_recoveries: int = 0
     wal_truncations: int = 0
     disk_corruptions: int = 0
+    #: Gray-fault / clock-skew coverage (0 with the gray knobs off):
+    #: applied one-way blocks + gray degradations, and applied clock sets.
+    gray_faults: int = 0
+    clock_skews: int = 0
 
     @property
     def ok(self) -> bool:
@@ -210,6 +214,7 @@ def run_trial(config: FuzzTrialConfig, scenario: Scenario) -> TrialResult:
     leaders = cluster.trace.of_kind("become_leader")
     steps = cluster.trace.of_kind("scenario_step")
     skipped = sum(1 for r in steps if r.get("skipped"))
+    applied_kinds = [r.get("step") for r in steps if not r.get("skipped")]
     ops = history.ops()
     return TrialResult(
         violations=tuple(violations),
@@ -249,4 +254,6 @@ def run_trial(config: FuzzTrialConfig, scenario: Scenario) -> TrialResult:
         disk_recoveries=len(cluster.trace.of_kind("disk_recover")),
         wal_truncations=len(cluster.trace.of_kind("wal_truncated")),
         disk_corruptions=len(cluster.trace.of_kind("disk_corruption")),
+        gray_faults=sum(1 for k in applied_kinds if k in ("block_link", "gray_link")),
+        clock_skews=sum(1 for k in applied_kinds if k == "set_clock"),
     )

@@ -52,6 +52,13 @@ class WorkloadConfig:
             ``False`` is the default and what every existing reproducer
             file implies — fast-path reads are *claimed* linearizable,
             and this knob puts that claim in front of the checker.
+        read_only_clients: the first this-many clients issue only gets
+            (monitors/dashboards — the consumers read leases exist for).
+            A read-only client never hits the write path's timeouts, so
+            it stays parked on whichever node keeps answering — exactly
+            the observer that notices a fenced-off leader serving stale
+            lease reads.  ``0`` is the default and what every existing
+            reproducer file implies.
         client_rtt_ms: client↔server RTT; ``None`` (the default, and what
             every existing reproducer file implies) keeps the cluster's
             pairwise RTT.  The serving bench sets it low to model clients
@@ -68,11 +75,14 @@ class WorkloadConfig:
     start_ms: float = 400.0
     max_ops_per_client: int = 40
     read_fastpath: bool = False
+    read_only_clients: int = 0
     client_rtt_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_clients < 1 or self.n_keys < 1:
             raise ValueError("workload needs >= 1 client and >= 1 key")
+        if not (0 <= self.read_only_clients <= self.n_clients):
+            raise ValueError("need 0 <= read_only_clients <= n_clients")
         if self.op_timeout_ms <= 0.0:
             raise ValueError("op_timeout_ms must be > 0")
         if not (0.0 <= self.p_put and 0.0 <= self.p_get and self.p_put + self.p_get <= 1.0):
@@ -146,16 +156,20 @@ class WorkloadDriver:
         rng = self._rngs[ci]
         client = self.clients[ci]
         key = f"k{int(rng.integers(cfg.n_keys)) + 1}"
-        draw = float(rng.random())
         seq = self._issued[ci]
         is_read = False
-        if draw < cfg.p_put:
-            command = kv_put(key, f"{client.name}:{seq}")
-        elif draw < cfg.p_put + cfg.p_get:
+        if ci < cfg.read_only_clients:
             command = kv_get(key)
             is_read = cfg.read_fastpath
         else:
-            command = kv_delete(key)
+            draw = float(rng.random())
+            if draw < cfg.p_put:
+                command = kv_put(key, f"{client.name}:{seq}")
+            elif draw < cfg.p_put + cfg.p_get:
+                command = kv_get(key)
+                is_read = cfg.read_fastpath
+            else:
+                command = kv_delete(key)
         self._issued[ci] = seq + 1
         self._settled[ci] = False
         client.submit(

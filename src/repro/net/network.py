@@ -171,6 +171,67 @@ class Network:
         for link in self._links.values():
             link.set_loss_rate(p)
 
+    def set_duplicate(self, a: str, b: str, p: float) -> None:
+        """Set the per-direction duplication probability between ``a``
+        and ``b`` (netem ``duplicate``, both directions)."""
+        self.link(a, b).duplicate_p = float(p)
+        self.link(b, a).duplicate_p = float(p)
+
+    def set_all_duplicate(self, p: float) -> None:
+        for link in self._links.values():
+            link.duplicate_p = float(p)
+
+    # -- asymmetric (gray) faults -------------------------------------- #
+    # A real gray failure is usually directional: a NIC that still sends
+    # but cannot hear, a congested egress queue, an asymmetric route.
+    # These helpers manipulate ONE directed link, unlike the symmetric
+    # pair-wise setters above.  Blocking reuses the link's administrative
+    # ``up`` flag, so the transmit hot path pays nothing new.
+
+    def block_direction(self, src: str, dst: str) -> None:
+        """Drop everything flowing ``src → dst`` (the ``dst → src``
+        direction is untouched — that is the whole point)."""
+        self.link(src, dst).up = False
+
+    def unblock_direction(self, src: str, dst: str) -> None:
+        self.link(src, dst).up = True
+
+    def degrade_direction(
+        self,
+        src: str,
+        dst: str,
+        *,
+        loss: float | None = None,
+        one_way_ms: float | None = None,
+    ) -> tuple[float, float]:
+        """Gray-degrade one direction: set its loss rate and/or base
+        one-way delay, returning the previous ``(loss_rate, one_way_ms)``
+        pair so the caller can restore them when the window closes."""
+        link = self.link(src, dst)
+        prev = (link.loss.rate(), link.one_way_ms)
+        if loss is not None:
+            link.set_loss_rate(loss)
+        if one_way_ms is not None:
+            link.delay.set_base(one_way_ms)
+        return prev
+
+    def connected(self, a: str, b: str) -> bool:
+        """Whether ``a`` and ``b`` are *mutually* connected: both directed
+        links installed and administratively up, neither direction fully
+        lossy, and no partition between them.  This is the liveness
+        oracle's notion of "could these two exchange a round trip" —
+        degraded-but-possible (loss < 1) still counts as connected, which
+        is exactly what makes gray failures gray."""
+        if self.partitioned(a, b):
+            return False
+        la = self._links.get((a, b))
+        lb = self._links.get((b, a))
+        if la is None or lb is None:
+            return False
+        return (
+            la.up and lb.up and la.loss.rate() < 1.0 and lb.loss.rate() < 1.0
+        )
+
     # ------------------------------------------------------------------ #
     # partitions
     # ------------------------------------------------------------------ #

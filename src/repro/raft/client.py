@@ -13,6 +13,7 @@ import dataclasses
 from typing import Any, Callable
 
 from repro.raft.messages import ClientReadRequest, ClientRequest, ClientResponse
+from repro.sim.clock import NodeClock
 from repro.sim.loop import EventLoop
 from repro.sim.tracing import TraceLog
 
@@ -84,6 +85,12 @@ class RaftClient:
         self.history = history
         self.resubmit_on_timeout = bool(resubmit_on_timeout)
         self.alive = True
+        # Clients always carry an identity clock: skew injection targets
+        # servers, and the linearizability oracle's history timestamps
+        # must stay in one shared frame.  Routing reads through it keeps
+        # the clock discipline uniform (``node-clock-hygiene``).
+        self.clock = NodeClock(loop)
+        self._now: Callable[[], float] = self.clock.now
 
         self.completed: list[CompletedRequest] = []
         self.failed: list[int] = []
@@ -121,10 +128,10 @@ class RaftClient:
         """
         req_id = self._next_id
         self._next_id += 1
-        state = [command, self.loop.now, 0, on_complete, None, read]
+        state = [command, self._now(), 0, on_complete, None, read]
         self._inflight[req_id] = state
         if self.history is not None:
-            self.history.invoke(self.name, req_id, command, self.loop.now)
+            self.history.invoke(self.name, req_id, command, self._now())
         self._transmit(req_id)
         return req_id
 
@@ -200,17 +207,17 @@ class RaftClient:
             self._rr = (self._rr + 1) % len(self.cluster)
             self._contact = self.cluster[self._rr]
             self.trace.record(
-                self.loop.now, self.name, "client_abandon", request=req_id
+                self._now(), self.name, "client_abandon", request=req_id
             )
             if self.history is not None:
-                self.history.abandon(self.name, req_id, self.loop.now)
+                self.history.abandon(self.name, req_id, self._now())
             return
         if state[2] > self.max_retries:
             del self._inflight[req_id]
             self.failed.append(req_id)
-            self.trace.record(self.loop.now, self.name, "client_giveup", request=req_id)
+            self.trace.record(self._now(), self.name, "client_giveup", request=req_id)
             if self.history is not None:
-                self.history.abandon(self.name, req_id, self.loop.now)
+                self.history.abandon(self.name, req_id, self._now())
             return
         # No answer: the contact may be dead or partitioned; rotate.
         self._rr = (self._rr + 1) % len(self.cluster)
@@ -230,14 +237,14 @@ class RaftClient:
                 request_id=resp.request_id,
                 command=command,
                 submitted_ms=submitted,
-                completed_ms=self.loop.now,
+                completed_ms=self._now(),
                 result=resp.result,
                 retries=retries,
             )
             self.completed.append(done)
             if self.history is not None:
                 self.history.complete(
-                    self.name, resp.request_id, resp.result, self.loop.now
+                    self.name, resp.request_id, resp.result, self._now()
                 )
             if on_complete is not None:
                 on_complete(done)
@@ -263,9 +270,9 @@ class RaftClient:
                 del self._inflight[resp.request_id]
                 self.failed.append(resp.request_id)
                 self.trace.record(
-                    self.loop.now, self.name, "client_giveup", request=resp.request_id
+                    self._now(), self.name, "client_giveup", request=resp.request_id
                 )
                 if self.history is not None:
-                    self.history.abandon(self.name, resp.request_id, self.loop.now)
+                    self.history.abandon(self.name, resp.request_id, self._now())
                 return
             self._transmit(resp.request_id)

@@ -79,6 +79,7 @@ from repro.raft.messages import (
 from repro.raft.metrics import NodeMetrics
 from repro.raft.state_machine import StateMachine
 from repro.raft.types import RaftConfig, Role
+from repro.sim.clock import NodeClock
 from repro.sim.loop import EventLoop
 from repro.sim.process import Process, ProcessState
 from repro.sim.tracing import TraceLog
@@ -140,6 +141,12 @@ class RaftNode(Process):
             through.  Defaults to :class:`~repro.storage.ideal.
             IdealStorage` — the idealized always-durable disk, bit-identical
             to the pre-storage behaviour.
+        clock: this node's local clock.  Defaults to an identity
+            :class:`~repro.sim.clock.NodeClock` (no skew, no drift) —
+            bit-identical to reading the loop clock directly.  All
+            protocol time reads and timer durations go through it, so
+            injected skew/drift affects this node's *view* of time while
+            the simulation clock stays the single physical truth.
     """
 
     def __init__(
@@ -156,8 +163,16 @@ class RaftNode(Process):
         cost_model: Any = None,
         initial_config: ClusterConfig | None = None,
         storage: Storage | None = None,
+        clock: NodeClock | None = None,
     ) -> None:
         super().__init__(loop, name, trace)
+        #: Local clock: every protocol time read and timer duration goes
+        #: through it (repolint's ``node-clock-hygiene`` keeps it that way).
+        self.clock: NodeClock = clock if clock is not None else NodeClock(loop)
+        # Hot-path caches: the local-time read and the local→sim duration
+        # conversion are bound methods, one attribute load per use.
+        self._now: Callable[[], float] = self.clock.now
+        self._clock_scale: Callable[[float], float] = self.clock.scale_duration
         if name not in peers:
             raise ValueError(f"peers must include the node itself ({name!r})")
         if initial_config is None:
@@ -326,7 +341,7 @@ class RaftNode(Process):
             # rejoin and stay down (etcd's strict WAL policy) — silently
             # truncating here could un-commit acknowledged entries.
             self.trace.record(
-                self.loop.now, self.name, "disk_corruption", error=str(exc)
+                self._now(), self.name, "disk_corruption", error=str(exc)
             )
             self.crash()
             return
@@ -335,7 +350,7 @@ class RaftNode(Process):
             # The crash skipped _teardown_leadership: flush the leader
             # half of the policy state (lease/report bookkeeping) so no
             # pre-crash leadership leaks into the new incarnation.
-            self.policy.on_step_down(self.loop.now)
+            self.policy.on_step_down(self._now())
         self.role = Role.FOLLOWER
         self.leader_id = None
         self.last_leader_contact = _NEG_INF
@@ -388,20 +403,20 @@ class RaftNode(Process):
         ]
         self._refresh_membership()
         self._commit = CommitTracker(self._acks_needed())
-        self.policy.on_leader_change(None, self.loop.now)
+        self.policy.on_leader_change(None, self._now())
         self._arm_election_timer()
         if self.storage.kind != "ideal":
             # Traced only for fallible backends so the ideal default stays
             # byte-identical to the pre-storage goldens.
             if durable.wal_truncated:
                 self.trace.record(
-                    self.loop.now,
+                    self._now(),
                     self.name,
                     "wal_truncated",
                     records=durable.wal_truncated,
                 )
             self.trace.record(
-                self.loop.now,
+                self._now(),
                 self.name,
                 "disk_recover",
                 term=self.current_term,
@@ -549,7 +564,7 @@ class RaftNode(Process):
         """
         if self.role is not Role.LEADER:
             return False
-        now = self.loop.now
+        now = self._now()
         reason: str | None = None
         new_cfg: ClusterConfig | None = None
         if self.config_change_in_flight():
@@ -682,7 +697,7 @@ class RaftNode(Process):
         if name in new.voters and name not in old.voters:
             self.metrics.promoted_to_voter += 1
         if self.role is Role.LEADER:
-            now = self.loop.now
+            now = self._now()
             for peer in sorted(new_members - old_members):
                 if peer == name:
                     continue
@@ -748,7 +763,7 @@ class RaftNode(Process):
         committing our own removal (dissertation §4.2.2)."""
         self.metrics.config_changes_committed += 1
         self.trace.record(
-            self.loop.now,
+            self._now(),
             self.name,
             "config_commit",
             index=index,
@@ -834,7 +849,7 @@ class RaftNode(Process):
         base = self.policy.election_timeout_ms(self.leader_id)
         randomized = base * (1.0 + self._rand())
         self.metrics.current_randomized_timeout_ms = randomized
-        self._election_timer.reset(randomized)
+        self._election_timer.reset(self._clock_scale(randomized))
 
     def _lease_valid(self) -> bool:
         """etcd's ``inLease``: protected contact with a live leader."""
@@ -845,7 +860,7 @@ class RaftNode(Process):
         if self.leader_id is None:
             return False
         et = self.policy.election_timeout_ms(self.leader_id)
-        return (self.loop.now - self.last_leader_contact) < et
+        return (self._now() - self.last_leader_contact) < et
 
     # ------------------------------------------------------------------ #
     # role transitions
@@ -880,13 +895,13 @@ class RaftNode(Process):
         prev_leader = self.leader_id
         self.leader_id = leader
         if prev_leader != leader:
-            self.policy.on_leader_change(leader, self.loop.now)
+            self.policy.on_leader_change(leader, self._now())
         self._arm_election_timer()
 
     def _teardown_leadership(self) -> None:
         self.metrics.step_downs += 1
         self.trace.record(
-            self.loop.now, self.name, "step_down", term=self.current_term
+            self._now(), self.name, "step_down", term=self.current_term
         )
         names = self._hb_timer_names
         for peer in self.peers:
@@ -895,7 +910,7 @@ class RaftNode(Process):
         self.timers.drop("quorum")
         self._hb_timers = {}
         self._hb_cache = {}
-        self.policy.on_step_down(self.loop.now)
+        self.policy.on_step_down(self._now())
         # Pending proposals can no longer be confirmed by this node.
         # (Keys are appended in increasing log-index order, so sorting is
         # a no-op today — it pins the response order against any future
@@ -942,7 +957,7 @@ class RaftNode(Process):
         had_leader = self.leader_id
         self.metrics.election_timeouts += 1
         self.trace.record(
-            self.loop.now,
+            self._now(),
             self.name,
             "election_timeout",
             term=self.current_term,
@@ -951,7 +966,7 @@ class RaftNode(Process):
             randomized_timeout_ms=self.metrics.current_randomized_timeout_ms,
         )
         # Fallback rule (§III-B): discard measurements, revert to defaults.
-        self.policy.on_election_timeout(self.loop.now)
+        self.policy.on_election_timeout(self._now())
         self.leader_id = None
         if self.config.prevote:
             self._start_prevote()
@@ -963,7 +978,7 @@ class RaftNode(Process):
         self._prevotes = {self.name}
         self.metrics.prevote_rounds += 1
         self.trace.record(
-            self.loop.now, self.name, "prevote_start", term=self.current_term
+            self._now(), self.name, "prevote_start", term=self.current_term
         )
         if len(self._prevotes) >= self.quorum:
             self._become_candidate()
@@ -987,7 +1002,7 @@ class RaftNode(Process):
         self._prevotes = set()
         self.metrics.elections_started += 1
         self.trace.record(
-            self.loop.now, self.name, "election_start", term=self.current_term
+            self._now(), self.name, "election_start", term=self.current_term
         )
         if not self._sync():
             return  # crashed persisting our own vote: never campaign on it
@@ -1009,15 +1024,15 @@ class RaftNode(Process):
         self.leader_id = self.name
         self.metrics.times_leader += 1
         self.trace.record(
-            self.loop.now, self.name, "become_leader", term=self.current_term
+            self._now(), self.name, "become_leader", term=self.current_term
         )
         self._election_timer.cancel()
-        self.policy.on_become_leader(self.loop.now)
+        self.policy.on_become_leader(self._now())
         self.next_index = {p: self.log.last_index + 1 for p in self.peers}
         self.match_index = {p: 0 for p in self.peers}
-        self._last_peer_response = {p: self.loop.now for p in self.peers}
+        self._last_peer_response = {p: self._now() for p in self.peers}
         self._inflight_appends = {p: 0 for p in self.peers}
-        self._last_append_response = {p: self.loop.now for p in self.peers}
+        self._last_append_response = {p: self._now() for p in self.peers}
         self._snapshot_inflight = {}
         self._commit = CommitTracker(self._acks_needed())
         self._hb_cache = {}
@@ -1050,7 +1065,9 @@ class RaftNode(Process):
                 interval *= self._rand()
             if self._hb_jitter_ms > 0.0:
                 interval += self._hb_jitter_ms * self._rand()
-            self.timers.timer("hb", self._heartbeat_tick_all).reset(interval)
+            self.timers.timer("hb", self._heartbeat_tick_all).reset(
+                self._clock_scale(interval)
+            )
             return
         interval = self.policy.heartbeat_interval_ms(peer)
         if first and self._hb_stagger:
@@ -1064,10 +1081,10 @@ class RaftNode(Process):
                 self._hb_timer_names[peer], self._hb_timer_cbs[peer]
             )
             self._hb_timers[peer] = timer
-        timer.reset(interval)
+        timer.reset(self._clock_scale(interval))
 
     def _send_heartbeat_to(self, peer: str) -> None:
-        meta = self.policy.heartbeat_meta(peer, self.loop.now)
+        meta = self.policy.heartbeat_meta(peer, self._now())
         term = self.current_term
         commit = self.commit_index
         match = self.match_index.get(peer, 0)
@@ -1107,7 +1124,7 @@ class RaftNode(Process):
             if self._state is not _RUNNING:
                 return  # crashed at the batch's persist point
         policy = self.policy
-        meta = policy.heartbeat_meta(peer, self.loop.now)
+        meta = policy.heartbeat_meta(peer, self._now())
         term = self.current_term
         commit = self.commit_index
         match = self.match_index.get(peer, 0)
@@ -1141,7 +1158,7 @@ class RaftNode(Process):
                 self._hb_timer_names[peer], self._hb_timer_cbs[peer]
             )
             self._hb_timers[peer] = timer
-        timer.reset(interval)
+        timer.reset(self._clock_scale(interval))
 
     def _heartbeat_tick_all(self) -> None:
         """Consolidated-timer beat: heartbeat every follower at once."""
@@ -1163,13 +1180,13 @@ class RaftNode(Process):
         # Keep the sampled randomizedTimeout meaningful for leaders too:
         # this is the value the leader would arm if it stepped down now.
         self.metrics.current_randomized_timeout_ms = et * (1.0 + self._rand())
-        self.timers.timer("quorum", self._quorum_tick).reset(et)
+        self.timers.timer("quorum", self._quorum_tick).reset(self._clock_scale(et))
 
     def _quorum_tick(self) -> None:
         if self.role is not Role.LEADER:
             return
         et = self.policy.election_timeout_ms(None)
-        now = self.loop.now
+        now = self._now()
         active = 1 if self.name in self._voters else 0
         last = self._last_peer_response
         get = last.get
@@ -1179,7 +1196,7 @@ class RaftNode(Process):
         if active < self.quorum:
             self.metrics.quorum_step_downs += 1
             self.trace.record(
-                self.loop.now,
+                self._now(),
                 self.name,
                 "quorum_lost",
                 term=self.current_term,
@@ -1197,7 +1214,7 @@ class RaftNode(Process):
     def _send_append(self, peer: str, *, force: bool = False) -> None:
         sent_at = self._snapshot_inflight.get(peer)
         if sent_at is not None:
-            if self.loop.now - sent_at <= self.APPEND_PIPELINE_STALL_MS:
+            if self._now() - sent_at <= self.APPEND_PIPELINE_STALL_MS:
                 return  # snapshot transfer in flight; wait for its ack
             del self._snapshot_inflight[peer]  # transfer presumed lost
         if self._pipelining and peer in self._append_probe:
@@ -1274,7 +1291,7 @@ class RaftNode(Process):
             )
             self.storage.save_snapshot(snap)
             self.metrics.snapshots_taken += 1
-        self._snapshot_inflight[peer] = self.loop.now
+        self._snapshot_inflight[peer] = self._now()
         req = InstallSnapshotRequest(
             self.current_term,
             self.name,
@@ -1291,7 +1308,7 @@ class RaftNode(Process):
         self.metrics.snapshots_sent += 1
         self._charge("snapshot_send")
         self.trace.record(
-            self.loop.now,
+            self._now(),
             self.name,
             "snapshot_send",
             to=peer,
@@ -1384,7 +1401,7 @@ class RaftNode(Process):
             return
         upto = self.last_applied - self._compaction_margin
         if self.role is Role.LEADER:
-            now = self.loop.now
+            now = self._now()
             et = self.policy.election_timeout_ms(None)
             last = self._last_peer_response
             match = self.match_index
@@ -1413,7 +1430,7 @@ class RaftNode(Process):
         self.metrics.compactions += 1
         self.metrics.entries_compacted += dropped
         self.trace.record(
-            self.loop.now,
+            self._now(),
             self.name,
             "log_compact",
             upto=upto,
@@ -1461,7 +1478,7 @@ class RaftNode(Process):
                 # Two leaders in one term would break election safety; the
                 # trace record lets invariant tests catch it loudly.
                 self.trace.record(
-                    self.loop.now,
+                    self._now(),
                     self.name,
                     "safety_violation_two_leaders",
                     term=term,
@@ -1478,16 +1495,16 @@ class RaftNode(Process):
         if self.leader_id != leader:
             prev = self.leader_id
             self.leader_id = leader
-            self.policy.on_leader_change(leader, self.loop.now)
+            self.policy.on_leader_change(leader, self._now())
             self.trace.record(
-                self.loop.now,
+                self._now(),
                 self.name,
                 "leader_observed",
                 term=term,
                 leader=leader,
                 previous=prev,
             )
-        self.last_leader_contact = self.loop.now
+        self.last_leader_contact = self._now()
 
     # -- heartbeats ----------------------------------------------------------- #
 
@@ -1509,7 +1526,7 @@ class RaftNode(Process):
                 channel=self._hb_channel,
             )
             return
-        now = self.loop.now
+        now = self._now()
         if (
             term == self.current_term
             and self.role is Role.FOLLOWER
@@ -1539,7 +1556,7 @@ class RaftNode(Process):
         self._rand_pos = pos + 1
         randomized = base * (1.0 + buf[pos])
         self.metrics.current_randomized_timeout_ms = randomized
-        self._election_timer.reset(randomized)
+        self._election_timer.reset(self._clock_scale(randomized))
         term = self.current_term
         lli = self.log.last_index
         if meta is None:
@@ -1570,7 +1587,7 @@ class RaftNode(Process):
         follower = m.follower
         if follower not in self.next_index:
             return  # straggler ack from a peer removed this reign
-        now = self.loop.now
+        now = self._now()
         self._last_peer_response[follower] = now
         self.policy.on_heartbeat_response(follower, m.meta, now)
         if cm is not None and m.meta is not None:
@@ -1586,7 +1603,7 @@ class RaftNode(Process):
             # send slots and the send/response chains would multiply.
             inflight = self._inflight_appends.get(follower, 0)
             stale = (
-                self.loop.now - self._last_append_response.get(follower, _NEG_INF)
+                self._now() - self._last_append_response.get(follower, _NEG_INF)
                 > self.APPEND_PIPELINE_STALL_MS
             )
             if inflight == 0 or stale:
@@ -1647,7 +1664,7 @@ class RaftNode(Process):
         follower = m.follower
         if follower not in self.next_index:
             return  # straggler ack from a peer removed this reign
-        now = self.loop.now
+        now = self._now()
         self._last_peer_response[follower] = now
         self._last_append_response[follower] = now
         inflight = self._inflight_appends.get(follower, 0)
@@ -1725,7 +1742,7 @@ class RaftNode(Process):
                 self._apply_membership_change(old, self._membership)
             self.metrics.snapshots_installed += 1
             self.trace.record(
-                self.loop.now,
+                self._now(),
                 self.name,
                 "snapshot_install",
                 snapshot_index=s_index,
@@ -1755,7 +1772,7 @@ class RaftNode(Process):
         follower = m.follower
         if follower not in self.next_index:
             return  # straggler ack from a peer removed this reign
-        now = self.loop.now
+        now = self._now()
         self._last_peer_response[follower] = now
         self._last_append_response[follower] = now
         self._snapshot_inflight.pop(follower, None)
@@ -1883,7 +1900,7 @@ class RaftNode(Process):
                 # First command of a fresh batch arms the window timer;
                 # with window 0 the next heartbeat beat flushes instead.
                 self.timers.timer("batch", self._flush_batch).reset(
-                    self._batch_window_ms
+                    self._clock_scale(self._batch_window_ms)
                 )
             return
         entry = self.log.append_new(self.current_term, m.command)
@@ -1955,7 +1972,7 @@ class RaftNode(Process):
                 return
             self.metrics.lease_fallbacks += 1
             self.trace.record(
-                self.loop.now, self.name, "lease_fallback", term=self.current_term
+                self._now(), self.name, "lease_fallback", term=self.current_term
             )
         if self._commit.acks_needed == 0:
             # Sole-voter: this log IS the quorum.  The current-term no-op
@@ -2018,7 +2035,7 @@ class RaftNode(Process):
         )
         if needed > len(times):
             return False
-        return self.loop.now - times[needed - 1] < duration
+        return self._now() - times[needed - 1] < duration
 
     def _start_read_round(self) -> None:
         """Open a ReadIndex round covering everything in the read buffer.
@@ -2059,7 +2076,7 @@ class RaftNode(Process):
         if follower in self.next_index:
             # An equal-term ack is leader-contact evidence like any other
             # response; it feeds check-quorum and the lease anchor.
-            self._last_peer_response[follower] = self.loop.now
+            self._last_peer_response[follower] = self._now()
         round_ = self._read_round
         if round_ is None or round_.seq != m.seq:
             return  # ack for an already-settled round

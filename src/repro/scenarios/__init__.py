@@ -18,19 +18,24 @@ from repro.scenarios.library import (
     build_scenario,
     scenario_names,
 )
+from repro.scenarios.liveness import LivenessChecker, LivenessViolation
 from repro.scenarios.safety import SafetyChecker
 from repro.scenarios.scenario import Scenario, ScenarioRuntime
 from repro.scenarios.steps import (
     LEADER_SELECTOR,
     STEP_TYPES,
+    BlockLink,
     Churn,
     Crash,
     Flap,
+    GrayLink,
     Heal,
     Partition,
     Pause,
     Recover,
     Repeat,
+    SetClock,
+    SetDuplicate,
     SetLoss,
     SetRtt,
     Step,
@@ -41,16 +46,22 @@ __all__ = [
     "Scenario",
     "ScenarioRuntime",
     "SafetyChecker",
+    "LivenessChecker",
+    "LivenessViolation",
     "Step",
     "Repeat",
     "SetRtt",
     "SetLoss",
+    "SetDuplicate",
     "Partition",
     "Heal",
     "Pause",
     "Crash",
     "Recover",
     "Flap",
+    "BlockLink",
+    "GrayLink",
+    "SetClock",
     "Churn",
     "LEADER_SELECTOR",
     "STEP_TYPES",

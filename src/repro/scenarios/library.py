@@ -24,6 +24,12 @@ The nine canonical entries:
 ``elastic_shrink``         members removed one at a time (optionally the
                            leader itself)
 ``elastic_replace_all``    rolling replacement of every original member
+``gray_leader_egress``     the leader's outbound paths gray-degraded (heavy
+                           loss + delay, return paths clean) over a duplicate
+                           -prone network
+``one_way_isolation``      one node's *ingress* blocked: it can campaign out
+                           but never hear back (the election-livelock shape)
+``drifting_clocks``        per-node clock steps and drift, then back to true
 ========================== ==================================================
 
 The three ``elastic_*`` scenarios are the dynamic-membership family: they
@@ -41,14 +47,18 @@ from repro.scenarios.scenario import Scenario
 from repro.scenarios.steps import (
     LEADER_SELECTOR,
     AddNode,
+    BlockLink,
     Churn,
     Flap,
+    GrayLink,
     Heal,
     Partition,
     Pause,
     RemoveNode,
     Repeat,
     ReplaceNode,
+    SetClock,
+    SetDuplicate,
     SetLoss,
     SetRtt,
 )
@@ -70,6 +80,9 @@ __all__ = [
     "elastic_grow",
     "elastic_shrink",
     "elastic_replace_all",
+    "gray_leader_egress",
+    "one_way_isolation",
+    "drifting_clocks",
 ]
 
 
@@ -412,6 +425,121 @@ def elastic_replace_all(
     )
 
 
+def gray_leader_egress(
+    names: Sequence[str],
+    *,
+    start_ms: float = 5_000.0,
+    hold_ms: float = 8_000.0,
+    loss: float = 0.9,
+    extra_delay_ms: float = 150.0,
+    duplicate_p: float = 0.02,
+) -> Scenario:
+    """Gray-degrade the leader's *outbound* paths; return paths stay clean.
+
+    The leader keeps hearing acks for the few appends that survive, so it
+    still believes it leads — but commit progress collapses.  With
+    ``check_quorum`` the leader notices its silence radius and steps down;
+    without it the cluster limps until the commit-stall oracle flags it.
+    A low background duplicate rate runs throughout (dedup must hold even
+    while the fault plays out).
+    """
+    names = _names(names)
+    steps = [SetDuplicate(at_ms=start_ms - 1_000.0, duplicate_p=duplicate_p)]
+    for peer in names:
+        # "@leader" resolves at fire time; the occurrence naming the
+        # leader itself is skipped (a == b), so covering every name
+        # grays exactly the leader's egress fan-out.
+        steps.append(
+            GrayLink(
+                at_ms=start_ms,
+                a=LEADER_SELECTOR,
+                b=peer,
+                direction="a_to_b",
+                loss=loss,
+                one_way_ms=extra_delay_ms,
+                duration_ms=hold_ms,
+            )
+        )
+    steps.append(SetDuplicate(at_ms=start_ms + hold_ms + 2_000.0, duplicate_p=0.0))
+    return Scenario(
+        "gray_leader_egress",
+        steps,
+        description="leader egress gray-degraded, return paths clean",
+    )
+
+
+def one_way_isolation(
+    names: Sequence[str],
+    *,
+    start_ms: float = 5_000.0,
+    hold_ms: float = 10_000.0,
+) -> Scenario:
+    """Block one node's *ingress* only: it speaks but cannot hear.
+
+    The victim's elections time out forever (no heartbeat reaches it), so
+    it campaigns with ever-growing terms that *do* reach the cluster —
+    without prevote each campaign deposes the live leader; with prevote
+    the disruption is contained and on heal the victim's inflated local
+    term never touches the cluster.
+    """
+    names = _names(names)
+    victim = names[-1]
+    steps = [
+        BlockLink(
+            at_ms=start_ms,
+            a=victim,
+            b=peer,
+            direction="b_to_a",
+            duration_ms=hold_ms,
+        )
+        for peer in names
+        if peer != victim
+    ]
+    return Scenario(
+        "one_way_isolation",
+        steps,
+        description="one node's ingress blocked; egress keeps working",
+    )
+
+
+def drifting_clocks(
+    names: Sequence[str],
+    *,
+    start_ms: float = 4_000.0,
+    hold_ms: float = 15_000.0,
+    max_offset_ms: float = 200.0,
+    max_drift: float = 0.02,
+) -> Scenario:
+    """Step and drift every node's clock, then snap all clocks back to true.
+
+    Offsets alternate sign and ramp up to ``max_offset_ms``; drifts do the
+    same up to ``max_drift`` — nodes disagree on both *when* and *how
+    fast*.  Raft's correctness never depends on synchronized clocks, so
+    safety must hold throughout; what skew does stress is everything
+    timeout-shaped (election spreads, lease validity margins).
+    """
+    names = _names(names)
+    n = len(names)
+    steps = []
+    for i, name in enumerate(names):
+        sign = 1.0 if i % 2 == 0 else -1.0
+        scale = (i + 1) / n
+        steps.append(
+            SetClock(
+                at_ms=start_ms,
+                node=name,
+                offset_ms=sign * max_offset_ms * scale,
+                drift=sign * max_drift * scale,
+            )
+        )
+        steps.append(SetClock(at_ms=start_ms + hold_ms, node=name))
+    return Scenario(
+        "drifting_clocks",
+        steps,
+        description="per-node clock steps and drift, then back to true",
+    )
+
+
 #: Name → builder for every canonical scenario.
 SCENARIO_BUILDERS: dict[str, Callable[..., Scenario]] = {
     "symmetric_split": symmetric_split,
@@ -426,6 +554,9 @@ SCENARIO_BUILDERS: dict[str, Callable[..., Scenario]] = {
     "elastic_grow": elastic_grow,
     "elastic_shrink": elastic_shrink,
     "elastic_replace_all": elastic_replace_all,
+    "gray_leader_egress": gray_leader_egress,
+    "one_way_isolation": one_way_isolation,
+    "drifting_clocks": drifting_clocks,
 }
 
 

@@ -38,6 +38,7 @@ class ScenarioRuntime:
         "trace",
         "membership_enabled",
         "_flap_tokens",
+        "_link_tokens",
     )
 
     def __init__(self, cluster: Cluster, *, membership_enabled: bool = True) -> None:
@@ -50,6 +51,7 @@ class ScenarioRuntime:
         #: with its membership knob off stays bit-identical.
         self.membership_enabled = membership_enabled
         self._flap_tokens: dict[tuple[str, str], int] = {}
+        self._link_tokens: dict[tuple[str, str, str], int] = {}
 
     def next_flap_token(self, a: str, b: str) -> int:
         """Start a new down-window on the ``a``↔``b`` link; returns its token.
@@ -66,6 +68,21 @@ class ScenarioRuntime:
     def flap_token(self, a: str, b: str) -> int:
         key = (a, b) if a <= b else (b, a)
         return self._flap_tokens.get(key, 0)
+
+    def next_link_token(self, family: str, src: str, dst: str) -> int:
+        """Directed-link cousin of :meth:`next_flap_token`: start a new
+        fault window of ``family`` (``"block"`` / ``"gray"``) on the
+        *ordered* ``src → dst`` link.  Direction-aware keys matter — a
+        window on ``a → b`` must not invalidate (or be cut short by) one
+        on ``b → a``; separate families keep a block's restore from
+        no-opping a gray window's and vice versa."""
+        key = (family, src, dst)
+        token = self._link_tokens.get(key, 0) + 1
+        self._link_tokens[key] = token
+        return token
+
+    def link_token(self, family: str, src: str, dst: str) -> int:
+        return self._link_tokens.get((family, src, dst), 0)
 
     def resolve(self, selector: str) -> str | None:
         """Selector → concrete node name (``None`` if unresolvable now)."""

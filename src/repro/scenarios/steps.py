@@ -8,12 +8,16 @@ in a config file as easily as in code.
 
 The step vocabulary spans all three impairment layers:
 
-* network weather — :class:`SetRtt`, :class:`SetLoss` (global or per-pair,
-  the generalized ``tc`` knobs);
+* network weather — :class:`SetRtt`, :class:`SetLoss`,
+  :class:`SetDuplicate` (global or per-pair, the generalized ``tc``
+  knobs);
 * connectivity — :class:`Partition`, :class:`Heal`, :class:`Flap` (one
-  link blinking down and up);
+  link blinking down and up), and the gray-failure pair
+  :class:`BlockLink` / :class:`GrayLink` (one *direction* blocked or
+  degraded — the asymmetric faults that livelock naive elections);
 * node faults — :class:`Pause`, :class:`Crash`, :class:`Recover`,
-  :class:`Churn` (a rolling crash/pause cycle over a node list).
+  :class:`Churn` (a rolling crash/pause cycle over a node list), and
+  :class:`SetClock` (skew/drift one node's local clock).
 
 Node references are *selectors*: either a concrete node name or the
 dynamic ``"@leader"``, resolved against the live cluster at the instant
@@ -44,12 +48,16 @@ __all__ = [
     "Step",
     "SetRtt",
     "SetLoss",
+    "SetDuplicate",
     "Partition",
     "Heal",
     "Pause",
     "Crash",
     "Recover",
     "Flap",
+    "BlockLink",
+    "GrayLink",
+    "SetClock",
     "Churn",
     "DiskFault",
     "AddNode",
@@ -261,9 +269,63 @@ class SetLoss(Step):
         return {"loss": self.loss, "a": a, "b": b}
 
 
+@dataclasses.dataclass(slots=True, frozen=True)
+class SetDuplicate(Step):
+    """Retarget UDP duplication probability — every link, or ``pair`` only.
+
+    Completes the network-weather trio (RTT / loss / duplication):
+    ``Link.duplicate_p`` existed from the start, but until this step no
+    timeline could drive it.  The paper's measurement design handles
+    duplicates explicitly (§III-C2), so weather scenarios should too.
+    """
+
+    kind: ClassVar[str] = "set_duplicate"
+    _TUPLE_FIELDS: ClassVar[tuple[str, ...]] = ("pair",)
+
+    at_ms: float
+    duplicate_p: float
+    pair: tuple[str, str] | None = None
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        if not (0.0 <= self.duplicate_p <= 1.0):
+            raise ValueError(
+                f"duplicate_p must be in [0, 1], got {self.duplicate_p!r}"
+            )
+        if self.pair is not None:
+            if len(self.pair) != 2:
+                raise ValueError(f"pair must name two nodes, got {self.pair!r}")
+            for sel in self.pair:
+                _check_selector(sel, "pair")
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        if self.pair is None:
+            rt.network.set_all_duplicate(self.duplicate_p)
+            return {"duplicate_p": self.duplicate_p}
+        a, b = (rt.resolve(s) for s in self.pair)
+        if a is None or b is None or a == b:
+            return {"skipped": True, "reason": "pair unresolved"}
+        rt.network.set_duplicate(a, b, self.duplicate_p)
+        return {"duplicate_p": self.duplicate_p, "a": a, "b": b}
+
+
 # --------------------------------------------------------------------- #
 # connectivity
 # --------------------------------------------------------------------- #
+
+_DIRECTIONS = ("both", "a_to_b", "b_to_a")
+
+
+def _resolve_directions(
+    direction: str, a: str, b: str
+) -> list[tuple[str, str]]:
+    """The ordered ``(src, dst)`` links a directional step touches."""
+    if direction == "a_to_b":
+        return [(a, b)]
+    if direction == "b_to_a":
+        return [(b, a)]
+    return [(a, b), (b, a)]
 
 
 @dataclasses.dataclass(slots=True, frozen=True)
@@ -368,6 +430,156 @@ class Flap(Step):
 
         rt.loop.schedule(self.down_ms, _up, priority=PRIORITY_CONTROL)
         return {"a": a, "b": b, "down_ms": self.down_ms}
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class BlockLink(Step):
+    """Block the ``a``↔``b`` link in one (or both) directions.
+
+    The asymmetric cousin of :class:`Flap`: ``direction="a_to_b"`` drops
+    only traffic flowing ``a → b`` while the return path stays perfect —
+    the "can send but cannot hear" gray failure that livelocks naive
+    elections (the isolated node campaigns forever; its ever-growing
+    terms still reach the cluster).  ``duration_ms=None`` blocks for the
+    rest of the run; a finite window restores only the directions this
+    occurrence blocked, guarded by per-direction tokens so an overlapping
+    later block wins.
+    """
+
+    kind: ClassVar[str] = "block_link"
+
+    at_ms: float
+    a: str
+    b: str
+    direction: str = "both"
+    duration_ms: float | None = None
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        _check_selector(self.a, "a")
+        _check_selector(self.b, "b")
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS}, got {self.direction!r}"
+            )
+        if self.duration_ms is not None and self.duration_ms <= 0.0:
+            raise ValueError(
+                f"duration_ms must be > 0 or None, got {self.duration_ms!r}"
+            )
+
+    def effect_duration_ms(self) -> float:
+        return self.duration_ms if self.duration_ms is not None else 0.0
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        a, b = rt.resolve(self.a), rt.resolve(self.b)
+        if a is None or b is None or a == b:
+            return {"skipped": True, "reason": "pair unresolved"}
+        net = rt.network
+        # Tokens are minted even for a permanent block: it must invalidate
+        # any earlier finite window's pending restore on the same link.
+        armed = []
+        for src, dst in _resolve_directions(self.direction, a, b):
+            net.block_direction(src, dst)
+            armed.append((src, dst, rt.next_link_token("block", src, dst)))
+        if self.duration_ms is not None:
+
+            def _unblock() -> None:
+                for src, dst, token in armed:
+                    if rt.link_token("block", src, dst) == token:
+                        net.unblock_direction(src, dst)
+
+            rt.loop.schedule(self.duration_ms, _unblock, priority=PRIORITY_CONTROL)
+        return {
+            "a": a,
+            "b": b,
+            "direction": self.direction,
+            "duration_ms": self.duration_ms,
+        }
+
+
+@dataclasses.dataclass(slots=True, frozen=True)
+class GrayLink(Step):
+    """Gray-degrade the ``a``↔``b`` link: heavy loss and/or delay, one way.
+
+    Unlike :class:`BlockLink` the link still *works* — packets trickle
+    through — which is exactly what makes gray failures hard: failure
+    detectors keyed on total silence never fire, while quorum progress
+    collapses.  ``loss`` (a rate, not a blackout) and ``one_way_ms`` (the
+    direction's new base one-way delay) apply to each affected direction;
+    a finite ``duration_ms`` restores the previous values afterwards,
+    token-guarded per direction like :class:`BlockLink`.
+    """
+
+    kind: ClassVar[str] = "gray_link"
+
+    at_ms: float
+    a: str
+    b: str
+    direction: str = "a_to_b"
+    loss: float | None = None
+    one_way_ms: float | None = None
+    duration_ms: float | None = None
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        _check_selector(self.a, "a")
+        _check_selector(self.b, "b")
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS}, got {self.direction!r}"
+            )
+        if self.loss is None and self.one_way_ms is None:
+            raise ValueError("gray_link needs loss and/or one_way_ms")
+        if self.loss is not None and not (0.0 <= self.loss <= 1.0):
+            raise ValueError(f"loss must be in [0, 1], got {self.loss!r}")
+        if self.one_way_ms is not None and self.one_way_ms < 0.0:
+            raise ValueError(
+                f"one_way_ms must be >= 0, got {self.one_way_ms!r}"
+            )
+        if self.duration_ms is not None and self.duration_ms <= 0.0:
+            raise ValueError(
+                f"duration_ms must be > 0 or None, got {self.duration_ms!r}"
+            )
+
+    def effect_duration_ms(self) -> float:
+        return self.duration_ms if self.duration_ms is not None else 0.0
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        a, b = rt.resolve(self.a), rt.resolve(self.b)
+        if a is None or b is None or a == b:
+            return {"skipped": True, "reason": "pair unresolved"}
+        net = rt.network
+        armed = []
+        for src, dst in _resolve_directions(self.direction, a, b):
+            prev = net.degrade_direction(
+                src, dst, loss=self.loss, one_way_ms=self.one_way_ms
+            )
+            armed.append((src, dst, prev, rt.next_link_token("gray", src, dst)))
+        if self.duration_ms is not None:
+            restore_loss = self.loss is not None
+            restore_delay = self.one_way_ms is not None
+
+            def _restore() -> None:
+                for src, dst, prev, token in armed:
+                    if rt.link_token("gray", src, dst) == token:
+                        net.degrade_direction(
+                            src,
+                            dst,
+                            loss=prev[0] if restore_loss else None,
+                            one_way_ms=prev[1] if restore_delay else None,
+                        )
+
+            rt.loop.schedule(self.duration_ms, _restore, priority=PRIORITY_CONTROL)
+        return {
+            "a": a,
+            "b": b,
+            "direction": self.direction,
+            "loss": self.loss,
+            "one_way_ms": self.one_way_ms,
+            "duration_ms": self.duration_ms,
+        }
 
 
 # --------------------------------------------------------------------- #
@@ -607,6 +819,47 @@ class DiskFault(Step):
         }
 
 
+@dataclasses.dataclass(slots=True, frozen=True)
+class SetClock(Step):
+    """Skew ``node``'s local clock: fixed ``offset_ms`` plus ``drift`` rate.
+
+    Applies to the node's live :class:`~repro.sim.clock.NodeClock` — its
+    view of time shifts while the simulation clock (the physics) is
+    untouched.  ``SetClock(offset_ms=0, drift=0)`` restores the identity
+    clock.  The effect persists until the next ``SetClock`` on the same
+    node; already-armed timers keep their old deadlines (a clock step on
+    a real host does not re-fire armed timers either).
+    """
+
+    kind: ClassVar[str] = "set_clock"
+
+    at_ms: float
+    node: str
+    offset_ms: float = 0.0
+    drift: float = 0.0
+    repeat: Repeat | None = None
+
+    def __post_init__(self) -> None:
+        self._validate_base()
+        _check_selector(self.node, "node")
+        if not self.drift > -1.0:  # also rejects NaN
+            raise ValueError(f"drift must be > -1, got {self.drift!r}")
+
+    def apply(self, rt: "ScenarioRuntime", occurrence: int) -> dict[str, Any]:
+        proc = rt.process(self.node)
+        if proc is None:
+            return {"skipped": True, "reason": "node unresolved"}
+        clock = getattr(proc, "clock", None)
+        if clock is None:
+            return {"skipped": True, "reason": f"node {proc.name} has no clock"}
+        clock.set(offset_ms=self.offset_ms, drift=self.drift)
+        return {
+            "target": proc.name,
+            "offset_ms": self.offset_ms,
+            "drift": self.drift,
+        }
+
+
 # --------------------------------------------------------------------- #
 # dynamic membership
 # --------------------------------------------------------------------- #
@@ -819,12 +1072,16 @@ STEP_TYPES: dict[str, type[Step]] = {
     for cls in (
         SetRtt,
         SetLoss,
+        SetDuplicate,
         Partition,
         Heal,
         Pause,
         Crash,
         Recover,
         Flap,
+        BlockLink,
+        GrayLink,
+        SetClock,
         Churn,
         DiskFault,
         AddNode,

@@ -22,11 +22,13 @@ The paper's experiments ran on a single physical machine precisely so that a
 single hardware clock timestamps every server's log (§IV-A).  A virtual clock
 is the limit of that design: all nodes share one exact clock, so detection
 and out-of-service intervals are measured with zero error.  (The geo
-experiment of Fig. 8 deliberately re-introduces per-node clock offsets; see
-:mod:`repro.net.topology`.)
+experiment of Fig. 8 deliberately re-introduces per-node clock offsets at
+measurement-extraction time; see :mod:`repro.net.topology`.  Live per-node
+skew/drift *inside* the protocol is :class:`~repro.sim.clock.NodeClock`,
+identity by default.)
 """
 
-from repro.sim.clock import VirtualClock
+from repro.sim.clock import NodeClock, VirtualClock
 from repro.sim.events import Event, EventHandle
 from repro.sim.loop import EventLoop, SimulationError
 from repro.sim.process import Process
@@ -38,6 +40,7 @@ __all__ = [
     "Event",
     "EventHandle",
     "EventLoop",
+    "NodeClock",
     "Process",
     "RngRegistry",
     "SimulationError",

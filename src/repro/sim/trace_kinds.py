@@ -22,6 +22,7 @@ TRACE_KINDS: frozenset[str] = frozenset(
         "bug_ack_before_sync",
         "bug_commit_rewrite",
         "bug_greedy_remove",
+        "bug_stale_lease_under_skew",
         "client_abandon",
         "client_giveup",
         "config_append",
@@ -40,6 +41,9 @@ TRACE_KINDS: frozenset[str] = frozenset(
         "fault_recover",
         "leader_observed",
         "lease_fallback",
+        "liveness_commit_stall",
+        "liveness_election_livelock",
+        "liveness_no_leader",
         "log_compact",
         "membership_giveup",
         "node_decommissioned",

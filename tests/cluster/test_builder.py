@@ -82,3 +82,32 @@ def test_alive_nodes_excludes_paused():
     c = make_raft_cluster(3)
     c.node("n1").pause()
     assert len(c.alive_nodes()) == 2
+
+
+def test_clock_knobs_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(n_nodes=3, clock_skew_ms=-1.0)
+    with pytest.raises(ValueError):
+        ClusterConfig(n_nodes=3, clock_drift=1.0)
+
+
+def test_default_clocks_are_identity():
+    c = make_raft_cluster(3)
+    for name in c.names:
+        clock = c.node(name).clock
+        assert not clock.skewed
+        assert clock.now() == c.loop.now
+
+
+def test_clock_skew_knobs_build_bounded_per_node_clocks():
+    c = make_raft_cluster(3, clock_skew_ms=80.0, clock_drift=0.01)
+    offsets = set()
+    for name in c.names:
+        clock = c.node(name).clock
+        assert abs(clock.offset_ms) <= 80.0
+        assert abs(clock.drift) <= 0.01
+        offsets.add(clock.offset_ms)
+    # Per-node streams: the draws differ across nodes.
+    assert len(offsets) > 1
+    # Skewed clusters still elect — skew shifts timings, not correctness.
+    assert c.run_until_leader(timeout_ms=20_000) is not None

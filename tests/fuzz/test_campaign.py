@@ -8,9 +8,11 @@ from repro.experiments.fuzz_campaign import (
     run,
     shrink_failure,
 )
+from repro.fuzz.generator import GenConfig
 from repro.fuzz.oracle import FuzzTrialConfig
 from repro.fuzz.shrinker import load_reproducer
 from repro.fuzz.oracle import run_trial
+from repro.fuzz.workload import WorkloadConfig
 
 
 def test_small_campaign_is_clean_and_deterministic():
@@ -87,6 +89,48 @@ def test_ack_before_sync_bug_is_caught_and_shrinks_small(tmp_path):
     assert payload["meta"]["found_with_injected_bug"] == "ack_before_sync"
     # With the "bug" absent, the minimized trial is clean: ack-after-sync
     # really is what stood between the cluster and the violation.
+    assert run_trial(loaded_cfg, scenario).violations == ()
+
+
+def test_stale_lease_bug_is_caught_and_shrinks_small(tmp_path):
+    """Gray-failure acceptance gate: a broken quorum-freshness judgment
+    (one chatty peer keeps a fenced-off leader's check-quorum and read
+    lease alive) is invisible to every safety property — replicas never
+    diverge — but the gray fuzz profile's read-only observer catches the
+    stale lease reads as a linearizability violation, and the shrunk
+    reproducer is small and clean without the bug."""
+    cfg = FuzzCampaignConfig(
+        n_trials=3,
+        seed=11,
+        inject="stale_lease_under_skew",
+        gen=GenConfig(p_gray=0.6, p_clock_skew=0.6),
+        trial=FuzzTrialConfig(
+            lease_reads=True,
+            workload=WorkloadConfig(
+                read_fastpath=True,
+                n_clients=4,
+                read_only_clients=1,
+                max_ops_per_client=120,
+            ),
+        ),
+    )
+    result = run(cfg)
+    assert result.failures, "oracle failed to catch the stale-lease bug"
+    assert all(
+        v.startswith("linearizability:")
+        for rec in result.failures
+        for v in rec.violations
+    ), "only the client-facing oracle should see stale lease reads"
+    record = result.failures[0]
+    path, final_steps = shrink_failure(result, record, out_dir=str(tmp_path))
+    assert final_steps <= 5
+    loaded_cfg, scenario, payload = load_reproducer(path)
+    assert loaded_cfg.inject is None  # reproducers never carry the injection
+    assert loaded_cfg.lease_reads  # ...but they do carry the serving knobs
+    assert payload["meta"]["found_with_injected_bug"] == "stale_lease_under_skew"
+    # With the "bug" absent, the minimized trial is clean: the quorum-th
+    # freshest anchor (and its drift margin) really is what stood between
+    # the fenced leader and the stale reads.
     assert run_trial(loaded_cfg, scenario).violations == ()
 
 

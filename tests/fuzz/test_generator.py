@@ -67,6 +67,8 @@ def test_generated_values_are_builtin_types(gen):
 def test_config_roundtrip():
     cfg = GenConfig(n_nodes=7, horizon_ms=12_000.0, conflict_bias=0.8)
     assert GenConfig.from_dict(cfg.to_dict()) == cfg
+    gray = GenConfig(p_gray=0.6, p_clock_skew=0.4, gray_loss_range=(0.7, 0.9))
+    assert GenConfig.from_dict(gray.to_dict()) == gray
 
 
 def test_config_validation():
@@ -76,3 +78,88 @@ def test_config_validation():
         GenConfig(min_steps=5, max_steps=3)
     with pytest.raises(ValueError):
         GenConfig(conflict_bias=1.5)
+    with pytest.raises(ValueError):
+        GenConfig(p_gray=1.5)
+    with pytest.raises(ValueError):
+        GenConfig(gray_loss_range=(0.9, 0.6))
+    with pytest.raises(ValueError):
+        GenConfig(clock_drift_max=1.0)
+
+
+# --------------------------------------------------------------------- #
+# gray-fault / clock-skew patterns
+# --------------------------------------------------------------------- #
+
+
+def _kinds(scenario):
+    return [s["kind"] for s in scenario.to_dict()["steps"]]
+
+
+def test_gray_and_skew_knobs_default_to_zero_draws(gen):
+    """The zero-draw guarantee: with the knobs at their 0.0 defaults no
+    gray/skew step ever appears AND the primary timeline is untouched —
+    turning a knob on only *appends* pattern steps after the primaries
+    every pre-existing seed already pins."""
+    hot = ScenarioGen(GenConfig(p_gray=1.0, p_clock_skew=1.0))
+    for seed in SEEDS[:15]:
+        base = gen.generate(seed)
+        assert not {"block_link", "gray_link", "set_clock"} & set(_kinds(base))
+        spiced = hot.generate(seed)
+        base_steps = base.to_dict()["steps"]
+        assert spiced.to_dict()["steps"][: len(base_steps)] == base_steps
+
+
+def test_gray_faults_are_present_and_well_shaped():
+    cfg = GenConfig(p_gray=1.0)
+    gen = ScenarioGen(cfg)
+    split_seen = False
+    for seed in SEEDS:
+        steps = gen.generate(seed).to_dict()["steps"]
+        gray = [s for s in steps if s["kind"] in ("block_link", "gray_link")]
+        assert gray, f"seed {seed} drew no gray fault at p_gray=1.0"
+        lo, hi = cfg.gray_window_range_ms
+        for s in gray:
+            assert lo <= s["duration_ms"] <= hi
+            if s["kind"] == "gray_link":
+                g_lo, g_hi = cfg.gray_loss_range
+                # A gray link trickles — never loss 1.0 (that is a block).
+                assert g_lo <= s["loss"] <= g_hi < 1.0
+        # A gray split fences two concrete nodes with 2*(n-2) directed-
+        # both blocks sharing one window.
+        if len(gray) == 2 * (cfg.n_nodes - 2):
+            fenced = {s["a"] for s in gray}
+            assert len(fenced) == 2
+            assert all(s["direction"] == "both" for s in gray)
+            assert len({(s["at_ms"], s["duration_ms"]) for s in gray}) == 1
+            split_seen = True
+    assert split_seen, "no seed in the sweep produced a gray split"
+
+
+def test_clock_skew_pattern_magnitudes_and_repair():
+    cfg = GenConfig(p_clock_skew=1.0)
+    gen = ScenarioGen(cfg)
+    repaired = False
+    for seed in SEEDS[:25]:
+        steps = gen.generate(seed).to_dict()["steps"]
+        skews = [s for s in steps if s["kind"] == "set_clock"]
+        assert skews
+        o_lo, o_hi = cfg.clock_offset_range_ms
+        by_node = {}
+        for s in skews:
+            if s["offset_ms"] == 0.0 and s["drift"] == 0.0:
+                # Repair: snaps an earlier skew on the same node back.
+                assert s["at_ms"] > by_node[s["node"]]
+                repaired = True
+            else:
+                assert o_lo <= abs(s["offset_ms"]) <= o_hi
+                assert abs(s["drift"]) <= cfg.clock_drift_max
+                by_node[s["node"]] = s["at_ms"]
+    assert repaired, "no clock-skew repair seen across the sweep"
+
+
+def test_gray_and_skew_scenarios_roundtrip():
+    gen = ScenarioGen(GenConfig(p_gray=1.0, p_clock_skew=1.0))
+    for seed in SEEDS[:10]:
+        scenario = gen.generate(seed)
+        blob = scenario.to_json()
+        assert Scenario.from_json(blob).to_json() == blob

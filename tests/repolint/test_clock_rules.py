@@ -1,0 +1,120 @@
+"""Rule family 7 (node-clock hygiene): no raw loop.now in protocol code."""
+
+import dataclasses
+
+from conftest import lint, rule_hits
+
+from tools.repolint import DEFAULT_CONFIG
+from tools.repolint.rules.clock import NodeClockRule
+
+RULES = [NodeClockRule(DEFAULT_CONFIG)]
+
+
+def test_adapter_reads_pass(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/node.py": """\
+            class RaftNode:
+                def __init__(self, loop, clock) -> None:
+                    self.clock = clock
+                    self._now = self.clock.now
+
+                def _tick(self) -> None:
+                    t = self._now()
+                    frame = self.clock.sim_now()
+                    d = self.clock.scale_duration(300.0)
+            """
+        },
+        rules=RULES,
+    )
+    assert report.findings == []
+
+
+def test_raw_loop_now_is_flagged(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/node.py": """\
+            class RaftNode:
+                def _tick(self) -> None:
+                    t = self.loop.now
+            """
+        },
+        rules=RULES,
+    )
+    (hit,) = rule_hits(report, "node-clock-hygiene")
+    assert hit.symbol == "loop.now"
+    assert "_tick" in hit.message
+
+
+def test_aliased_and_private_loop_reads_are_flagged(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "repro/dynatune/policy.py": """\
+            class DynatunePolicy:
+                def _measure(self) -> None:
+                    t = self._loop.now
+
+                def _aliased(self) -> None:
+                    loop = self._loop
+                    t = loop.now
+            """
+        },
+        rules=RULES,
+    )
+    hits = rule_hits(report, "node-clock-hygiene")
+    assert len(hits) == 2
+    assert {h.symbol for h in hits} == {"loop.now", "_loop.now"}
+
+
+def test_out_of_scope_modules_are_ignored(tmp_path):
+    # The sim kernel, network and scenario layers legitimately live in
+    # simulation-frame time; only the protocol layers are confined.
+    report = lint(
+        tmp_path,
+        {
+            "repro/sim/timers.py": "def now(loop):\n    return loop.now\n",
+            "repro/net/network.py": "def stamp(loop):\n    return loop.now\n",
+            "repro/scenarios/steps.py": "def at(loop):\n    return loop.now\n",
+        },
+        rules=RULES,
+    )
+    assert report.findings == []
+
+
+def test_exempt_method_is_honored(tmp_path):
+    config = dataclasses.replace(
+        DEFAULT_CONFIG, clock_exempt=frozenset({"RaftNode._boot"})
+    )
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/node.py": """\
+            class RaftNode:
+                def _boot(self) -> None:
+                    t = self.loop.now
+            """
+        },
+        rules=[NodeClockRule(config)],
+        config=config,
+    )
+    assert report.findings == []
+
+
+def test_unrelated_now_attributes_pass(tmp_path):
+    # `.now` off a non-loop receiver (the clock itself, a stats object)
+    # is not a violation — the rule keys on the loop receiver names.
+    report = lint(
+        tmp_path,
+        {
+            "repro/raft/client.py": """\
+            class RaftClient:
+                def _stamp(self) -> float:
+                    return self.clock.now()
+            """
+        },
+        rules=RULES,
+    )
+    assert report.findings == []

@@ -169,6 +169,10 @@ def test_registry_covers_the_vocabulary():
         "crash",
         "recover",
         "flap",
+        "block_link",
+        "gray_link",
+        "set_clock",
+        "set_duplicate",
         "churn",
         "add_node",
         "remove_node",

@@ -90,16 +90,22 @@ class RepolintConfig:
     #: Modpath of the generated registry module.
     trace_registry_modpath: str = "repro/sim/trace_kinds.py"
     #: Kinds merged into the registry that static extraction cannot see.
-    #: All three reach ``TraceLog.record`` through ``pause_for``'s dynamic
-    #: ``kind`` parameter (the one suppressed ``trace-dynamic-kind`` site):
+    #: They reach ``TraceLog.record`` through dynamic ``kind`` parameters
+    #: (the suppressed ``trace-dynamic-kind`` sites):
     #: * ``fault_leader_pause`` — a pause that *is* a leader failure;
     #:   consumed by the measurement layer as ``LEADER_FAILURE_KIND``;
     #: * ``fault_pause`` — ``pause_for``'s default / plain container sleep;
-    #: * ``stall_pause`` — ``StallInjector`` processing stalls.
+    #: * ``stall_pause`` — ``StallInjector`` processing stalls;
+    #: * ``liveness_*`` — the :class:`~repro.scenarios.liveness.
+    #:   LivenessChecker`'s three detectors, emitted via its ``_flag``
+    #:   helper.
     extra_trace_kinds: tuple[str, ...] = (
         "fault_leader_pause",
         "fault_pause",
         "stall_pause",
+        "liveness_no_leader",
+        "liveness_election_livelock",
+        "liveness_commit_stall",
     )
 
     #: Module/class constants whose string elements are consumed trace
@@ -195,6 +201,26 @@ class RepolintConfig:
             "RaftNode._on_install_snapshot",
         }
     )
+
+    # -- node-clock hygiene (rule family 7) ----------------------------- #
+    #: Modpath prefixes where protocol code must read time through its
+    #: :class:`~repro.sim.clock.NodeClock` adapter (``self._now()`` /
+    #: ``clock.now()``) so per-node skew/drift can never be bypassed.  A
+    #: raw ``loop.now`` read here is a timer that ignores the node's own
+    #: clock — the gray-failure experiments would silently measure the
+    #: wrong thing.
+    clock_scopes: tuple[str, ...] = (
+        "repro/raft/",
+        "repro/dynatune/",
+    )
+    #: Receiver names that denote the shared event loop; reading ``.now``
+    #: off any of them (directly or through an attribute chain such as
+    #: ``self.loop.now``) is what the rule flags.
+    clock_loop_names: frozenset[str] = frozenset({"loop", "_loop"})
+    #: Qualified methods exempt from the rule — adapters that *define*
+    #: the boundary (none needed in the real tree today; the knob exists
+    #: so a future wall-clock runtime shim can register itself).
+    clock_exempt: frozenset[str] = frozenset()
 
 
 DEFAULT_CONFIG = RepolintConfig()

@@ -8,6 +8,7 @@ from tools.repolint.rules.determinism import (
     ForbiddenNondeterminismRule,
     UnorderedIterationRule,
 )
+from tools.repolint.rules.clock import NodeClockRule
 from tools.repolint.rules.durability import DurableWriteRule
 from tools.repolint.rules.dispatch import (
     MessageDispatchRule,
@@ -31,6 +32,7 @@ def rule_classes() -> list[type[Rule]]:
         StepRegistryRule,
         ProtectedStateRule,
         DurableWriteRule,
+        NodeClockRule,
     ]
 
 

@@ -1,0 +1,91 @@
+"""Rule family 7 — node-clock hygiene.
+
+Every node owns a :class:`~repro.sim.clock.NodeClock` through which all
+of its protocol-visible time flows: timer durations are scaled by the
+node's drift and timestamps carry its offset, so the gray-failure
+scenarios can skew one node's clock and watch the protocol cope.  That
+only works if the protocol layers never reach around the adapter: a raw
+``loop.now`` read inside ``repro/raft/`` or ``repro/dynatune/`` is a
+measurement the skew machinery cannot touch — under ``SetClock`` it
+silently reports simulation-frame time and the experiment measures
+nothing.
+
+``node-clock-hygiene`` flags any read of a ``.now`` attribute whose
+receiver names the shared event loop (``loop.now``, ``self.loop.now``,
+``self._loop.now``, hot-path aliases included) inside the configured
+clock scopes.  Reads through the adapter (``self.clock.now()``,
+``self._now()``, ``clock.sim_now()`` for genuinely sim-frame
+bookkeeping) never match — the adapter is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from tools.repolint.astutil import iter_functions
+from tools.repolint.config import RepolintConfig
+from tools.repolint.engine import FileContext, Finding, Rule
+
+__all__ = ["NodeClockRule"]
+
+
+class NodeClockRule(Rule):
+    name = "node-clock-hygiene"
+    description = (
+        "protocol code reads time through the NodeClock adapter, never "
+        "raw loop.now"
+    )
+
+    def __init__(self, config: RepolintConfig) -> None:
+        self.config = config
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        cfg = self.config
+        if not any(ctx.modpath.startswith(s) for s in cfg.clock_scopes):
+            return
+        spans: list[tuple[int, int, str]] = []
+        for qual, fn in iter_functions(ctx.tree):
+            spans.append((fn.lineno, fn.end_lineno or fn.lineno, qual))
+        spans.sort()
+
+        def qualname_at(line: int) -> str:
+            best = ""
+            for lo, hi, qual in spans:
+                if lo <= line <= hi:
+                    best = qual  # innermost wins: spans sorted by start
+            return best
+
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Attribute) and node.attr == "now"):
+                continue
+            receiver = _terminal_name(node.value)
+            if receiver not in cfg.clock_loop_names:
+                continue
+            qual = qualname_at(node.lineno)
+            if qual in cfg.clock_exempt:
+                continue
+            where = f"in {qual}" if qual else "at module level"
+            yield ctx.finding(
+                self.name,
+                node,
+                f"raw '{receiver}.now' read {where} — protocol code must "
+                "read time through its NodeClock adapter (self._now() / "
+                "clock.now(); clock.sim_now() for sim-frame bookkeeping) "
+                "so per-node skew and drift apply",
+                symbol=f"{receiver}.now",
+            )
+
+
+def _terminal_name(expr: ast.expr) -> str | None:
+    """The last name segment of the receiver expression.
+
+    ``loop.now`` -> ``loop``; ``self.loop.now`` -> ``loop``;
+    ``self._loop.now`` -> ``_loop``; ``cluster.loop.now`` -> ``loop``.
+    Calls and subscripts never match — only plain attribute chains.
+    """
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
